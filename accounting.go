@@ -1,0 +1,110 @@
+package minimaxdp
+
+import (
+	"math/big"
+	"math/rand"
+
+	"minimaxdp/internal/database"
+	"minimaxdp/internal/multiquery"
+	"minimaxdp/internal/privacy"
+	"minimaxdp/internal/stats"
+)
+
+// This file exposes the privacy-accounting and multi-query layers: the
+// α ↔ ε conversions, composition rules, accuracy closed forms, the
+// multi-query answerer built on the paper's geometric mechanism, and
+// the black-box empirical privacy audit.
+
+// AlphaFromEpsilon converts ε-differential privacy (ε ≥ 0) to the
+// paper's multiplicative parameter α = e^{−ε}.
+func AlphaFromEpsilon(epsilon float64) (float64, error) {
+	return privacy.AlphaFromEpsilon(epsilon)
+}
+
+// EpsilonFromAlpha converts the paper's α ∈ (0,1] to ε = −ln α.
+func EpsilonFromAlpha(alpha float64) (float64, error) {
+	return privacy.EpsilonFromAlpha(alpha)
+}
+
+// Compose returns the sequential-composition guarantee Π αᵢ of
+// releasing several mechanisms' outputs on the same database.
+func Compose(alphas []*big.Rat) (*big.Rat, error) { return privacy.Compose(alphas) }
+
+// GroupPrivacy returns the protection level α^g an α-DP mechanism
+// extends to groups of g individuals.
+func GroupPrivacy(alpha *big.Rat, g int) (*big.Rat, error) { return privacy.Group(alpha, g) }
+
+// GeometricTailBound returns Pr[|noise| ≥ t] = 2α^t/(1+α) for the
+// geometric mechanism's unrestricted noise — the accuracy guarantee to
+// quote alongside a privacy level.
+func GeometricTailBound(alpha *big.Rat, t int) *big.Rat {
+	return privacy.GeometricTailBound(alpha, t)
+}
+
+// GeometricExpectedAbsError returns E|noise| = 2α/((1−α)(1+α))
+// exactly.
+func GeometricExpectedAbsError(alpha *big.Rat) *big.Rat {
+	return privacy.GeometricExpectedAbsNoise(alpha)
+}
+
+// GeometricNoiseVariance returns Var(noise) = 2α/(1−α)² exactly.
+func GeometricNoiseVariance(alpha *big.Rat) *big.Rat {
+	return privacy.GeometricNoiseVariance(alpha)
+}
+
+// Workload is an ordered set of count queries over one database.
+type Workload = multiquery.Workload
+
+// MultiAnswer is one released multi-query result.
+type MultiAnswer = multiquery.Answer
+
+// MultiAnswerer releases a workload of count queries under one overall
+// privacy budget, each answer via the geometric mechanism (so every
+// consumer can still post-process each answer optimally, per
+// Theorem 1).
+type MultiAnswerer = multiquery.Answerer
+
+// NewSequentialAnswerer splits the overall budget alphaTotal across k
+// arbitrary queries (sequential composition).
+func NewSequentialAnswerer(n, k int, alphaTotal *big.Rat, denom int64) (*MultiAnswerer, error) {
+	return multiquery.NewSequential(n, k, alphaTotal, denom)
+}
+
+// NewParallelAnswerer answers disjoint workloads (e.g. histograms) at
+// the full budget (parallel composition).
+func NewParallelAnswerer(n int, alpha *big.Rat) (*MultiAnswerer, error) {
+	return multiquery.NewParallel(n, alpha)
+}
+
+// AgeHistogram builds a disjoint age-bucket workload.
+func AgeHistogram(bounds []int) (Workload, error) { return multiquery.AgeHistogram(bounds) }
+
+// Database is the in-memory row store used by the examples and the
+// multi-query layer.
+type Database = database.Database
+
+// Row is one individual's record.
+type Row = database.Row
+
+// CountQuery counts the rows satisfying a predicate — the paper's
+// query class.
+type CountQuery = database.CountQuery
+
+// NewDatabase builds a database from rows (copied).
+func NewDatabase(rows []Row) *Database { return database.New(rows) }
+
+// SyntheticSurvey generates a reproducible synthetic survey population
+// for the flu running example.
+func SyntheticSurvey(size int, city string, fluRate float64, rng *rand.Rand) *Database {
+	return database.Synthetic(size, city, fluRate, rng)
+}
+
+// FluQuery is the paper's running example query: adults in the given
+// city who contracted the flu.
+func FluQuery(city string) CountQuery { return database.FluQuery(city) }
+
+// AuditDP black-box-estimates a mechanism's privacy level from
+// samples; with enough trials it converges to Mechanism.BestAlpha.
+func AuditDP(m *Mechanism, trials int, rng *rand.Rand) (*stats.DPAuditResult, error) {
+	return stats.AuditDP(m, trials, rng)
+}

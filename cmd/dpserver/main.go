@@ -1,0 +1,222 @@
+// Command dpserver publishes a count-query result at multiple privacy
+// levels over HTTP — the paper's motivating "report on the Internet"
+// scenario (Section 2.6) made concrete.
+//
+// On startup it generates a synthetic survey database, evaluates the
+// flu count query, and prepares an Algorithm 1 release plan. Each
+// request to /result?level=K returns the level-K released value for
+// the *current epoch*; all levels within an epoch come from one
+// correlated cascade draw, so colluding readers cannot cancel the
+// noise (Lemma 4). POST /epoch advances to a fresh draw.
+//
+// Endpoints:
+//
+//	GET  /               service description (JSON)
+//	GET  /result?level=K released result at privacy level K (1-based)
+//	GET  /levels         the privacy levels and their α values
+//	POST /epoch          advance to a new correlated release
+//	GET  /healthz        liveness probe
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"minimaxdp/internal/database"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/release"
+	"minimaxdp/internal/sample"
+)
+
+// serverState holds the release plan and the current epoch's
+// correlated results. All handler access is mutex-guarded.
+type serverState struct {
+	mu      sync.Mutex
+	plan    *release.Plan
+	rng     *rand.Rand
+	truth   int
+	epoch   int
+	current []int
+	alphas  []*big.Rat
+	city    string
+}
+
+func main() {
+	addr := flag.String("addr", ":8990", "listen address")
+	n := flag.Int("n", 500, "synthetic population size")
+	city := flag.String("city", "San Diego", "survey city")
+	fluRate := flag.Float64("flurate", 0.08, "synthetic flu rate among adults")
+	levelsStr := flag.String("levels", "1/2,2/3,4/5", "increasing privacy levels")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	s, err := newServer(*n, *city, *fluRate, *levelsStr, *seed)
+	if err != nil {
+		log.Fatal("dpserver: ", err)
+	}
+	log.Printf("dpserver: listening on %s (levels %s)", *addr, *levelsStr)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+}
+
+func newServer(n int, city string, fluRate float64, levelsStr string, seed int64) (*serverState, error) {
+	rng := sample.NewRand(seed)
+	db := database.Synthetic(n, city, fluRate, rng)
+	q := database.FluQuery(city)
+	truth := q.Eval(db)
+
+	var alphas []*big.Rat
+	for _, s := range strings.Split(levelsStr, ",") {
+		a, err := rational.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad levels: %w", err)
+		}
+		alphas = append(alphas, a)
+	}
+	plan, err := release.NewPlan(n, alphas)
+	if err != nil {
+		return nil, err
+	}
+	st := &serverState{plan: plan, truth: truth, alphas: alphas, city: city, rng: rng}
+	if err := st.advance(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// mux wires the HTTP routes.
+func (s *serverState) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleRoot)
+	mux.HandleFunc("/result", s.handleResult)
+	mux.HandleFunc("/levels", s.handleLevels)
+	mux.HandleFunc("/epoch", s.handleEpoch)
+	mux.HandleFunc("/mechanism", s.handleMechanism)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// advance draws a fresh correlated cascade for a new epoch. Caller
+// must not hold the lock.
+func (s *serverState) advance() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, err := s.plan.Release(s.truth, s.rng)
+	if err != nil {
+		return err
+	}
+	s.current = out
+	s.epoch++
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dpserver: encode: %v", err)
+	}
+}
+
+func (s *serverState) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"service": "minimaxdp multi-level count release (Algorithm 1)",
+		"query":   fmt.Sprintf("adults in %s with flu", s.city),
+		"levels":  len(s.alphas),
+		"epoch":   s.epoch,
+		"usage":   "/result?level=K (1 = least private), POST /epoch for a fresh draw",
+	})
+}
+
+func (s *serverState) handleLevels(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type level struct {
+		Level int    `json:"level"`
+		Alpha string `json:"alpha"`
+	}
+	out := make([]level, len(s.alphas))
+	for i, a := range s.alphas {
+		out[i] = level{Level: i + 1, Alpha: a.RatString()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *serverState) handleResult(w http.ResponseWriter, r *http.Request) {
+	lvlStr := r.URL.Query().Get("level")
+	if lvlStr == "" {
+		lvlStr = "1"
+	}
+	lvl, err := strconv.Atoi(lvlStr)
+	if err != nil || lvl < 1 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "level must be a positive integer"})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lvl > len(s.current) {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("level %d out of range 1..%d", lvl, len(s.current))})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"epoch":  s.epoch,
+		"level":  lvl,
+		"alpha":  s.alphas[lvl-1].RatString(),
+		"result": s.current[lvl-1],
+	})
+}
+
+// handleMechanism serves the exact marginal mechanism of a level as
+// JSON, so consumers can solve their optimal post-processing locally
+// (the mechanism matrix is public knowledge; only the database is
+// secret).
+func (s *serverState) handleMechanism(w http.ResponseWriter, r *http.Request) {
+	lvlStr := r.URL.Query().Get("level")
+	if lvlStr == "" {
+		lvlStr = "1"
+	}
+	lvl, err := strconv.Atoi(lvlStr)
+	if err != nil || lvl < 1 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "level must be a positive integer"})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, err := s.plan.Marginal(lvl)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *serverState) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		return
+	}
+	if err := s.advance(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	s.mu.Lock()
+	epoch := s.epoch
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *serverState {
+	t.Helper()
+	s, err := newServer(200, "San Diego", 0.1, "1/2,2/3", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func get(t *testing.T, mux http.Handler, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if rec.Header().Get("Content-Type") == "application/json" {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec, body
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := newServer(100, "X", 0.1, "zzz", 1); err == nil {
+		t.Error("bad levels accepted")
+	}
+	if _, err := newServer(100, "X", 0.1, "1/2,1/4", 1); err == nil {
+		t.Error("decreasing levels accepted")
+	}
+}
+
+func TestRootAndLevels(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.mux()
+	rec, body := get(t, mux, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("root status %d", rec.Code)
+	}
+	if body["levels"].(float64) != 2 {
+		t.Errorf("levels = %v", body["levels"])
+	}
+	rec, _ = get(t, mux, "/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status %d", rec.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/levels", nil)
+	lrec := httptest.NewRecorder()
+	mux.ServeHTTP(lrec, req)
+	var levels []map[string]interface{}
+	if err := json.Unmarshal(lrec.Body.Bytes(), &levels); err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 || levels[0]["alpha"] != "1/2" || levels[1]["alpha"] != "2/3" {
+		t.Errorf("levels = %v", levels)
+	}
+}
+
+func TestResultEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.mux()
+	rec, body := get(t, mux, "/result?level=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["alpha"] != "1/2" {
+		t.Errorf("alpha = %v", body["alpha"])
+	}
+	result := int(body["result"].(float64))
+	if result < 0 || result > 200 {
+		t.Errorf("result %d outside [0,200]", result)
+	}
+	// Default level is 1.
+	_, body = get(t, mux, "/result")
+	if body["level"].(float64) != 1 {
+		t.Errorf("default level = %v", body["level"])
+	}
+	// Same epoch → same result (correlated release is cached per epoch).
+	_, body2 := get(t, mux, "/result?level=1")
+	if body2["result"] != body["result"] {
+		t.Error("result changed within an epoch")
+	}
+	// Bad levels.
+	rec, _ = get(t, mux, "/result?level=0")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("level=0 status %d", rec.Code)
+	}
+	rec, _ = get(t, mux, "/result?level=99")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("level=99 status %d", rec.Code)
+	}
+	rec, _ = get(t, mux, "/result?level=x")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("level=x status %d", rec.Code)
+	}
+}
+
+func TestEpochEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.mux()
+	_, before := get(t, mux, "/result?level=1")
+	req := httptest.NewRequest(http.MethodPost, "/epoch", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("epoch status %d", rec.Code)
+	}
+	var body map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["epoch"] != 2 {
+		t.Errorf("epoch = %d, want 2", body["epoch"])
+	}
+	_, after := get(t, mux, "/result?level=1")
+	if after["epoch"].(float64) != 2 {
+		t.Errorf("result epoch = %v", after["epoch"])
+	}
+	_ = before // values may coincide by chance; epoch must advance
+
+	// GET /epoch is rejected.
+	gRec, _ := get(t, mux, "/epoch")
+	if gRec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /epoch status %d", gRec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMechanismEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.mux()
+	req := httptest.NewRequest(http.MethodGet, "/mechanism?level=1", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		N    int        `json:"n"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.N != 200 || len(body.Rows) != 201 {
+		t.Errorf("mechanism shape n=%d rows=%d", body.N, len(body.Rows))
+	}
+	// Bad levels rejected.
+	for _, q := range []string{"/mechanism?level=0", "/mechanism?level=99", "/mechanism?level=x"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, q, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status %d", q, rec.Code)
+		}
+	}
+}

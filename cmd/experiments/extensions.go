@@ -1,0 +1,272 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/laplace"
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/privacy"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/table"
+)
+
+// runEL5 validates Lemma 5 computationally: the lexicographically
+// refined optimum (the tie-breaking the paper's proof uses) always has
+// the adjacent-row "tight prefix / tight suffix" structure with at
+// most one slack column, and the geometric mechanism itself has the
+// structure with zero slack.
+func runEL5(w io.Writer, _ config) error {
+	n := 4
+	tb := table.New("mechanism", "loss", "side", "α", "max slack", "structure")
+	for _, as := range []string{"1/4", "1/2"} {
+		alpha := rational.MustParse(as)
+		g, err := mechanism.Geometric(n, alpha)
+		if err != nil {
+			return err
+		}
+		structs, err := consumer.CheckLemma5(g, alpha)
+		if err != nil {
+			return fmt.Errorf("geometric mechanism fails Lemma 5: %w", err)
+		}
+		maxSlack := 0
+		for _, s := range structs {
+			if s.Slack() > maxSlack {
+				maxSlack = s.Slack()
+			}
+		}
+		tb.AddRow("geometric", "—", "—", as, fmt.Sprintf("%d", maxSlack), "c2 = c1+1 everywhere")
+	}
+	losses := []loss.Function{loss.Absolute{}, loss.Squared{}, loss.ZeroOne{}}
+	sides := []struct {
+		name string
+		set  []int
+	}{{"{0..n}", nil}, {"{1..n}", consumer.Interval(1, n)}}
+	for _, lf := range losses {
+		for _, s := range sides {
+			for _, as := range []string{"1/4", "1/2"} {
+				alpha := rational.MustParse(as)
+				c := &consumer.Consumer{Loss: lf, Side: s.set}
+				tl, err := consumer.OptimalMechanismRefined(c, n, alpha)
+				if err != nil {
+					return err
+				}
+				structs, err := consumer.CheckLemma5(tl.Mechanism, alpha)
+				if err != nil {
+					return fmt.Errorf("refined optimum (%s, %s, α=%s) fails Lemma 5: %w",
+						lf.Name(), s.name, as, err)
+				}
+				maxSlack := 0
+				for _, st := range structs {
+					if st.Slack() > maxSlack {
+						maxSlack = st.Slack()
+					}
+				}
+				tb.AddRow("refined optimum", lf.Name(), s.name, as,
+					fmt.Sprintf("%d", maxSlack), "verified")
+			}
+		}
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nLemma 5 holds on every instance: the (L, L′)-lexicographic optimum\n")
+	fmt.Fprintf(w, "has tight-prefix/tight-suffix rows with ≤ 1 slack column.\n")
+	return nil
+}
+
+// runEPU traces the privacy–utility frontier the paper's model
+// implies: the tailored optimal minimax loss as α sweeps from no
+// privacy to perfect privacy, against the no-privacy (0) and
+// best-constant baselines.
+func runEPU(w io.Writer, _ config) error {
+	n := 5
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	tb := table.New("α", "ε = −ln α", "optimal minimax loss (exact)", "≈", "E|geo noise| (unrestricted)")
+	var prev *tailoredPoint
+	for _, as := range []string{"0", "1/10", "1/4", "2/5", "1/2", "3/5", "3/4", "9/10", "1"} {
+		alpha := rational.MustParse(as)
+		tl, err := consumer.OptimalMechanism(c, n, alpha)
+		if err != nil {
+			return err
+		}
+		epsStr := "∞"
+		if alpha.Sign() > 0 {
+			eps, err := privacy.EpsilonFromAlpha(rational.Float(alpha))
+			if err != nil {
+				return err
+			}
+			epsStr = fmt.Sprintf("%.3f", eps)
+		}
+		noise := "—"
+		if alpha.Sign() > 0 && rational.Float(alpha) < 1 {
+			noise = fmt.Sprintf("%.4f", rational.Float(privacy.GeometricExpectedAbsNoise(alpha)))
+		}
+		tb.AddRow(as, epsStr, tl.Loss.RatString(),
+			fmt.Sprintf("%.4f", rational.Float(tl.Loss)), noise)
+		if prev != nil && tl.Loss.Cmp(prev.loss) < 0 {
+			return fmt.Errorf("frontier not monotone: loss fell from %s to %s as α rose to %s",
+				prev.loss.RatString(), tl.Loss.RatString(), as)
+		}
+		prev = &tailoredPoint{loss: tl.Loss}
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nFrontier endpoints match theory: loss 0 at α=0 (identity feasible)\n")
+	fmt.Fprintf(w, "and the best-constant loss ⌈n/2⌉·(worst side) at α=1 (rows forced equal).\n")
+	return nil
+}
+
+type tailoredPoint struct{ loss *big.Rat }
+
+// runELap compares the geometric mechanism with the classical
+// (continuous, then rounded) Laplace mechanism of the paper's
+// reference [5] at matched privacy α = e^{−ε}.
+func runELap(w io.Writer, _ config) error {
+	const n = 20
+	const truth = 10
+	tb := table.New("ε", "α = e^{−ε}", "E|geo noise| (exact)", "E|Laplace| = 1/ε", "rounded-Laplace E|err|", "rounded-Laplace α", "geo wins")
+	for _, eps := range []float64{0.25, 0.5, 1, 2} {
+		alphaF := math.Exp(-eps)
+		alpha, err := rational.FromFloat(alphaF)
+		if err != nil {
+			return err
+		}
+		geo := rational.Float(privacy.GeometricExpectedAbsNoise(alpha))
+		lap, err := laplace.ExpectedAbsNoise(eps)
+		if err != nil {
+			return err
+		}
+		rounded, err := laplace.RoundedExpectedAbsError(truth, n, eps)
+		if err != nil {
+			return err
+		}
+		roundedAlpha, err := laplace.WorstAlpha(n, eps)
+		if err != nil {
+			return err
+		}
+		wins := "yes"
+		if geo >= lap {
+			wins = "NO"
+		}
+		tb.AddRow(fmt.Sprintf("%.2f", eps), fmt.Sprintf("%.4f", alphaF),
+			fmt.Sprintf("%.4f", geo), fmt.Sprintf("%.4f", lap),
+			fmt.Sprintf("%.4f", rounded), fmt.Sprintf("%.4f", roundedAlpha), wins)
+		if geo >= lap {
+			return fmt.Errorf("geometric did not beat continuous Laplace at ε=%v", eps)
+		}
+		if roundedAlpha < alphaF-1e-9 {
+			return fmt.Errorf("rounded Laplace lost its DP level at ε=%v", eps)
+		}
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nAt every matched privacy level the geometric mechanism's expected\n")
+	fmt.Fprintf(w, "absolute error is below the continuous Laplace baseline (the discrete\n")
+	fmt.Fprintf(w, "mechanism wastes no probability on fractional outputs), and rounding\n")
+	fmt.Fprintf(w, "Laplace — being post-processing — keeps but cannot beat the geometric\n")
+	fmt.Fprintf(w, "optimum that Theorem 1 guarantees.\n")
+	return nil
+}
+
+// runERR quantifies universality against an in-class competitor:
+// deploy randomized response instead of the geometric mechanism at the
+// same exact privacy level, and measure how much worse every consumer
+// does even after optimal post-processing. Theorem 1 says the
+// geometric deployment achieves each consumer's tailored optimum, so
+// the randomized-response column can only be ≥ — the experiment shows
+// by how much.
+func runERR(w io.Writer, _ config) error {
+	n := 4
+	tb := table.New("RR truth prob p", "matched α", "loss", "geo-deployed loss", "RR-deployed loss", "RR penalty")
+	for _, ps := range []string{"1/4", "1/2", "3/4"} {
+		p := rational.MustParse(ps)
+		rr, err := mechanism.RandomizedResponse(n, p)
+		if err != nil {
+			return err
+		}
+		alpha := rr.BestAlpha()
+		g, err := mechanism.Geometric(n, alpha)
+		if err != nil {
+			return err
+		}
+		for _, lf := range []loss.Function{loss.Absolute{}, loss.Squared{}} {
+			c := &consumer.Consumer{Loss: lf}
+			geoInter, err := consumer.OptimalInteraction(c, g)
+			if err != nil {
+				return err
+			}
+			rrInter, err := consumer.OptimalInteraction(c, rr)
+			if err != nil {
+				return err
+			}
+			if rrInter.Loss.Cmp(geoInter.Loss) < 0 {
+				return fmt.Errorf("randomized response beat the geometric optimum at p=%s loss=%s", ps, lf.Name())
+			}
+			penalty := rational.Float(rrInter.Loss)/rational.Float(geoInter.Loss) - 1
+			tb.AddRow(ps, alpha.RatString(), lf.Name(),
+				geoInter.Loss.RatString(), rrInter.Loss.RatString(),
+				fmt.Sprintf("+%.1f%%", 100*penalty))
+		}
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nThe geometric deployment is never beaten (Theorem 1); randomized\n")
+	fmt.Fprintf(w, "response costs every consumer extra loss at equal privacy.\n")
+	return nil
+}
+
+// runEDet measures the value of randomization for minimax consumers
+// (the §2.7 contrast): the best deterministic remap of the deployed
+// geometric mechanism versus the optimal randomized remap, by
+// exhaustive enumeration of all (n+1)^(n+1) deterministic maps.
+func runEDet(w io.Writer, _ config) error {
+	n := 3
+	tb := table.New("loss", "side", "α", "randomized optimum", "best deterministic", "gap")
+	for _, lf := range []loss.Function{loss.Absolute{}, loss.Squared{}, loss.ZeroOne{}} {
+		for _, s := range []struct {
+			name string
+			set  []int
+		}{{"{0..n}", nil}, {"{2}", []int{2}}} {
+			for _, as := range []string{"1/4", "1/2"} {
+				alpha := rational.MustParse(as)
+				g, err := mechanism.Geometric(n, alpha)
+				if err != nil {
+					return err
+				}
+				c := &consumer.Consumer{Loss: lf, Side: s.set}
+				randOpt, err := consumer.OptimalInteraction(c, g)
+				if err != nil {
+					return err
+				}
+				detOpt, err := consumer.OptimalDeterministicInteraction(c, g)
+				if err != nil {
+					return err
+				}
+				if detOpt.Loss.Cmp(randOpt.Loss) < 0 {
+					return fmt.Errorf("deterministic beat randomized at %s/%s/%s", lf.Name(), s.name, as)
+				}
+				gap := "0"
+				if detOpt.Loss.Cmp(randOpt.Loss) > 0 {
+					g := rational.Float(detOpt.Loss)/rational.Float(randOpt.Loss) - 1
+					gap = fmt.Sprintf("+%.1f%%", 100*g)
+				}
+				tb.AddRow(lf.Name(), s.name, as, randOpt.Loss.RatString(), detOpt.Loss.RatString(), gap)
+			}
+		}
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n§2.7's contrast, quantified: minimax consumers with non-trivial side\n")
+	fmt.Fprintf(w, "information need randomized post-processing (positive gaps); with a\n")
+	fmt.Fprintf(w, "singleton side set the problem degenerates and determinism is free.\n")
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command experiments regenerates every table and figure of the paper
+// plus the empirical experiments listed in DESIGN.md §3.
+//
+// Usage:
+//
+//	experiments [-run all|F1,T1,...] [-seed 1] [-trials 20000] [-o out.txt]
+//
+// Experiment IDs: F1 (Figure 1), T1 (Table 1), T2 (Table 2),
+// EB (Appendix B), ETh2 (Theorem 2 equivalence), EL1 (Lemma 1),
+// EL3 (Lemma 3), ETh1 (Theorem 1 universal optimality),
+// ECol (collusion resistance), EBay (Bayesian comparison),
+// EObl (Appendix A oblivious reduction), EMQ (multi-query composition),
+// EL5 (Lemma 5 structure), EPU (privacy-utility frontier),
+// ELap (Laplace baseline), ERR (randomized-response baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// config carries the shared experiment parameters.
+type config struct {
+	seed   int64
+	trials int
+}
+
+type experiment struct {
+	id    string
+	title string
+	run   func(w io.Writer, cfg config) error
+}
+
+var registry = []experiment{
+	{"F1", "Figure 1: geometric mechanism PMF (α=0.2, result 5)", runF1},
+	{"T1", "Table 1: optimal mechanism, G_{3,1/4}, consumer interaction", runT1},
+	{"T2", "Table 2: G_{n,α} and G'_{n,α}", runT2},
+	{"EB", "Appendix B: DP mechanism not derivable from geometric", runEB},
+	{"ETh2", "Theorem 2: derivability characterization equivalence", runETh2},
+	{"EL1", "Lemma 1: det G_{n,α} > 0, closed form", runEL1},
+	{"EL3", "Lemma 3: transition matrices T_{α,β} stochastic", runEL3},
+	{"ETh1", "Theorem 1(2): universal optimality across consumers", runETh1},
+	{"ECol", "Theorem 1(1)/Lemma 4: collusion resistance vs naive", runECol},
+	{"EBay", "Section 2.7: Bayesian vs minimax consumers", runEBay},
+	{"EObl", "Appendix A: oblivious reduction never hurts", runEObl},
+	{"EMQ", "Extension: multi-query composition on top of the geometric mechanism", runEMQ},
+	{"EL5", "Lemma 5: structure of lexicographically refined optima", runEL5},
+	{"EPU", "Extension: privacy-utility frontier of the tailored optimum", runEPU},
+	{"ELap", "Extension: geometric vs (rounded) Laplace at matched privacy", runELap},
+	{"ERR", "Extension: geometric vs randomized response at matched privacy", runERR},
+	{"EDet", "Section 2.7: the value of randomized post-processing (exhaustive)", runEDet},
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	seed := flag.Int64("seed", 1, "PRNG seed for Monte-Carlo experiments")
+	trials := flag.Int("trials", 20000, "Monte-Carlo trials per arm")
+	out := flag.String("o", "", "write output to file instead of stdout")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-5s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "all" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range registry {
+		known[e.id] = true
+	}
+	var unknown []string
+	for id := range want {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "experiments: unknown ids: %s\n", strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	cfg := config{seed: *seed, trials: *trials}
+	failed := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Fprintf(w, "\n================================================================\n")
+		fmt.Fprintf(w, "[%s] %s\n", e.id, e.title)
+		fmt.Fprintf(w, "================================================================\n")
+		if err := e.run(w, cfg); err != nil {
+			fmt.Fprintf(w, "ERROR: %v\n", err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+var testCfg = config{seed: 1, trials: 1500}
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	for _, e := range registry {
+		if e.id != id {
+			continue
+		}
+		var b strings.Builder
+		if err := e.run(&b, testCfg); err != nil {
+			t.Fatalf("%s failed: %v\noutput so far:\n%s", id, err, b.String())
+		}
+		return b.String()
+	}
+	t.Fatalf("experiment %s not registered", id)
+	return ""
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" || e.run == nil {
+			t.Errorf("experiment %s incomplete", e.id)
+		}
+	}
+}
+
+func TestF1(t *testing.T) {
+	out := runExperiment(t, "F1")
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "#") {
+		t.Errorf("F1 output:\n%s", out)
+	}
+}
+
+func TestT1(t *testing.T) {
+	out := runExperiment(t, "T1")
+	for _, want := range []string{"168/415", "357/880", "68/83", "4/5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T1 output missing %q", want)
+		}
+	}
+}
+
+func TestT2(t *testing.T) {
+	out := runExperiment(t, "T2")
+	if !strings.Contains(out, "α^{|i−j|} verified") || strings.Contains(out, "MISMATCH") {
+		t.Errorf("T2 output:\n%s", out)
+	}
+}
+
+func TestEB(t *testing.T) {
+	out := runExperiment(t, "EB")
+	if !strings.Contains(out, "-1/12") {
+		t.Errorf("EB output missing violation value:\n%s", out)
+	}
+}
+
+func TestETh2(t *testing.T) {
+	out := runExperiment(t, "ETh2")
+	if !strings.Contains(out, "agreed on every instance") {
+		t.Errorf("ETh2 output:\n%s", out)
+	}
+}
+
+func TestEL1(t *testing.T) {
+	out := runExperiment(t, "EL1")
+	if strings.Contains(out, "NO") {
+		t.Errorf("EL1 output has failures:\n%s", out)
+	}
+}
+
+func TestEL3(t *testing.T) {
+	out := runExperiment(t, "EL3")
+	if !strings.Contains(out, "correctly rejected") {
+		t.Errorf("EL3 output:\n%s", out)
+	}
+}
+
+func TestETh1(t *testing.T) {
+	out := runExperiment(t, "ETh1")
+	if !strings.Contains(out, "75/75") {
+		t.Errorf("ETh1 coverage:\n%s", out)
+	}
+}
+
+func TestECol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo")
+	}
+	out := runExperiment(t, "ECol")
+	if !strings.Contains(out, "CollusionAlpha({2..8}) = 51/100") {
+		t.Errorf("ECol output:\n%s", out)
+	}
+}
+
+func TestEBay(t *testing.T) {
+	out := runExperiment(t, "EBay")
+	if !strings.Contains(out, "randomized") || !strings.Contains(out, "deterministic") {
+		t.Errorf("EBay output:\n%s", out)
+	}
+}
+
+func TestEObl(t *testing.T) {
+	out := runExperiment(t, "EObl")
+	if !strings.Contains(out, "verified") {
+		t.Errorf("EObl output:\n%s", out)
+	}
+}
+
+func TestEMQ(t *testing.T) {
+	out := runExperiment(t, "EMQ")
+	if !strings.Contains(out, "parallel") || !strings.Contains(out, "sequential") {
+		t.Errorf("EMQ output:\n%s", out)
+	}
+	if !strings.Contains(out, "age histogram") {
+		t.Errorf("EMQ missing histogram release:\n%s", out)
+	}
+}
+
+func TestEL5(t *testing.T) {
+	out := runExperiment(t, "EL5")
+	if !strings.Contains(out, "c2 = c1+1 everywhere") || !strings.Contains(out, "verified") {
+		t.Errorf("EL5 output:\n%s", out)
+	}
+}
+
+func TestEPU(t *testing.T) {
+	out := runExperiment(t, "EPU")
+	if !strings.Contains(out, "5/2") { // α=1 best-constant loss on n=5
+		t.Errorf("EPU output:\n%s", out)
+	}
+}
+
+func TestELap(t *testing.T) {
+	out := runExperiment(t, "ELap")
+	if strings.Contains(out, "NO") {
+		t.Errorf("ELap has losses:\n%s", out)
+	}
+}
+
+func TestERR(t *testing.T) {
+	out := runExperiment(t, "ERR")
+	if !strings.Contains(out, "RR penalty") || !strings.Contains(out, "never beaten") {
+		t.Errorf("ERR output:\n%s", out)
+	}
+}
+
+func TestEDet(t *testing.T) {
+	out := runExperiment(t, "EDet")
+	if !strings.Contains(out, "best deterministic") {
+		t.Errorf("EDet output:\n%s", out)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"minimaxdp/internal/database"
+	"minimaxdp/internal/multiquery"
+	"minimaxdp/internal/privacy"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+	"minimaxdp/internal/table"
+)
+
+// runEMQ is the multiple-queries extension experiment (the paper's
+// conclusion proposes the single-query geometric mechanism as a
+// building block for multi-query answering). It tabulates the
+// accuracy price of sequential budget splitting as the workload grows,
+// and shows parallel composition recovering single-query accuracy on
+// disjoint (histogram) workloads.
+func runEMQ(w io.Writer, cfg config) error {
+	total := rational.MustParse("1/2")
+	const n = 50
+
+	tb := table.New("k queries", "regime", "per-query α", "composed α", "guarantee ok", "per-query E|err| (exact)")
+	for k := 1; k <= 8; k++ {
+		a, err := multiquery.NewSequential(n, k, total, 10000)
+		if err != nil {
+			return err
+		}
+		composed, err := a.ComposedAlpha(k)
+		if err != nil {
+			return err
+		}
+		ok := "yes"
+		if composed.Cmp(total) < 0 {
+			ok = "NO"
+		}
+		tb.AddRow(fmt.Sprintf("%d", k), "sequential", a.PerQueryAlpha().RatString(),
+			composed.RatString(), ok,
+			fmt.Sprintf("%.4f", rational.Float(a.ExpectedAbsErrorPerQuery())))
+		if ok == "NO" {
+			return fmt.Errorf("sequential composition failed the guarantee at k=%d", k)
+		}
+	}
+	par, err := multiquery.NewParallel(n, total)
+	if err != nil {
+		return err
+	}
+	tb.AddRow("any (disjoint)", "parallel", par.PerQueryAlpha().RatString(),
+		total.RatString(), "yes",
+		fmt.Sprintf("%.4f", rational.Float(par.ExpectedAbsErrorPerQuery())))
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+
+	// Concrete histogram release on a synthetic database.
+	rng := sample.NewRand(cfg.seed)
+	db := database.Synthetic(n, "San Diego", 0.2, rng)
+	hist, err := multiquery.AgeHistogram([]int{18, 40, 65})
+	if err != nil {
+		return err
+	}
+	if !hist.Disjoint(db) {
+		return fmt.Errorf("histogram workload unexpectedly overlapping")
+	}
+	answers, err := par.Answer(db, hist, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nage histogram released at full budget (parallel composition), α = %s:\n", total.RatString())
+	ht := table.New("bucket", "true count", "released")
+	for i, q := range hist.Queries {
+		ht.AddRow(q.Name, fmt.Sprintf("%d", q.Eval(db)), fmt.Sprintf("%d", answers[i].Released))
+	}
+	if err := ht.Write(w); err != nil {
+		return err
+	}
+	eps, err := privacy.EpsilonFromAlpha(rational.Float(total))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\noverall guarantee α = %s (ε = %.4f): one per-individual row change\n", total.RatString(), eps)
+	fmt.Fprintf(w, "perturbs at most one bucket, so no budget splitting is needed.\n")
+	return nil
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+	"minimaxdp/internal/table"
+)
+
+// runF1 reproduces Figure 1: the two-sided geometric output
+// distribution for α = 0.2 and true result 5, both exactly (the
+// Definition 1 law) and empirically (the Definition 1 sampler), with
+// an ASCII rendering of the paper's plot.
+func runF1(w io.Writer, cfg config) error {
+	const alpha = 0.2
+	const result = 5
+	rng := sample.NewRand(cfg.seed)
+	trials := cfg.trials * 10
+	counts := make(map[int]int)
+	for i := 0; i < trials; i++ {
+		counts[result+sample.TwoSidedGeometric(alpha, rng)]++
+	}
+	tb := table.New("z", "exact Pr[out=z]", "empirical", "plot")
+	norm := (1 - alpha) / (1 + alpha)
+	for z := -20; z <= 20; z++ {
+		exact := norm * math.Pow(alpha, math.Abs(float64(z-result)))
+		emp := float64(counts[z]) / float64(trials)
+		bar := strings.Repeat("#", int(exact*60+0.5))
+		tb.AddRow(fmt.Sprintf("%d", z), fmt.Sprintf("%.6f", exact), fmt.Sprintf("%.6f", emp), bar)
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nPaper: Figure 1 shows this PMF peaked at the true result 5 with\n")
+	fmt.Fprintf(w, "geometric tails of ratio α = 0.2. Reproduced exactly above.\n")
+	return nil
+}
+
+// runT1 reproduces Table 1 end to end: (b) the geometric mechanism
+// G_{3,1/4}, (c) the optimal consumer interaction, and (a) the induced
+// optimal mechanism, for the consumer with loss |i−r| and side
+// information {0..3}.
+func runT1(w io.Writer, _ config) error {
+	alpha := rational.MustParse("1/4")
+	n := 3
+	g, err := mechanism.Geometric(n, alpha)
+	if err != nil {
+		return err
+	}
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+
+	inter, err := consumer.OptimalInteraction(c, g)
+	if err != nil {
+		return err
+	}
+	tailored, err := consumer.OptimalMechanism(c, n, alpha)
+	if err != nil {
+		return err
+	}
+
+	if err := table.WriteMatrix(w, "Table 1(b): G_{3,1/4} (exact; paper prints it scaled by (1+α)/(1−α) = 5/3):", g.Matrix()); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := table.WriteMatrix(w, "scaled by 5/3 (paper's rendering):", g.Matrix().Scale(rational.MustParse("5/3"))); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := table.WriteMatrix(w, "Table 1(c): optimal consumer interaction T* (exact):", inter.T); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := table.WriteMatrix(w, "Table 1(a): induced optimal mechanism G·T* (exact):", inter.Induced.Matrix()); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := table.WriteMatrixFloat(w, "Table 1(a) in decimals:", inter.Induced.Matrix(), 4); err != nil {
+		return err
+	}
+
+	// The paper's printed Table 1(c) for comparison.
+	paperT := matrix.MustFromStrings([][]string{
+		{"9/11", "2/11", "0", "0"},
+		{"0", "1", "0", "0"},
+		{"0", "0", "1", "0"},
+		{"0", "0", "2/11", "9/11"},
+	})
+	paperInduced, err := g.PostProcess(paperT)
+	if err != nil {
+		return err
+	}
+	paperLoss, err := c.MinimaxLoss(paperInduced)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nminimax loss: LP optimum (tailored) = %s ≈ %.6f\n",
+		tailored.Loss.RatString(), rational.Float(tailored.Loss))
+	fmt.Fprintf(w, "minimax loss: optimal interaction    = %s ≈ %.6f\n",
+		inter.Loss.RatString(), rational.Float(inter.Loss))
+	fmt.Fprintf(w, "minimax loss: paper's printed T      = %s ≈ %.6f\n",
+		paperLoss.RatString(), rational.Float(paperLoss))
+	fmt.Fprintf(w, "\nNOTE: the paper's printed Table 1 entries carry transcription\n")
+	fmt.Fprintf(w, "errors (Table 1(a) rows sum to > 1). The exact optimum is 168/415\n")
+	fmt.Fprintf(w, "with boundary interaction (68/83, 15/83); the printed (9/11, 2/11)\n")
+	fmt.Fprintf(w, "achieves the slightly worse 357/880. Shape (interior rows identity,\n")
+	fmt.Fprintf(w, "boundary rows randomizing over two outputs) matches the paper.\n")
+	if tailored.Loss.Cmp(inter.Loss) != 0 {
+		return fmt.Errorf("universal optimality violated: %s vs %s",
+			tailored.Loss.RatString(), inter.Loss.RatString())
+	}
+	return nil
+}
+
+// runT2 reproduces Table 2: the closed forms of G_{n,α} and G'_{n,α},
+// verifying the structural identities entry by entry for a grid of
+// sizes and privacy levels.
+func runT2(w io.Writer, _ config) error {
+	alpha := rational.MustParse("1/4")
+	n := 3
+	g, err := mechanism.Geometric(n, alpha)
+	if err != nil {
+		return err
+	}
+	gp, err := mechanism.GeometricPrime(n, alpha)
+	if err != nil {
+		return err
+	}
+	if err := table.WriteMatrix(w, "G_{3,1/4}:", g.Matrix()); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := table.WriteMatrix(w, "G'_{3,1/4} (pure Toeplitz α^{|i−j|}):", gp); err != nil {
+		return err
+	}
+
+	tb := table.New("n", "α", "structure check", "row sums")
+	for _, as := range []string{"1/4", "1/2", "3/4"} {
+		a := rational.MustParse(as)
+		for nn := 2; nn <= 8; nn++ {
+			gg, err := mechanism.Geometric(nn, a)
+			if err != nil {
+				return err
+			}
+			ggp, err := mechanism.GeometricPrime(nn, a)
+			if err != nil {
+				return err
+			}
+			ok := true
+			for i := 0; i <= nn && ok; i++ {
+				for j := 0; j <= nn && ok; j++ {
+					d := i - j
+					if d < 0 {
+						d = -d
+					}
+					if ggp.At(i, j).Cmp(rational.Pow(a, d)) != 0 {
+						ok = false
+					}
+				}
+			}
+			status := "α^{|i−j|} verified"
+			if !ok {
+				status = "MISMATCH"
+			}
+			sums := "all = 1"
+			if !gg.Matrix().IsStochastic() {
+				sums = "BROKEN"
+			}
+			tb.AddRow(fmt.Sprintf("%d", nn), as, status, sums)
+		}
+	}
+	fmt.Fprintln(w)
+	return tb.Write(w)
+}

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/derive"
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+	"minimaxdp/internal/table"
+)
+
+// runEB reproduces Appendix B: the explicit ½-DP mechanism that is not
+// derivable from G_{3,1/2}, with its violating triple.
+func runEB(w io.Writer, _ config) error {
+	m := derive.AppendixB()
+	alpha := rational.MustParse("1/2")
+	if err := table.WriteMatrix(w, "Appendix B mechanism M:", m.Matrix()); err != nil {
+		return err
+	}
+	if err := m.CheckDP(alpha); err != nil {
+		return fmt.Errorf("M should be 1/2-DP: %w", err)
+	}
+	fmt.Fprintf(w, "\nM is 1/2-differentially private: verified.\n")
+	err := derive.CheckCondition(m, alpha)
+	if err == nil {
+		return fmt.Errorf("M unexpectedly satisfies the Theorem 2 condition")
+	}
+	fmt.Fprintf(w, "Theorem 2 condition: %v\n", err)
+	fmt.Fprintf(w, "Paper reports the same violation: (1+α²)·M[1][1] − α·(M[0][1]+M[2][1]) = −0.75/9 = −1/12.\n")
+	if _, ferr := derive.Factor(m, alpha); ferr == nil {
+		return fmt.Errorf("factorization unexpectedly succeeded")
+	} else {
+		fmt.Fprintf(w, "Factorization G⁻¹·M has a negative entry: %v\n", ferr)
+	}
+	return nil
+}
+
+// runETh2 validates Theorem 2 as an equivalence on randomly generated
+// DP mechanisms: the three-term condition holds iff G⁻¹·M ≥ 0.
+func runETh2(w io.Writer, cfg config) error {
+	rng := sample.NewRand(cfg.seed)
+	alpha := rational.MustParse("1/2")
+	tb := table.New("trial family", "checked", "derivable", "not derivable", "disagreements")
+	families := []struct {
+		name string
+		gen  func(n int) (*mechanism.Mechanism, error)
+	}{
+		{"G·random-T (always derivable)", func(n int) (*mechanism.Mechanism, error) {
+			g, err := mechanism.Geometric(n, alpha)
+			if err != nil {
+				return nil, err
+			}
+			return g.PostProcess(randomStochastic(rng, n+1))
+		}},
+		{"mix(G, uniform)", func(n int) (*mechanism.Mechanism, error) {
+			return mixGeometricUniform(n, alpha, rng)
+		}},
+		{"randomized response", func(n int) (*mechanism.Mechanism, error) {
+			return mechanism.RandomizedResponse(n, rational.New(int64(1+rng.Intn(3)), 4))
+		}},
+	}
+	for _, fam := range families {
+		checked, derivable, not, disagree := 0, 0, 0, 0
+		for trial := 0; trial < 40; trial++ {
+			n := 2 + rng.Intn(4)
+			m, err := fam.gen(n)
+			if err != nil {
+				return err
+			}
+			condOK := derive.Derivable(m, alpha)
+			_, ferr := derive.Factor(m, alpha)
+			factorOK := ferr == nil
+			checked++
+			if condOK != factorOK {
+				disagree++
+			}
+			if condOK {
+				derivable++
+			} else {
+				not++
+			}
+		}
+		tb.AddRow(fam.name, fmt.Sprintf("%d", checked), fmt.Sprintf("%d", derivable),
+			fmt.Sprintf("%d", not), fmt.Sprintf("%d", disagree))
+		if disagree > 0 {
+			return fmt.Errorf("Theorem 2 equivalence violated in family %q", fam.name)
+		}
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nCondition ⇔ factorization agreed on every instance (exact arithmetic).\n")
+	return nil
+}
+
+// runEL1 tabulates det G_{n,α}: positive, and equal to the Lemma 1
+// closed form.
+func runEL1(w io.Writer, _ config) error {
+	tb := table.New("n", "α", "det G (direct)", "det G (closed form)", "match", "> 0")
+	for _, as := range []string{"1/4", "1/2", "3/5", "9/10"} {
+		a := rational.MustParse(as)
+		for n := 1; n <= 9; n++ {
+			g, err := mechanism.Geometric(n, a)
+			if err != nil {
+				return err
+			}
+			direct, err := g.Matrix().Det()
+			if err != nil {
+				return err
+			}
+			closed := mechanism.GeometricDet(n, a)
+			match := "yes"
+			if direct.Cmp(closed) != 0 {
+				match = "NO"
+			}
+			pos := "yes"
+			if direct.Sign() <= 0 {
+				pos = "NO"
+			}
+			tb.AddRow(fmt.Sprintf("%d", n), as, direct.RatString(), closed.RatString(), match, pos)
+			if direct.Cmp(closed) != 0 || direct.Sign() <= 0 {
+				return fmt.Errorf("Lemma 1 fails at n=%d α=%s", n, as)
+			}
+		}
+	}
+	return tb.Write(w)
+}
+
+// runEL3 verifies Lemma 3 on a grid: T_{α,β} = G_α⁻¹·G_β is stochastic
+// exactly when α ≤ β, and the reverse direction fails.
+func runEL3(w io.Writer, _ config) error {
+	grid := []string{"1/5", "1/4", "1/3", "1/2", "2/3", "3/4", "4/5"}
+	n := 4
+	tb := table.New("α", "β", "T stochastic", "G_α·T == G_β")
+	for i, as := range grid {
+		for j, bs := range grid {
+			a, b := rational.MustParse(as), rational.MustParse(bs)
+			if j < i {
+				// α > β: must be rejected.
+				if _, err := derive.Transition(n, a, b); err == nil {
+					return fmt.Errorf("transition from α=%s to β=%s (removing privacy) accepted", as, bs)
+				}
+				continue
+			}
+			tr, err := derive.Transition(n, a, b)
+			if err != nil {
+				return err
+			}
+			gA, err := mechanism.Geometric(n, a)
+			if err != nil {
+				return err
+			}
+			gB, err := mechanism.Geometric(n, b)
+			if err != nil {
+				return err
+			}
+			prod, err := gA.Matrix().Mul(tr)
+			if err != nil {
+				return err
+			}
+			stoch, eq := "yes", "yes"
+			if !tr.IsStochastic() {
+				stoch = "NO"
+			}
+			if !prod.Equal(gB.Matrix()) {
+				eq = "NO"
+			}
+			tb.AddRow(as, bs, stoch, eq)
+			if stoch == "NO" || eq == "NO" {
+				return fmt.Errorf("Lemma 3 fails at α=%s β=%s", as, bs)
+			}
+		}
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nAll α > β pairs correctly rejected (privacy cannot be removed).\n")
+	return nil
+}
+
+// runETh1 sweeps consumers (losses × side-information × α) and checks
+// the paper's headline claim exactly: optimal interaction with the
+// deployed geometric mechanism always equals the tailored optimum.
+func runETh1(w io.Writer, _ config) error {
+	n := 4
+	losses := []loss.Function{loss.Absolute{}, loss.Squared{}, loss.ZeroOne{},
+		loss.Deadband{Width: 1}, loss.Power{K: 3}}
+	sides := []struct {
+		name string
+		set  []int
+	}{
+		{"{0..n}", nil},
+		{"{1..n}", consumer.Interval(1, n)},
+		{"{0..2}", consumer.Interval(0, 2)},
+		{"{0,2,4}", []int{0, 2, 4}},
+		{"{3}", []int{3}},
+	}
+	alphas := []string{"1/4", "1/2", "3/4"}
+	tb := table.New("loss", "side info", "α", "tailored loss", "interaction loss", "equal")
+	checked, equal := 0, 0
+	for _, lf := range losses {
+		for _, s := range sides {
+			for _, as := range alphas {
+				alpha := rational.MustParse(as)
+				c := &consumer.Consumer{Loss: lf, Side: s.set}
+				g, err := mechanism.Geometric(n, alpha)
+				if err != nil {
+					return err
+				}
+				tailored, err := consumer.OptimalMechanism(c, n, alpha)
+				if err != nil {
+					return err
+				}
+				inter, err := consumer.OptimalInteraction(c, g)
+				if err != nil {
+					return err
+				}
+				checked++
+				eq := "yes"
+				if tailored.Loss.Cmp(inter.Loss) != 0 {
+					eq = "NO"
+				} else {
+					equal++
+				}
+				tb.AddRow(lf.Name(), s.name, as, tailored.Loss.RatString(), inter.Loss.RatString(), eq)
+			}
+		}
+	}
+	if err := tb.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nUniversal optimality held on %d/%d consumer instances (exact equality).\n", equal, checked)
+	if equal != checked {
+		return fmt.Errorf("universal optimality failed on %d instances", checked-equal)
+	}
+	return nil
+}
+
+func randomStochastic(rng *rand.Rand, dim int) *matrix.Matrix {
+	m := matrix.New(dim, dim)
+	for i := 0; i < dim; i++ {
+		ws := make([]int64, dim)
+		var sum int64
+		for j := range ws {
+			ws[j] = int64(rng.Intn(6))
+			sum += ws[j]
+		}
+		if sum == 0 {
+			ws[i], sum = 1, 1
+		}
+		for j := range ws {
+			m.Set(i, j, rational.New(ws[j], sum))
+		}
+	}
+	return m
+}
+
+func mixGeometricUniform(n int, alpha *big.Rat, rng *rand.Rand) (*mechanism.Mechanism, error) {
+	g, err := mechanism.Geometric(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	u, err := mechanism.Uniform(n)
+	if err != nil {
+		return nil, err
+	}
+	lambda := rational.New(int64(rng.Intn(4)), 4)
+	gm, um := g.Matrix(), u.Matrix()
+	mix := matrix.New(n+1, n+1)
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			a := rational.Mul(lambda, gm.At(i, j))
+			b := rational.Mul(rational.Sub(rational.One(), lambda), um.At(i, j))
+			mix.Set(i, j, rational.Add(a, b))
+		}
+	}
+	return mechanism.New(mix)
+}

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	out, err := runCmd(t, "help")
+	if err != nil || !strings.Contains(out, "subcommands") {
+		t.Errorf("help: %v\n%s", err, out)
+	}
+	if _, err := runCmd(t, "bogus"); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if _, err := runCmd(t); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+}
+
+func TestGeometricCommand(t *testing.T) {
+	out, err := runCmd(t, "geometric", "-n", "3", "-alpha", "1/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4/5") || !strings.Contains(out, "G_{3,1/4}") {
+		t.Errorf("output:\n%s", out)
+	}
+	out, err = runCmd(t, "geometric", "-n", "3", "-alpha", "1/4", "-decimals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0.8000") {
+		t.Errorf("decimal output:\n%s", out)
+	}
+	if _, err := runCmd(t, "geometric", "-alpha", "zzz"); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	if _, err := runCmd(t, "geometric", "-n", "0"); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func writeMatrixFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyCommand(t *testing.T) {
+	// G_{1,1/2} is 1/2-DP.
+	path := writeMatrixFile(t, "# comment line\n2/3 1/3\n1/3 2/3\n")
+	out, err := runCmd(t, "verify", "-alpha", "1/2", "-file", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "OK") || !strings.Contains(out, "best (largest) α: 1/2") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Identity is not 1/2-DP.
+	idPath := writeMatrixFile(t, "1 0\n0 1\n")
+	out, err = runCmd(t, "verify", "-alpha", "1/2", "-file", idPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NOT") {
+		t.Errorf("output:\n%s", out)
+	}
+	if _, err := runCmd(t, "verify", "-file", filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := writeMatrixFile(t, "\n# nothing\n")
+	if _, err := runCmd(t, "verify", "-file", empty); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestOptimalCommand(t *testing.T) {
+	out, err := runCmd(t, "optimal", "-n", "3", "-alpha", "1/4", "-loss", "absolute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "minimax loss: 168/415") {
+		t.Errorf("output:\n%s", out)
+	}
+	if _, err := runCmd(t, "optimal", "-loss", "bogus"); err == nil {
+		t.Error("bad loss accepted")
+	}
+	if _, err := runCmd(t, "optimal", "-side", "x:y"); err == nil {
+		t.Error("bad side accepted")
+	}
+}
+
+func TestInteractCommand(t *testing.T) {
+	out, err := runCmd(t, "interact", "-n", "3", "-alpha", "1/4", "-loss", "absolute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "minimax loss: 168/415") || !strings.Contains(out, "68/83") {
+		t.Errorf("output:\n%s", out)
+	}
+	out, err = runCmd(t, "interact", "-n", "4", "-alpha", "1/2", "-loss", "deadband:1", "-side", "1:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "induced mechanism") {
+		t.Errorf("output:\n%s", out)
+	}
+	if _, err := runCmd(t, "interact", "-side", "5:2"); err == nil {
+		t.Error("empty interval accepted")
+	}
+}
+
+func TestReleaseCommand(t *testing.T) {
+	out, err := runCmd(t, "release", "-n", "20", "-levels", "1/4,1/2,3/4", "-true", "10", "-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "released result") || !strings.Contains(out, "collusion guarantee") {
+		t.Errorf("output:\n%s", out)
+	}
+	// Deterministic for equal seeds.
+	out2, err := runCmd(t, "release", "-n", "20", "-levels", "1/4,1/2,3/4", "-true", "10", "-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != out2 {
+		t.Error("same seed produced different releases")
+	}
+	if _, err := runCmd(t, "release", "-levels", "1/2,1/4"); err == nil {
+		t.Error("decreasing levels accepted")
+	}
+	if _, err := runCmd(t, "release", "-levels", "zzz"); err == nil {
+		t.Error("bad levels accepted")
+	}
+}
+
+func TestDerivableCommand(t *testing.T) {
+	// Appendix B matrix: NOT derivable from G_{3,1/2}.
+	appendixB := "1/9 2/9 4/9 2/9\n2/9 1/9 2/9 4/9\n4/9 2/9 1/9 2/9\n13/18 1/9 1/18 1/9\n"
+	path := writeMatrixFile(t, appendixB)
+	out, err := runCmd(t, "derivable", "-alpha", "1/2", "-file", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NOT derivable") {
+		t.Errorf("output:\n%s", out)
+	}
+	// G_{1,1/2} is derivable from itself with T = I.
+	gPath := writeMatrixFile(t, "2/3 1/3\n1/3 2/3\n")
+	out, err = runCmd(t, "derivable", "-alpha", "1/2", "-file", gPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "derivable from G_{1,1/2}") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if _, err := parseSide("1,2,3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseSide("1,x"); err == nil {
+		t.Error("bad list accepted")
+	}
+	if s, err := parseSide(""); err != nil || s != nil {
+		t.Error("empty side should be nil")
+	}
+	if _, err := parseLoss("deadband:2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseLoss("deadband:x"); err == nil {
+		t.Error("bad deadband accepted")
+	}
+	for _, name := range []string{"abs", "l1", "l2", "01", "zero-one", "squared"} {
+		if _, err := parseLoss(name); err != nil {
+			t.Errorf("loss %q rejected: %v", name, err)
+		}
+	}
+}
+
+func TestAuditCommand(t *testing.T) {
+	path := writeMatrixFile(t, "2/3 1/3\n1/3 2/3\n")
+	out, err := runCmd(t, "audit", "-file", path, "-trials", "50000", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exact privacy level (BestAlpha):   1/2") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "empirical") {
+		t.Errorf("output:\n%s", out)
+	}
+	if _, err := runCmd(t, "audit", "-trials", "0", "-file", path); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := runCmd(t, "audit", "-file", "/nonexistent"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMomentsCommand(t *testing.T) {
+	out, err := runCmd(t, "moments", "-alpha", "1/2", "-maxt", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E|noise|    = 4/3", "Var(noise)  = 4", "2/3", "1/6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("moments output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runCmd(t, "moments", "-alpha", "1"); err == nil {
+		t.Error("α=1 accepted")
+	}
+	if _, err := runCmd(t, "moments", "-maxt", "0"); err == nil {
+		t.Error("maxt=0 accepted")
+	}
+	if _, err := runCmd(t, "moments", "-alpha", "zz"); err == nil {
+		t.Error("bad α accepted")
+	}
+}
+
+func TestViewsCommand(t *testing.T) {
+	out, err := runCmd(t, "views", "-n", "4", "-levels", "1/4,1/2", "-loss", "absolute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "200/439") || !strings.Contains(out, "36/43") {
+		t.Errorf("views output:\n%s", out)
+	}
+	if _, err := runCmd(t, "views", "-levels", "zzz"); err == nil {
+		t.Error("bad levels accepted")
+	}
+	if _, err := runCmd(t, "views", "-loss", "zzz"); err == nil {
+		t.Error("bad loss accepted")
+	}
+	if _, err := runCmd(t, "views", "-side", "x:y"); err == nil {
+		t.Error("bad side accepted")
+	}
+	if _, err := runCmd(t, "views", "-levels", "1/2,1/4"); err == nil {
+		t.Error("decreasing levels accepted")
+	}
+}
+
+func TestBayesCommand(t *testing.T) {
+	out, err := runCmd(t, "bayes", "-n", "3", "-alpha", "1/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "57/160") || !strings.Contains(out, "verified") {
+		t.Errorf("bayes output:\n%s", out)
+	}
+	out, err = runCmd(t, "bayes", "-n", "2", "-alpha", "1/2", "-prior", "1/2,1/4,1/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "verified") {
+		t.Errorf("custom prior output:\n%s", out)
+	}
+	if _, err := runCmd(t, "bayes", "-prior", "zzz"); err == nil {
+		t.Error("bad prior accepted")
+	}
+	if _, err := runCmd(t, "bayes", "-n", "3", "-prior", "1/2,1/2"); err == nil {
+		t.Error("wrong-length prior accepted")
+	}
+	if _, err := runCmd(t, "bayes", "-alpha", "zz"); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	if _, err := runCmd(t, "bayes", "-loss", "zz"); err == nil {
+		t.Error("bad loss accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package minimaxdp_test
+
+import (
+	"fmt"
+	"math/big"
+
+	"minimaxdp"
+)
+
+// Build the paper's Table 1(b) mechanism and read off one entry.
+func ExampleGeometric() {
+	g, err := minimaxdp.Geometric(3, minimaxdp.MustRat("1/4"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("Pr[release 0 | true 0] =", g.Prob(0, 0).RatString())
+	fmt.Println("is 1/4-DP:", g.IsDP(minimaxdp.MustRat("1/4")))
+	// Output:
+	// Pr[release 0 | true 0] = 4/5
+	// is 1/4-DP: true
+}
+
+// Theorem 1 on the paper's Table 1 instance: the consumer's optimal
+// post-processing of the deployed geometric mechanism achieves exactly
+// the loss of the mechanism tailored to that consumer.
+func ExampleOptimalInteraction() {
+	alpha := minimaxdp.MustRat("1/4")
+	g, _ := minimaxdp.Geometric(3, alpha)
+	c := &minimaxdp.Consumer{Loss: minimaxdp.AbsoluteLoss()}
+
+	inter, _ := minimaxdp.OptimalInteraction(c, g)
+	tailored, _ := minimaxdp.OptimalMechanism(c, 3, alpha)
+
+	fmt.Println("interaction loss:", inter.Loss.RatString())
+	fmt.Println("tailored loss:   ", tailored.Loss.RatString())
+	fmt.Println("equal:", inter.Loss.Cmp(tailored.Loss) == 0)
+	// Output:
+	// interaction loss: 168/415
+	// tailored loss:    168/415
+	// equal: true
+}
+
+// Theorem 2's characterization rejects the Appendix B mechanism.
+func ExampleDerivable() {
+	m, _ := minimaxdp.MechanismFromStrings([][]string{
+		{"1/9", "2/9", "4/9", "2/9"},
+		{"2/9", "1/9", "2/9", "4/9"},
+		{"4/9", "2/9", "1/9", "2/9"},
+		{"13/18", "1/9", "1/18", "1/9"},
+	})
+	alpha := minimaxdp.MustRat("1/2")
+	fmt.Println("is 1/2-DP:", m.IsDP(alpha))
+	fmt.Println("derivable from G:", minimaxdp.Derivable(m, alpha))
+	// Output:
+	// is 1/2-DP: true
+	// derivable from G: false
+}
+
+// Lemma 3: privacy can be added by post-processing, exactly.
+func ExampleTransition() {
+	tr, _ := minimaxdp.Transition(3, minimaxdp.MustRat("1/4"), minimaxdp.MustRat("1/2"))
+	fmt.Println("stochastic:", tr.IsStochastic())
+
+	gLo, _ := minimaxdp.Geometric(3, minimaxdp.MustRat("1/4"))
+	gHi, _ := minimaxdp.Geometric(3, minimaxdp.MustRat("1/2"))
+	prod, _ := gLo.Matrix().Mul(tr)
+	fmt.Println("G_1/4 · T == G_1/2:", prod.Equal(gHi.Matrix()))
+	// Output:
+	// stochastic: true
+	// G_1/4 · T == G_1/2: true
+}
+
+// Privacy accounting in the paper's α parameterization.
+func ExampleCompose() {
+	composed, _ := minimaxdp.Compose([]*big.Rat{
+		minimaxdp.MustRat("1/2"),
+		minimaxdp.MustRat("2/3"),
+	})
+	fmt.Println("two releases compose to α =", composed.RatString())
+
+	group, _ := minimaxdp.GroupPrivacy(minimaxdp.MustRat("1/2"), 3)
+	fmt.Println("a family of 3 is protected at α =", group.RatString())
+	// Output:
+	// two releases compose to α = 1/3
+	// a family of 3 is protected at α = 1/8
+}
+
+// Exact accuracy guarantees to publish alongside a privacy level.
+func ExampleGeometricTailBound() {
+	alpha := minimaxdp.MustRat("1/2")
+	fmt.Println("E|error| =", minimaxdp.GeometricExpectedAbsError(alpha).RatString())
+	fmt.Println("Pr[|error| >= 3] =", minimaxdp.GeometricTailBound(alpha, 3).RatString())
+	// Output:
+	// E|error| = 4/3
+	// Pr[|error| >= 3] = 1/6
+}

@@ -1,0 +1,109 @@
+// Census: a multi-query release built on the paper's mechanism.
+//
+// The paper's conclusion proposes the single-query geometric mechanism
+// as a building block for multiple queries. This example releases a
+// small "census" over one survey database:
+//
+//   - an age histogram (disjoint buckets) at the FULL privacy budget,
+//     justified by parallel composition — one person's row change
+//     perturbs at most one bucket;
+//   - two overlapping analyst queries (flu count, adult count) under
+//     the SAME overall budget via sequential splitting — each gets a
+//     weaker per-query level so the product still meets the budget;
+//   - a per-answer consumer post-processing step, because every answer
+//     is an ordinary geometric mechanism and Theorem 1 applies to each.
+//
+// Run with:
+//
+//	go run ./examples/census
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minimaxdp"
+	"minimaxdp/internal/sample"
+)
+
+func main() {
+	rng := sample.NewRand(7)
+	const n = 50
+	db := minimaxdp.SyntheticSurvey(n, "San Diego", 0.2, rng)
+
+	budget := minimaxdp.MustRat("1/2")
+	eps, err := minimaxdp.EpsilonFromAlpha(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("census over %d residents; overall budget α = %s (ε = %.4f)\n\n", n, budget.RatString(), eps)
+
+	// --- Part 1: disjoint histogram at full budget --------------------
+	hist, err := minimaxdp.AgeHistogram([]int{18, 40, 65})
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := minimaxdp.NewParallelAnswerer(n, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answers, err := par.Answer(db, hist, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("age histogram (parallel composition, full budget per bucket):")
+	for i, q := range hist.Queries {
+		fmt.Printf("  %-16s true %2d   released %2d\n", q.Name, q.Eval(db), answers[i].Released)
+	}
+	fmt.Printf("  per-bucket E|error| = %s ≈ %.3f\n\n",
+		par.ExpectedAbsErrorPerQuery().RatString(), ratF(par.ExpectedAbsErrorPerQuery()))
+
+	// --- Part 2: overlapping queries under a split budget -------------
+	analyst := minimaxdp.Workload{Queries: []minimaxdp.CountQuery{
+		minimaxdp.FluQuery("San Diego"),
+		{Name: "adults", Pred: func(r minimaxdp.Row) bool { return r.Age >= 18 }},
+	}}
+	seq, err := minimaxdp.NewSequentialAnswerer(n, analyst.Size(), budget, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqAnswers, err := seq.Answer(db, analyst, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	composed, err := seq.ComposedAlpha(analyst.Size())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analyst queries (sequential composition, split budget):")
+	for i, q := range analyst.Queries {
+		fmt.Printf("  %-34s true %2d   released %2d  (per-query α = %s)\n",
+			q.Name, q.Eval(db), seqAnswers[i].Released, seqAnswers[i].Alpha.RatString())
+	}
+	fmt.Printf("  composed guarantee Πα = %.6f ≥ budget %.6f: %v\n",
+		ratF(composed), ratF(budget), composed.Cmp(budget) >= 0)
+	fmt.Printf("  per-query E|error| = %.3f (the accuracy price of overlap)\n\n",
+		ratF(seq.ExpectedAbsErrorPerQuery()))
+
+	// --- Part 3: per-answer consumer post-processing ------------------
+	// A consumer of the flu answer knows at least 2 cases were already
+	// confirmed. Theorem 1 holds per answer: post-processing the
+	// per-query geometric mechanism is as good as a tailored one.
+	c := &minimaxdp.Consumer{
+		Loss: minimaxdp.AbsoluteLoss(),
+		Side: minimaxdp.SideInterval(2, 12), // public health floor/ceiling
+	}
+	inter, err := minimaxdp.OptimalInteraction(c, seq.Mechanism())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("health consumer post-processes the flu answer: minimax loss %s ≈ %.3f\n",
+		inter.Loss.RatString(), ratF(inter.Loss))
+	fmt.Println("(Theorem 1 applies answer-by-answer: the geometric building block")
+	fmt.Println("keeps every consumer optimal, whatever the composition regime.)")
+}
+
+func ratF(r interface{ Float64() (float64, bool) }) float64 {
+	f, _ := r.Float64()
+	return f
+}

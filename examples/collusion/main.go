@@ -1,0 +1,83 @@
+// Collusion: releasing at multiple privacy levels, safely.
+//
+// Scenario from the paper's introduction: a flu report is produced in
+// two versions — a high-utility internal version for government
+// executives and a high-privacy public version for the Internet —
+// plus, here, several intermediate tiers for partner agencies.
+//
+// The naive approach (independent noise per tier) lets subscribers to
+// several tiers average their copies and cancel the noise. Algorithm 1
+// instead derives each more-private result from the previous one, so
+// the joint release reveals exactly as much as its least-private
+// member (Lemma 4).
+//
+// This example measures the averaging attack against both schemes.
+//
+// Run with:
+//
+//	go run ./examples/collusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"minimaxdp"
+	"minimaxdp/internal/sample"
+)
+
+func main() {
+	const n = 40
+	const trueCount = 17
+	const trials = 30000
+
+	// Six close privacy tiers: plenty for averaging to bite.
+	var alphas []*big.Rat
+	for _, s := range []string{"50/100", "52/100", "54/100", "56/100", "58/100", "60/100"} {
+		alphas = append(alphas, minimaxdp.MustRat(s))
+	}
+	plan, err := minimaxdp.NewReleasePlan(n, alphas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := sample.NewRand(99)
+
+	naive, cascade, err := plan.CollusionExperiment(trueCount, trials, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("true count %d, %d privacy tiers, %d Monte-Carlo trials\n\n", trueCount, len(alphas), trials)
+	fmt.Printf("%-12s %-22s %s\n", "colluders", "naive mean |error|", "cascade mean |error|")
+	for i := range naive {
+		fmt.Printf("%-12d %-22.4f %.4f\n", naive[i].Colluders, naive[i].MeanAbsError, cascade[i].MeanAbsError)
+	}
+
+	fmt.Println("\nnaive: independent draws — colluders average the noise away")
+	fmt.Println("       (error falls roughly like 1/√k, a privacy breach).")
+	fmt.Println("cascade (Algorithm 1): every tier is a randomized function of the")
+	fmt.Println("       least-private draw — pooling tiers gains the coalition nothing.")
+
+	// Lemma 4's analytic statement for a concrete coalition.
+	coalition := []int{3, 4, 5, 6}
+	a, err := plan.CollusionAlpha(coalition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncoalition %v is protected at α = %s (its weakest member's level).\n", coalition, a.RatString())
+
+	// One concrete correlated release, for flavor.
+	out, err := plan.Release(trueCount, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\none correlated release (tier 1 = most accurate):")
+	for i, v := range out {
+		ai, err := plan.Alpha(i + 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  tier %d (α=%s): %d\n", i+1, ai.RatString(), v)
+	}
+}

@@ -1,0 +1,3 @@
+module minimaxdp
+
+go 1.22

@@ -1,0 +1,261 @@
+package minimaxdp
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"minimaxdp/internal/database"
+	"minimaxdp/internal/sample"
+)
+
+// Integration: the full pipeline — synthetic database → count query →
+// geometric release → consumer post-processing → empirical audit —
+// crossing database, mechanism, consumer, sample and stats.
+func TestIntegrationPipeline(t *testing.T) {
+	rng := sample.NewRand(123)
+	const n = 20
+	db := SyntheticSurvey(n, "San Diego", 0.3, rng)
+	q := FluQuery("San Diego")
+	truth := q.Eval(db)
+	if truth < 0 || truth > n {
+		t.Fatalf("true count %d out of range", truth)
+	}
+
+	alpha := MustRat("1/2")
+	g, err := Geometric(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Release a batch and check the empirical error against the exact
+	// tail bound: Pr[|err| ≥ t] ≤ 2α^t/(1+α) (clamping only shrinks
+	// error).
+	const trials = 40000
+	const tt = 4
+	exceed := 0
+	for i := 0; i < trials; i++ {
+		r := g.Sample(truth, rng)
+		if d := r - truth; d >= tt || d <= -tt {
+			exceed++
+		}
+	}
+	bound := GeometricTailBound(alpha, tt)
+	got := float64(exceed) / trials
+	if bf, _ := bound.Float64(); got > bf+0.01 {
+		t.Errorf("empirical tail %.4f exceeds exact bound %.4f", got, bf)
+	}
+
+	// Consumer with public side information post-processes.
+	c := &Consumer{Loss: AbsoluteLoss(), Side: SideInterval(1, n-1)}
+	inter, err := OptimalInteraction(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := c.MinimaxLoss(inter.Induced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cmp(inter.Loss) != 0 {
+		t.Errorf("reported interaction loss %s != evaluated %s", inter.Loss.RatString(), direct.RatString())
+	}
+	// The induced mechanism keeps the privacy guarantee.
+	if !inter.Induced.IsDP(alpha) {
+		t.Error("post-processed mechanism lost its DP guarantee")
+	}
+
+	// Black-box audit of the deployed mechanism converges near α.
+	res, err := AuditDP(g, 60000, sample.NewRand(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstAlpha < 0.4 || res.WorstAlpha > 0.6 {
+		t.Errorf("audited α = %v, want ≈ 0.5", res.WorstAlpha)
+	}
+}
+
+// Integration: multi-level release feeding per-level consumers — every
+// consumer at every level still achieves its tailored optimum on the
+// marginal mechanism it faces (Theorem 1 composed with Algorithm 1).
+func TestIntegrationMultiLevelConsumers(t *testing.T) {
+	const n = 5
+	levels := []*big.Rat{MustRat("1/4"), MustRat("1/2"), MustRat("3/4")}
+	plan, err := NewReleasePlan(n, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Consumer{Loss: SquaredLoss(), Side: SideInterval(1, 4)}
+	for lvl := 1; lvl <= 3; lvl++ {
+		marginal, err := plan.Marginal(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, err := OptimalInteraction(c, marginal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, err := plan.Alpha(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tailored, err := OptimalMechanism(c, n, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inter.Loss.Cmp(tailored.Loss) != 0 {
+			t.Errorf("level %d: interaction %s != tailored %s",
+				lvl, inter.Loss.RatString(), tailored.Loss.RatString())
+		}
+		// Deeper level (more privacy) never has lower optimal loss.
+		if lvl > 1 {
+			prevAlpha, err := plan.Alpha(lvl - 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev, err := OptimalMechanism(c, n, prevAlpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tailored.Loss.Cmp(prev.Loss) < 0 {
+				t.Errorf("more privacy gave better utility: level %d %s < level %d %s",
+					lvl, tailored.Loss.RatString(), lvl-1, prev.Loss.RatString())
+			}
+		}
+	}
+}
+
+// Integration: multi-query census under budget accounting — composed
+// guarantees verified against the released answers' marginal
+// mechanisms and the α↔ε bridge.
+func TestIntegrationCensusAccounting(t *testing.T) {
+	rng := sample.NewRand(9)
+	const n = 30
+	db := SyntheticSurvey(n, "San Diego", 0.25, rng)
+	budget := MustRat("2/5")
+
+	// Parallel: histogram buckets disjoint.
+	hist, err := AgeHistogram([]int{18, 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelAnswerer(n, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := par.Answer(db, hist, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, q := range hist.Queries {
+		total += q.Eval(db)
+		if answers[i].Released < 0 || answers[i].Released > n {
+			t.Errorf("bucket %d released %d out of range", i, answers[i].Released)
+		}
+	}
+	if total != n {
+		t.Errorf("buckets partition %d of %d rows", total, n)
+	}
+
+	// Sequential: composed level meets the budget, per-query mechanism
+	// is exactly at the per-query α.
+	seq, err := NewSequentialAnswerer(n, 3, budget, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := seq.ComposedAlpha(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.Cmp(budget) < 0 {
+		t.Errorf("composed %s weaker than budget %s", composed.RatString(), budget.RatString())
+	}
+	if got := seq.Mechanism().BestAlpha(); got.Cmp(seq.PerQueryAlpha()) != 0 {
+		t.Errorf("per-query mechanism level %s != declared %s",
+			got.RatString(), seq.PerQueryAlpha().RatString())
+	}
+
+	// ε bridge: ε(composed) ≤ ε(budget) means α(composed) ≥ α(budget).
+	eComposed, err := EpsilonFromAlpha(ratFloat(composed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eBudget, err := EpsilonFromAlpha(ratFloat(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eComposed > eBudget+1e-9 {
+		t.Errorf("ε(composed)=%v exceeds ε(budget)=%v", eComposed, eBudget)
+	}
+}
+
+// Integration: Appendix A path from actual databases — build a
+// non-oblivious mechanism over a concrete universe of neighbouring
+// databases and confirm its oblivious reduction behaves.
+func TestIntegrationObliviousFromSurvey(t *testing.T) {
+	base := SyntheticSurvey(4, "X", 0.5, sample.NewRand(3))
+	q := CountQuery{Name: "flu", Pred: func(r Row) bool { return r.HasFlu }}
+
+	// Universe: the base plus single-row flips.
+	universe := []*Database{base}
+	for i := 0; i < base.Size(); i++ {
+		row := base.Row(i)
+		row.HasFlu = !row.HasFlu
+		nb, err := base.WithRow(i, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		universe = append(universe, nb)
+	}
+	// A noisy but database-dependent mechanism.
+	rng := sample.NewRand(17)
+	probs := make([][]float64, len(universe))
+	for d := range probs {
+		row := make([]float64, base.Size()+1)
+		sum := 0.0
+		for r := range row {
+			row[r] = 0.2 + rng.Float64()
+			sum += row[r]
+		}
+		for r := range row {
+			row[r] /= sum
+		}
+		probs[d] = row
+	}
+	m := nonObliviousForTest(universe, q, probs)
+	lossFn := func(i, r int) float64 { return math.Abs(float64(i - r)) }
+	before, err := m.WorstCaseLoss(base.Size(), lossFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := m.ObliviousReduction(base.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.ObliviousWorstCaseLoss(base.Size(), reduced, lossFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before+1e-9 {
+		t.Errorf("Appendix A violated: %v → %v", before, after)
+	}
+	// Audit the reduced mechanism's stochasticity.
+	for i, row := range reduced {
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("reduced row %d sums to %v", i, s)
+		}
+	}
+}
+
+func nonObliviousForTest(universe []*Database, q CountQuery, probs [][]float64) *database.NonOblivious {
+	return &database.NonOblivious{Universe: universe, Query: q, Probs: probs}
+}
+
+func ratFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

@@ -1,0 +1,445 @@
+// Package consumer implements the paper's information-consumer models:
+// minimax (risk-averse) consumers with side information (Section 2.3),
+// their optimal interaction with a deployed mechanism (the LP of
+// Section 2.4.3), the optimal tailored differentially-private
+// mechanism for a known consumer (the LP of Section 2.5), and — for
+// the Section 2.7 comparison — Bayesian consumers in the model of
+// Ghosh, Roughgarden and Sundararajan (STOC 2009).
+package consumer
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/lp"
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+)
+
+// Consumer is a minimax information consumer: a monotone loss function
+// plus side information S ⊆ {0..n} (the consumer knows the true result
+// lies in S). A nil or empty Side means S = {0..n}.
+type Consumer struct {
+	Loss loss.Function
+	Side []int
+	Name string
+}
+
+// ErrEmptySide is returned when the side-information set has no
+// element inside {0..n}.
+var ErrEmptySide = errors.New("consumer: side information set is empty on {0..n}")
+
+// side returns the sorted, deduplicated side-information set clipped
+// to {0..n}, defaulting to the full set.
+func (c *Consumer) side(n int) ([]int, error) {
+	if len(c.Side) == 0 {
+		out := make([]int, n+1)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	seen := make(map[int]bool, len(c.Side))
+	var out []int
+	for _, i := range c.Side {
+		if i < 0 || i > n || seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, i)
+	}
+	if len(out) == 0 {
+		return nil, ErrEmptySide
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Interval is a convenience constructor for contiguous side
+// information {lo..hi}, the form side information takes in the paper's
+// examples (population upper bounds, drug-sales lower bounds).
+func Interval(lo, hi int) []int {
+	if hi < lo {
+		return nil
+	}
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ExpectedLoss returns Σ_r l(i,r)·x[i][r], the consumer's expected
+// loss when the true result is i (Section 2.3).
+func (c *Consumer) ExpectedLoss(m *mechanism.Mechanism, i int) *big.Rat {
+	n := m.N()
+	out := rational.Zero()
+	tmp := rational.Zero()
+	for r := 0; r <= n; r++ {
+		tmp.Mul(c.Loss.Loss(i, r), m.Prob(i, r))
+		out.Add(out, tmp)
+	}
+	return out
+}
+
+// MinimaxLoss returns Equation (1): max over i ∈ S of the expected
+// loss — the risk-averse consumer's dis-utility for mechanism m.
+func (c *Consumer) MinimaxLoss(m *mechanism.Mechanism) (*big.Rat, error) {
+	s, err := c.side(m.N())
+	if err != nil {
+		return nil, err
+	}
+	var worst *big.Rat
+	for _, i := range s {
+		l := c.ExpectedLoss(m, i)
+		if worst == nil || l.Cmp(worst) > 0 {
+			worst = l
+		}
+	}
+	return worst, nil
+}
+
+// Interaction is the result of solving the Section 2.4.3 LP: the
+// consumer's optimal randomized reinterpretation T of a deployed
+// mechanism's outputs, the induced mechanism y·T, and its minimax
+// loss.
+type Interaction struct {
+	T       *matrix.Matrix
+	Induced *mechanism.Mechanism
+	Loss    *big.Rat
+}
+
+// OptimalInteraction solves the consumer's post-processing LP against
+// the deployed mechanism y (Section 2.4.3):
+//
+//	minimize  max_{i∈S} Σ_{r'} x[i][r']·l(i,r')
+//	where     x[i][r'] = Σ_r y[i][r]·T[r][r']
+//	s.t.      each row of T is a probability distribution.
+func OptimalInteraction(c *Consumer, deployed *mechanism.Mechanism) (*Interaction, error) {
+	n := deployed.N()
+	s, err := c.side(n)
+	if err != nil {
+		return nil, err
+	}
+	p := lp.NewProblem(lp.Minimize)
+	d := p.NewVariable("d") // worst-case loss bound; losses are ≥ 0
+	tv := make([][]lp.Var, n+1)
+	for r := 0; r <= n; r++ {
+		tv[r] = make([]lp.Var, n+1)
+		for rp := 0; rp <= n; rp++ {
+			tv[r][rp] = p.NewVariable(fmt.Sprintf("T[%d][%d]", r, rp))
+		}
+	}
+	p.SetObjective(lp.TInt(d, 1))
+	// d − Σ_{r,r'} y[i][r]·l(i,r')·T[r][r'] ≥ 0 for every i ∈ S.
+	for _, i := range s {
+		terms := []lp.Term{lp.TInt(d, 1)}
+		for r := 0; r <= n; r++ {
+			yir := deployed.Prob(i, r)
+			if yir.Sign() == 0 {
+				continue
+			}
+			for rp := 0; rp <= n; rp++ {
+				coef := rational.Mul(yir, c.Loss.Loss(i, rp))
+				if coef.Sign() == 0 {
+					continue
+				}
+				terms = append(terms, lp.T(tv[r][rp], rational.Neg(coef)))
+			}
+		}
+		p.AddConstraint(terms, lp.GE, rational.Zero())
+	}
+	// Row-stochasticity of T.
+	for r := 0; r <= n; r++ {
+		terms := make([]lp.Term, 0, n+1)
+		for rp := 0; rp <= n; rp++ {
+			terms = append(terms, lp.TInt(tv[r][rp], 1))
+		}
+		p.AddConstraint(terms, lp.EQ, rational.One())
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("consumer: interaction LP status %v", sol.Status)
+	}
+	tm := matrix.New(n+1, n+1)
+	for r := 0; r <= n; r++ {
+		for rp := 0; rp <= n; rp++ {
+			tm.Set(r, rp, sol.Value(tv[r][rp]))
+		}
+	}
+	induced, err := deployed.PostProcess(tm)
+	if err != nil {
+		return nil, fmt.Errorf("consumer: induced mechanism invalid: %w", err)
+	}
+	return &Interaction{T: tm, Induced: induced, Loss: sol.Objective}, nil
+}
+
+// Tailored is the result of solving the Section 2.5 LP: the optimal
+// α-differentially-private mechanism for a known consumer, with its
+// minimax loss.
+type Tailored struct {
+	Mechanism *mechanism.Mechanism
+	Loss      *big.Rat
+}
+
+// OptimalMechanism solves the Section 2.5 LP over all oblivious α-DP
+// mechanisms on {0..n}:
+//
+//	minimize  d
+//	s.t.      d − Σ_r x[i][r]·l(i,r) ≥ 0            ∀ i ∈ S
+//	          x[i][r] − α·x[i+1][r] ≥ 0             ∀ i < n, r
+//	          x[i+1][r] − α·x[i][r] ≥ 0             ∀ i < n, r
+//	          Σ_r x[i][r] = 1                        ∀ i
+//	          x ≥ 0.
+func OptimalMechanism(c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("consumer: n must be ≥ 1, got %d", n)
+	}
+	if alpha.Sign() < 0 || alpha.Cmp(rational.One()) > 0 {
+		return nil, fmt.Errorf("consumer: α must be in [0,1], got %s", alpha.RatString())
+	}
+	s, err := c.side(n)
+	if err != nil {
+		return nil, err
+	}
+	p := lp.NewProblem(lp.Minimize)
+	d := p.NewVariable("d")
+	xv := make([][]lp.Var, n+1)
+	for i := 0; i <= n; i++ {
+		xv[i] = make([]lp.Var, n+1)
+		for r := 0; r <= n; r++ {
+			xv[i][r] = p.NewVariable(fmt.Sprintf("x[%d][%d]", i, r))
+		}
+	}
+	p.SetObjective(lp.TInt(d, 1))
+	for _, i := range s {
+		terms := []lp.Term{lp.TInt(d, 1)}
+		for r := 0; r <= n; r++ {
+			coef := c.Loss.Loss(i, r)
+			if coef.Sign() == 0 {
+				continue
+			}
+			terms = append(terms, lp.T(xv[i][r], rational.Neg(coef)))
+		}
+		p.AddConstraint(terms, lp.GE, rational.Zero())
+	}
+	negAlpha := rational.Neg(alpha)
+	for i := 0; i < n; i++ {
+		for r := 0; r <= n; r++ {
+			p.AddConstraint([]lp.Term{lp.TInt(xv[i][r], 1), lp.T(xv[i+1][r], negAlpha)}, lp.GE, rational.Zero())
+			p.AddConstraint([]lp.Term{lp.TInt(xv[i+1][r], 1), lp.T(xv[i][r], negAlpha)}, lp.GE, rational.Zero())
+		}
+	}
+	for i := 0; i <= n; i++ {
+		terms := make([]lp.Term, 0, n+1)
+		for r := 0; r <= n; r++ {
+			terms = append(terms, lp.TInt(xv[i][r], 1))
+		}
+		p.AddConstraint(terms, lp.EQ, rational.One())
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("consumer: tailored-mechanism LP status %v", sol.Status)
+	}
+	xm := matrix.New(n+1, n+1)
+	for i := 0; i <= n; i++ {
+		for r := 0; r <= n; r++ {
+			xm.Set(i, r, sol.Value(xv[i][r]))
+		}
+	}
+	mech, err := mechanism.New(xm)
+	if err != nil {
+		return nil, fmt.Errorf("consumer: LP solution not a mechanism: %w", err)
+	}
+	return &Tailored{Mechanism: mech, Loss: sol.Objective}, nil
+}
+
+// --- Bayesian consumers (Section 2.7 comparison) --------------------------
+
+// Bayesian is an information consumer in the Ghosh et al. model: a
+// prior over true results plus a loss function. Bayesian consumers
+// minimize expected (prior-weighted) loss instead of worst-case loss.
+type Bayesian struct {
+	Loss  loss.Function
+	Prior []*big.Rat // length n+1, non-negative, sums to 1
+	Name  string
+}
+
+// ValidatePrior checks the prior is a distribution on {0..n}.
+func (b *Bayesian) ValidatePrior(n int) error {
+	if len(b.Prior) != n+1 {
+		return fmt.Errorf("consumer: prior length %d, want %d", len(b.Prior), n+1)
+	}
+	sum := rational.Zero()
+	for i, p := range b.Prior {
+		if p.Sign() < 0 {
+			return fmt.Errorf("consumer: prior[%d] = %s < 0", i, p.RatString())
+		}
+		sum.Add(sum, p)
+	}
+	if sum.Cmp(rational.One()) != 0 {
+		return fmt.Errorf("consumer: prior sums to %s, want 1", sum.RatString())
+	}
+	return nil
+}
+
+// UniformPrior returns the uniform prior on {0..n}.
+func UniformPrior(n int) []*big.Rat {
+	out := make([]*big.Rat, n+1)
+	for i := range out {
+		out[i] = rational.New(1, int64(n+1))
+	}
+	return out
+}
+
+// ExpectedLoss returns the Bayesian consumer's prior-weighted expected
+// loss Σ_i prior[i]·Σ_r x[i][r]·l(i,r) under mechanism m.
+func (b *Bayesian) ExpectedLoss(m *mechanism.Mechanism) (*big.Rat, error) {
+	n := m.N()
+	if err := b.ValidatePrior(n); err != nil {
+		return nil, err
+	}
+	out := rational.Zero()
+	tmp := rational.Zero()
+	for i := 0; i <= n; i++ {
+		if b.Prior[i].Sign() == 0 {
+			continue
+		}
+		inner := rational.Zero()
+		for r := 0; r <= n; r++ {
+			tmp.Mul(b.Loss.Loss(i, r), m.Prob(i, r))
+			inner.Add(inner, tmp)
+		}
+		tmp.Mul(b.Prior[i], inner)
+		out.Add(out, tmp)
+	}
+	return out, nil
+}
+
+// BayesianInteraction is the Bayesian consumer's optimal
+// post-processing of a deployed mechanism. As Section 2.7 notes,
+// Bayesian post-processing is deterministic: each received output r is
+// remapped to the single r' minimizing posterior expected loss, so T
+// is a 0/1 matrix. Remap[r] records that choice.
+type BayesianInteraction struct {
+	Remap   []int
+	T       *matrix.Matrix
+	Induced *mechanism.Mechanism
+	Loss    *big.Rat
+}
+
+// OptimalBayesianInteraction computes the Bayes-optimal deterministic
+// remap of the deployed mechanism's outputs: for each output r,
+//
+//	remap(r) = argmin_{r'} Σ_i prior[i]·y[i][r]·l(i,r')
+//
+// (posterior expected loss; ties broken toward the smallest r').
+func OptimalBayesianInteraction(b *Bayesian, deployed *mechanism.Mechanism) (*BayesianInteraction, error) {
+	n := deployed.N()
+	if err := b.ValidatePrior(n); err != nil {
+		return nil, err
+	}
+	remap := make([]int, n+1)
+	tmp := rational.Zero()
+	for r := 0; r <= n; r++ {
+		var bestVal *big.Rat
+		best := 0
+		for rp := 0; rp <= n; rp++ {
+			val := rational.Zero()
+			for i := 0; i <= n; i++ {
+				if b.Prior[i].Sign() == 0 {
+					continue
+				}
+				tmp.Mul(b.Prior[i], deployed.Prob(i, r))
+				tmp.Mul(tmp, b.Loss.Loss(i, rp))
+				val.Add(val, tmp)
+			}
+			if bestVal == nil || val.Cmp(bestVal) < 0 {
+				bestVal, best = val, rp
+			}
+		}
+		remap[r] = best
+	}
+	tm := matrix.New(n+1, n+1)
+	for r := 0; r <= n; r++ {
+		tm.Set(r, remap[r], rational.One())
+	}
+	induced, err := deployed.PostProcess(tm)
+	if err != nil {
+		return nil, err
+	}
+	l, err := b.ExpectedLoss(induced)
+	if err != nil {
+		return nil, err
+	}
+	return &BayesianInteraction{Remap: remap, T: tm, Induced: induced, Loss: l}, nil
+}
+
+// OptimalBayesianMechanism solves the Ghosh-et-al. analogue of the
+// Section 2.5 LP: minimize prior-weighted expected loss over all
+// oblivious α-DP mechanisms.
+func OptimalBayesianMechanism(b *Bayesian, n int, alpha *big.Rat) (*Tailored, error) {
+	if err := b.ValidatePrior(n); err != nil {
+		return nil, err
+	}
+	p := lp.NewProblem(lp.Minimize)
+	xv := make([][]lp.Var, n+1)
+	for i := 0; i <= n; i++ {
+		xv[i] = make([]lp.Var, n+1)
+		for r := 0; r <= n; r++ {
+			xv[i][r] = p.NewVariable(fmt.Sprintf("x[%d][%d]", i, r))
+		}
+	}
+	var obj []lp.Term
+	for i := 0; i <= n; i++ {
+		for r := 0; r <= n; r++ {
+			coef := rational.Mul(b.Prior[i], b.Loss.Loss(i, r))
+			if coef.Sign() != 0 {
+				obj = append(obj, lp.T(xv[i][r], coef))
+			}
+		}
+	}
+	p.SetObjective(obj...)
+	negAlpha := rational.Neg(alpha)
+	for i := 0; i < n; i++ {
+		for r := 0; r <= n; r++ {
+			p.AddConstraint([]lp.Term{lp.TInt(xv[i][r], 1), lp.T(xv[i+1][r], negAlpha)}, lp.GE, rational.Zero())
+			p.AddConstraint([]lp.Term{lp.TInt(xv[i+1][r], 1), lp.T(xv[i][r], negAlpha)}, lp.GE, rational.Zero())
+		}
+	}
+	for i := 0; i <= n; i++ {
+		terms := make([]lp.Term, 0, n+1)
+		for r := 0; r <= n; r++ {
+			terms = append(terms, lp.TInt(xv[i][r], 1))
+		}
+		p.AddConstraint(terms, lp.EQ, rational.One())
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("consumer: Bayesian LP status %v", sol.Status)
+	}
+	xm := matrix.New(n+1, n+1)
+	for i := 0; i <= n; i++ {
+		for r := 0; r <= n; r++ {
+			xm.Set(i, r, sol.Value(xv[i][r]))
+		}
+	}
+	mech, err := mechanism.New(xm)
+	if err != nil {
+		return nil, err
+	}
+	return &Tailored{Mechanism: mech, Loss: sol.Objective}, nil
+}

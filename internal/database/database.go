@@ -1,0 +1,274 @@
+// Package database is a minimal in-memory row store implementing the
+// paper's data model (Section 2.1): a database is a collection of rows
+// drawn from an arbitrary domain; a count query is a predicate over
+// rows; two databases are neighbours when they differ in exactly one
+// row. The package also implements Appendix A's reduction: averaging
+// any non-oblivious mechanism over the equivalence classes of
+// databases with equal query results yields an oblivious mechanism
+// that is still differentially private and no worse for any minimax
+// consumer.
+package database
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Row is one individual's record. The paper's domain D is arbitrary;
+// we model the fields the running example needs. Extra attributes can
+// be attached via Attrs.
+type Row struct {
+	Name   string
+	Age    int
+	City   string
+	HasFlu bool
+	Attrs  map[string]string
+}
+
+// Database is an ordered collection of rows (order is irrelevant to
+// queries but fixes neighbour semantics: a neighbour changes one
+// position).
+type Database struct {
+	rows []Row
+}
+
+// New returns a database with copies of the given rows.
+func New(rows []Row) *Database {
+	d := &Database{rows: make([]Row, len(rows))}
+	copy(d.rows, rows)
+	return d
+}
+
+// Size returns the number of rows n.
+func (d *Database) Size() int { return len(d.rows) }
+
+// Row returns a copy of the i-th row.
+func (d *Database) Row(i int) Row { return d.rows[i] }
+
+// WithRow returns a copy of the database with row i replaced — a
+// neighbouring database in the differential-privacy sense.
+func (d *Database) WithRow(i int, r Row) (*Database, error) {
+	if i < 0 || i >= len(d.rows) {
+		return nil, fmt.Errorf("database: row %d out of range [0,%d)", i, len(d.rows))
+	}
+	out := New(d.rows)
+	out.rows[i] = r
+	return out, nil
+}
+
+// Predicate decides whether a row is counted by a count query.
+type Predicate func(Row) bool
+
+// CountQuery is the paper's query class: the number of rows satisfying
+// a predicate, an integer in {0..n}.
+type CountQuery struct {
+	Name string
+	Pred Predicate
+}
+
+// Eval returns the query result f(d) ∈ {0..n}.
+func (q CountQuery) Eval(d *Database) int {
+	c := 0
+	for _, r := range d.rows {
+		if q.Pred(r) {
+			c++
+		}
+	}
+	return c
+}
+
+// FluQuery is the paper's running example Q: adults from the given
+// city who contracted the flu.
+func FluQuery(city string) CountQuery {
+	return CountQuery{
+		Name: fmt.Sprintf("adults in %s with flu", city),
+		Pred: func(r Row) bool { return r.Age >= 18 && r.City == city && r.HasFlu },
+	}
+}
+
+// Neighbors reports whether two databases differ in at most one row.
+func Neighbors(a, b *Database) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	diff := 0
+	for i := range a.rows {
+		if !rowEqual(a.rows[i], b.rows[i]) {
+			diff++
+			if diff > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func rowEqual(a, b Row) bool {
+	if a.Name != b.Name || a.Age != b.Age || a.City != b.City || a.HasFlu != b.HasFlu {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for k, v := range a.Attrs {
+		if b.Attrs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Synthetic generates a reproducible synthetic survey population for
+// the flu example: size rows in the given city (a fluRate fraction of
+// adults has the flu). The paper's evaluation needs only the count and
+// adjacency structure, which this generator reproduces exactly.
+func Synthetic(size int, city string, fluRate float64, rng *rand.Rand) *Database {
+	rows := make([]Row, size)
+	for i := range rows {
+		age := 1 + rng.Intn(90)
+		rows[i] = Row{
+			Name:   fmt.Sprintf("resident-%04d", i),
+			Age:    age,
+			City:   city,
+			HasFlu: age >= 18 && rng.Float64() < fluRate,
+		}
+	}
+	return New(rows)
+}
+
+// --- Appendix A: the oblivious reduction ----------------------------------
+
+// NonOblivious is a mechanism that may depend on the database itself,
+// not only on the query result: Probs[d] is the output distribution
+// (length n+1, as float64 for generality of tests) for database index
+// d in a fixed finite universe of databases.
+type NonOblivious struct {
+	// Universe is the fixed list of databases the mechanism is defined
+	// on (the paper quantifies over all of Dⁿ; experiments use a
+	// finite universe closed under the adjacency we audit).
+	Universe []*Database
+	Query    CountQuery
+	Probs    [][]float64 // Probs[di][r]
+}
+
+// ErrShape is returned when Probs does not match the universe.
+var ErrShape = errors.New("database: probability table shape mismatch")
+
+// Validate checks the shape and stochasticity of the table.
+func (m *NonOblivious) Validate(n int) error {
+	if len(m.Probs) != len(m.Universe) {
+		return ErrShape
+	}
+	for di, p := range m.Probs {
+		if len(p) != n+1 {
+			return ErrShape
+		}
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				return fmt.Errorf("database: negative probability in row %d", di)
+			}
+			sum += v
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			return fmt.Errorf("database: row %d sums to %v", di, sum)
+		}
+	}
+	return nil
+}
+
+// ObliviousReduction averages the mechanism over equivalence classes
+// of equal query results (Appendix A): the returned table o[i][r] is
+// the average of Probs[d][r] over databases d with query result i.
+// Classes with no representative in the universe get a copy of the
+// nearest populated class, which preserves row-stochasticity; the
+// paper's argument needs only populated classes.
+func (m *NonOblivious) ObliviousReduction(n int) ([][]float64, error) {
+	if err := m.Validate(n); err != nil {
+		return nil, err
+	}
+	sums := make([][]float64, n+1)
+	counts := make([]int, n+1)
+	for i := range sums {
+		sums[i] = make([]float64, n+1)
+	}
+	for di, d := range m.Universe {
+		i := m.Query.Eval(d)
+		if i < 0 || i > n {
+			return nil, fmt.Errorf("database: query result %d out of range", i)
+		}
+		for r := 0; r <= n; r++ {
+			sums[i][r] += m.Probs[di][r]
+		}
+		counts[i]++
+	}
+	out := make([][]float64, n+1)
+	lastPopulated := -1
+	for i := 0; i <= n; i++ {
+		out[i] = make([]float64, n+1)
+		if counts[i] > 0 {
+			for r := 0; r <= n; r++ {
+				out[i][r] = sums[i][r] / float64(counts[i])
+			}
+			lastPopulated = i
+			continue
+		}
+		if lastPopulated >= 0 {
+			copy(out[i], out[lastPopulated])
+		} else {
+			// No populated class yet; fill later from the first one.
+			out[i] = nil
+		}
+	}
+	for i := 0; i <= n; i++ {
+		if out[i] == nil {
+			if lastPopulated < 0 {
+				return nil, errors.New("database: empty universe")
+			}
+			out[i] = append([]float64(nil), out[lastPopulated]...)
+		}
+	}
+	return out, nil
+}
+
+// WorstCaseLoss evaluates the minimax objective of Appendix A
+// (Equation 5) for a non-oblivious mechanism: max over databases in
+// the universe of the expected loss Σ_r Probs[d][r]·l(f(d), r).
+func (m *NonOblivious) WorstCaseLoss(n int, lossFn func(i, r int) float64) (float64, error) {
+	if err := m.Validate(n); err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for di, d := range m.Universe {
+		i := m.Query.Eval(d)
+		exp := 0.0
+		for r := 0; r <= n; r++ {
+			exp += m.Probs[di][r] * lossFn(i, r)
+		}
+		if exp > worst {
+			worst = exp
+		}
+	}
+	return worst, nil
+}
+
+// ObliviousWorstCaseLoss evaluates the same objective for an oblivious
+// table over the query results realized in the universe.
+func (m *NonOblivious) ObliviousWorstCaseLoss(n int, table [][]float64, lossFn func(i, r int) float64) (float64, error) {
+	seen := make(map[int]bool)
+	for _, d := range m.Universe {
+		seen[m.Query.Eval(d)] = true
+	}
+	worst := 0.0
+	for i := range seen {
+		exp := 0.0
+		for r := 0; r <= n; r++ {
+			exp += table[i][r] * lossFn(i, r)
+		}
+		if exp > worst {
+			worst = exp
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,287 @@
+package database
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"minimaxdp/internal/sample"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{Name: "ada", Age: 35, City: "San Diego", HasFlu: true},
+		{Name: "bob", Age: 17, City: "San Diego", HasFlu: true}, // minor: not counted
+		{Name: "eve", Age: 52, City: "San Diego", HasFlu: false},
+		{Name: "mia", Age: 41, City: "La Jolla", HasFlu: true}, // other city
+		{Name: "sam", Age: 28, City: "San Diego", HasFlu: true},
+	}
+}
+
+func TestFluQuery(t *testing.T) {
+	d := New(sampleRows())
+	q := FluQuery("San Diego")
+	if got := q.Eval(d); got != 2 {
+		t.Errorf("count = %d, want 2 (ada, sam)", got)
+	}
+	if q.Name == "" {
+		t.Error("query name empty")
+	}
+}
+
+func TestSizeAndRow(t *testing.T) {
+	d := New(sampleRows())
+	if d.Size() != 5 {
+		t.Errorf("Size = %d", d.Size())
+	}
+	if d.Row(0).Name != "ada" {
+		t.Error("Row(0) wrong")
+	}
+}
+
+func TestNewCopies(t *testing.T) {
+	rows := sampleRows()
+	d := New(rows)
+	rows[0].Name = "mallory"
+	if d.Row(0).Name != "ada" {
+		t.Error("New aliases caller's slice")
+	}
+}
+
+func TestWithRowNeighbors(t *testing.T) {
+	d := New(sampleRows())
+	q := FluQuery("San Diego")
+	// Cure ada: count drops by exactly 1.
+	cured := d.Row(0)
+	cured.HasFlu = false
+	d2, err := d.WithRow(0, cured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Eval(d2); got != 1 {
+		t.Errorf("neighbour count = %d, want 1", got)
+	}
+	if !Neighbors(d, d2) {
+		t.Error("WithRow result should be a neighbour")
+	}
+	if !Neighbors(d, d) {
+		t.Error("database should neighbour itself")
+	}
+	// Original is untouched.
+	if q.Eval(d) != 2 {
+		t.Error("WithRow mutated the original")
+	}
+	if _, err := d.WithRow(99, cured); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+}
+
+func TestNeighborsNegativeCases(t *testing.T) {
+	d := New(sampleRows())
+	other := New(sampleRows()[:4])
+	if Neighbors(d, other) {
+		t.Error("different sizes accepted")
+	}
+	twoChanged := New(sampleRows())
+	r0 := twoChanged.Row(0)
+	r0.Age = 99
+	twoChanged, _ = twoChanged.WithRow(0, r0)
+	r1 := twoChanged.Row(1)
+	r1.Age = 99
+	twoChanged, _ = twoChanged.WithRow(1, r1)
+	if Neighbors(d, twoChanged) {
+		t.Error("two-row difference accepted")
+	}
+}
+
+func TestRowEqualAttrs(t *testing.T) {
+	a := Row{Name: "x", Attrs: map[string]string{"k": "v"}}
+	b := Row{Name: "x", Attrs: map[string]string{"k": "v"}}
+	c := Row{Name: "x", Attrs: map[string]string{"k": "w"}}
+	e := Row{Name: "x"}
+	if !rowEqual(a, b) {
+		t.Error("equal attrs rejected")
+	}
+	if rowEqual(a, c) {
+		t.Error("different attr values accepted")
+	}
+	if rowEqual(a, e) {
+		t.Error("missing attrs accepted")
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	rng := sample.NewRand(4)
+	d := Synthetic(500, "San Diego", 0.2, rng)
+	if d.Size() != 500 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	q := FluQuery("San Diego")
+	count := q.Eval(d)
+	if count <= 0 || count >= 500 {
+		t.Errorf("synthetic count = %d, want interior value", count)
+	}
+	// Reproducible for equal seeds.
+	d2 := Synthetic(500, "San Diego", 0.2, sample.NewRand(4))
+	if q.Eval(d2) != count {
+		t.Error("synthetic generation not reproducible")
+	}
+	// Only adults can be flagged.
+	for i := 0; i < d.Size(); i++ {
+		r := d.Row(i)
+		if r.HasFlu && r.Age < 18 {
+			t.Error("minor flagged with flu")
+		}
+	}
+}
+
+// --- Appendix A machinery -------------------------------------------------
+
+// tiny universe: databases of 2 binary rows; query counts ones.
+func binaryUniverse() ([]*Database, CountQuery) {
+	mk := func(a, b bool) *Database {
+		return New([]Row{{Name: "r0", Age: 30, City: "X", HasFlu: a}, {Name: "r1", Age: 30, City: "X", HasFlu: b}})
+	}
+	q := CountQuery{Name: "ones", Pred: func(r Row) bool { return r.HasFlu }}
+	return []*Database{mk(false, false), mk(false, true), mk(true, false), mk(true, true)}, q
+}
+
+func TestNonObliviousValidate(t *testing.T) {
+	uni, q := binaryUniverse()
+	m := &NonOblivious{Universe: uni, Query: q, Probs: [][]float64{
+		{1, 0, 0}, {0, 1, 0}, {0, 1, 0}, {0, 0, 1},
+	}}
+	if err := m.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	bad := &NonOblivious{Universe: uni, Query: q, Probs: m.Probs[:3]}
+	if err := bad.Validate(2); !errors.Is(err, ErrShape) {
+		t.Error("short table accepted")
+	}
+	wrongCols := &NonOblivious{Universe: uni, Query: q, Probs: [][]float64{
+		{1, 0}, {0, 1}, {0, 1}, {1, 0},
+	}}
+	if err := wrongCols.Validate(2); !errors.Is(err, ErrShape) {
+		t.Error("wrong column count accepted")
+	}
+	negative := &NonOblivious{Universe: uni, Query: q, Probs: [][]float64{
+		{2, -1, 0}, {0, 1, 0}, {0, 1, 0}, {0, 0, 1},
+	}}
+	if err := negative.Validate(2); err == nil {
+		t.Error("negative probability accepted")
+	}
+	unnormalized := &NonOblivious{Universe: uni, Query: q, Probs: [][]float64{
+		{0.5, 0.4, 0}, {0, 1, 0}, {0, 1, 0}, {0, 0, 1},
+	}}
+	if err := unnormalized.Validate(2); err == nil {
+		t.Error("non-normalized row accepted")
+	}
+}
+
+// The reduction averages rows within equal-result classes and the
+// result is row-stochastic.
+func TestObliviousReduction(t *testing.T) {
+	uni, q := binaryUniverse()
+	// Result-1 class has two databases with different rows: the
+	// mechanism is genuinely non-oblivious.
+	m := &NonOblivious{Universe: uni, Query: q, Probs: [][]float64{
+		{0.9, 0.1, 0},   // result 0
+		{0.2, 0.8, 0},   // result 1 (variant A)
+		{0.0, 0.6, 0.4}, // result 1 (variant B)
+		{0, 0.1, 0.9},   // result 2
+	}}
+	o, err := m.ObliviousReduction(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := []float64{0.1, 0.7, 0.2}
+	for r := 0; r <= 2; r++ {
+		if math.Abs(o[1][r]-want1[r]) > 1e-12 {
+			t.Errorf("o[1][%d] = %v, want %v", r, o[1][r], want1[r])
+		}
+	}
+	for i := 0; i <= 2; i++ {
+		sum := 0.0
+		for r := 0; r <= 2; r++ {
+			sum += o[i][r]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("reduced row %d sums to %v", i, sum)
+		}
+	}
+}
+
+// Appendix A's Lemma 6: the oblivious reduction never increases the
+// minimax loss.
+func TestObliviousReductionNeverWorse(t *testing.T) {
+	uni, q := binaryUniverse()
+	rng := sample.NewRand(8)
+	absLoss := func(i, r int) float64 { return math.Abs(float64(i - r)) }
+	for trial := 0; trial < 50; trial++ {
+		probs := make([][]float64, len(uni))
+		for d := range probs {
+			row := make([]float64, 3)
+			sum := 0.0
+			for r := range row {
+				row[r] = rng.Float64()
+				sum += row[r]
+			}
+			for r := range row {
+				row[r] /= sum
+			}
+			probs[d] = row
+		}
+		m := &NonOblivious{Universe: uni, Query: q, Probs: probs}
+		before, err := m.WorstCaseLoss(2, absLoss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reduced, err := m.ObliviousReduction(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := m.ObliviousWorstCaseLoss(2, reduced, absLoss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before+1e-9 {
+			t.Fatalf("trial %d: reduction increased loss %v → %v", trial, before, after)
+		}
+	}
+}
+
+func TestObliviousReductionEmptyClasses(t *testing.T) {
+	uni, q := binaryUniverse()
+	// Use n = 4 so classes 3 and 4 are unpopulated.
+	m := &NonOblivious{Universe: uni, Query: q, Probs: [][]float64{
+		{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}, {0, 1, 0, 0, 0}, {0, 0, 1, 0, 0},
+	}}
+	o, err := m.ObliviousReduction(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 4; i++ {
+		sum := 0.0
+		for _, v := range o[i] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestObliviousReductionErrors(t *testing.T) {
+	uni, q := binaryUniverse()
+	bad := &NonOblivious{Universe: uni, Query: q, Probs: [][]float64{{1}}}
+	if _, err := bad.ObliviousReduction(2); err == nil {
+		t.Error("invalid table accepted")
+	}
+	if _, err := bad.WorstCaseLoss(2, func(i, r int) float64 { return 0 }); err == nil {
+		t.Error("invalid table accepted by WorstCaseLoss")
+	}
+	empty := &NonOblivious{Universe: nil, Query: q, Probs: nil}
+	if _, err := empty.ObliviousReduction(2); err == nil {
+		t.Error("empty universe accepted")
+	}
+}

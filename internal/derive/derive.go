@@ -1,0 +1,252 @@
+// Package derive implements Section 3 of the paper: the complete
+// characterization of mechanisms derivable from the geometric
+// mechanism, the factorization T = G⁻¹·M, the Cramer's-rule
+// certificates of Lemma 2, the privacy-level transition matrices
+// T_{α,β} of Lemma 3, and the Appendix B counterexample.
+//
+// "M is derivable from G" (Definition 3) means there is a
+// row-stochastic reinterpretation matrix T with M = G·T — i.e. a
+// consumer receiving G's outputs can simulate M by randomized
+// post-processing. Theorem 2 proves M (an oblivious α-DP mechanism) is
+// derivable from G_{n,α} iff every three consecutive entries
+// x1,x2,x3 of every column of M satisfy (1+α²)·x2 − α·(x1+x3) ≥ 0.
+package derive
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"minimaxdp/internal/lp"
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+)
+
+// ErrNotDerivable is wrapped by Factor when M cannot be derived from
+// the geometric mechanism.
+var ErrNotDerivable = errors.New("derive: mechanism not derivable from the geometric mechanism")
+
+// ConditionViolation pinpoints the first failing triple of Theorem 2's
+// characterization.
+type ConditionViolation struct {
+	Col   int      // column j of M
+	Row   int      // middle row i of the triple (i−1, i, i+1)
+	Value *big.Rat // (1+α²)x_{i,j} − α(x_{i−1,j}+x_{i+1,j}) < 0
+}
+
+func (v *ConditionViolation) Error() string {
+	return fmt.Sprintf("derive: Theorem 2 condition fails at column %d, rows %d..%d: (1+α²)x2−α(x1+x3) = %s < 0",
+		v.Col, v.Row-1, v.Row+1, v.Value.RatString())
+}
+
+// CheckCondition verifies the Theorem 2 characterization directly: for
+// every column j and every interior row i, (1+α²)·x[i][j] −
+// α·(x[i−1][j]+x[i+1][j]) ≥ 0. Returns nil if the condition holds and
+// a *ConditionViolation otherwise.
+func CheckCondition(m *mechanism.Mechanism, alpha *big.Rat) error {
+	n := m.N()
+	onePlusSq := rational.Add(rational.One(), rational.Mul(alpha, alpha))
+	for j := 0; j <= n; j++ {
+		for i := 1; i < n; i++ {
+			mid := rational.Mul(onePlusSq, m.Prob(i, j))
+			side := rational.Mul(alpha, rational.Add(m.Prob(i-1, j), m.Prob(i+1, j)))
+			mid.Sub(mid, side)
+			if mid.Sign() < 0 {
+				return &ConditionViolation{Col: j, Row: i, Value: mid}
+			}
+		}
+	}
+	return nil
+}
+
+// Derivable reports whether m can be derived from G_{n,α} per
+// Theorem 2's three-term condition.
+func Derivable(m *mechanism.Mechanism, alpha *big.Rat) bool {
+	return CheckCondition(m, alpha) == nil
+}
+
+// Factor computes the unique generalized-stochastic T with
+// M = G_{n,α}·T, and verifies T is actually stochastic (all entries
+// ≥ 0), i.e. implementable as a randomized post-processing. On
+// success it returns T; when M is not derivable it returns an error
+// wrapping ErrNotDerivable together with the offending entry.
+func Factor(m *mechanism.Mechanism, alpha *big.Rat) (*matrix.Matrix, error) {
+	n := m.N()
+	// The closed-form inverse (tridiagonal, O(dim) nonzeros) makes the
+	// whole factorization O(dim²) instead of the O(dim³) Gauss–Jordan
+	// route; both agree exactly (see mechanism.GeometricInverse tests).
+	gInv, err := mechanism.GeometricInverse(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	t, err := gInv.Mul(m.Matrix())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			if t.At(i, j).Sign() < 0 {
+				return nil, fmt.Errorf("%w: T[%d][%d] = %s < 0",
+					ErrNotDerivable, i, j, t.At(i, j).RatString())
+			}
+		}
+	}
+	// T = G⁻¹M is a product of generalized stochastic matrices, hence
+	// generalized stochastic (Poole 1995); with non-negativity it is
+	// stochastic. Verify as a defence against construction bugs.
+	if !t.IsStochastic() {
+		return nil, fmt.Errorf("derive: internal error: factor is not stochastic")
+	}
+	return t, nil
+}
+
+// CramerCertificate returns, for column vector x of length n+1 and
+// replacement position i (0-based), the determinant det G_{n,α}(i, x)
+// from Lemma 2. Its sign decides whether the corresponding entry of
+// T = G⁻¹·M is non-negative: t[i][j] = det G(i, m_j) / det G.
+func CramerCertificate(n int, alpha *big.Rat, i int, x []*big.Rat) (*big.Rat, error) {
+	if len(x) != n+1 {
+		return nil, fmt.Errorf("derive: column length %d, want %d", len(x), n+1)
+	}
+	g, err := mechanism.Geometric(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	replaced, err := g.Matrix().ReplaceCol(i, x)
+	if err != nil {
+		return nil, err
+	}
+	return replaced.Det()
+}
+
+// Lemma2Sign evaluates the closed-form sign predicates of Lemma 2 for
+// the replacement determinant, without computing any determinant:
+//
+//	i = 0:   det > 0 iff x[0] > α·x[1]
+//	i = n:   det > 0 iff x[n] > α·x[n−1]
+//	else:    det ≥ 0 iff (1+α²)·x[i] − α·(x[i−1]+x[i+1]) ≥ 0
+//
+// It returns the sign in {−1, 0, +1} of the deciding expression.
+func Lemma2Sign(n int, alpha *big.Rat, i int, x []*big.Rat) (int, error) {
+	if len(x) != n+1 {
+		return 0, fmt.Errorf("derive: column length %d, want %d", len(x), n+1)
+	}
+	if i < 0 || i > n {
+		return 0, fmt.Errorf("derive: position %d out of range", i)
+	}
+	switch {
+	case i == 0:
+		d := rational.Sub(x[0], rational.Mul(alpha, x[1]))
+		return d.Sign(), nil
+	case i == n:
+		d := rational.Sub(x[n], rational.Mul(alpha, x[n-1]))
+		return d.Sign(), nil
+	default:
+		onePlusSq := rational.Add(rational.One(), rational.Mul(alpha, alpha))
+		d := rational.Sub(rational.Mul(onePlusSq, x[i]),
+			rational.Mul(alpha, rational.Add(x[i-1], x[i+1])))
+		return d.Sign(), nil
+	}
+}
+
+// Transition computes the Lemma 3 post-processing matrix T_{α,β} with
+// G_{n,β} = G_{n,α}·T_{α,β} for privacy parameters α ≤ β (recall that
+// larger α means *more* privacy, so T adds privacy). It returns an
+// error if α > β, for which no stochastic transition exists.
+func Transition(n int, alpha, beta *big.Rat) (*matrix.Matrix, error) {
+	if alpha.Cmp(beta) > 0 {
+		return nil, fmt.Errorf("derive: no stochastic transition from α=%s to weaker-privacy β=%s",
+			alpha.RatString(), beta.RatString())
+	}
+	gBeta, err := mechanism.Geometric(n, beta)
+	if err != nil {
+		return nil, err
+	}
+	if alpha.Cmp(beta) == 0 {
+		return matrix.Identity(n + 1), nil
+	}
+	return Factor(gBeta, alpha)
+}
+
+// AppendixB returns the paper's Appendix B example: a mechanism that
+// is ½-differentially private yet not derivable from G_{3,1/2}. It
+// witnesses that Theorem 2's condition is strictly stronger than
+// differential privacy.
+func AppendixB() *mechanism.Mechanism {
+	m, err := mechanism.FromStrings([][]string{
+		{"1/9", "2/9", "4/9", "2/9"},
+		{"2/9", "1/9", "2/9", "4/9"},
+		{"4/9", "2/9", "1/9", "2/9"},
+		{"13/18", "1/9", "1/18", "1/9"},
+	})
+	if err != nil {
+		// The matrix is a fixed valid constant; failure is programmer error.
+		panic(err)
+	}
+	return m
+}
+
+// DerivableFrom decides Definition 3 in full generality: can mechanism
+// x be derived from deployed mechanism y by randomized post-processing
+// — is there a row-stochastic T with x = y·T? Unlike Factor (which
+// exploits the geometric mechanism's invertibility), this works for
+// arbitrary deployed mechanisms, including singular ones, by solving
+// the linear feasibility problem over T exactly. On success it returns
+// a witnessing T.
+func DerivableFrom(x, y *mechanism.Mechanism) (*matrix.Matrix, error) {
+	if x.N() != y.N() {
+		return nil, fmt.Errorf("derive: size mismatch: x on {0..%d}, y on {0..%d}", x.N(), y.N())
+	}
+	n := x.N()
+	p := lp.NewProblem(lp.Minimize) // pure feasibility; zero objective
+	tv := make([][]lp.Var, n+1)
+	for r := 0; r <= n; r++ {
+		tv[r] = make([]lp.Var, n+1)
+		for rp := 0; rp <= n; rp++ {
+			tv[r][rp] = p.NewVariable(fmt.Sprintf("T[%d][%d]", r, rp))
+		}
+	}
+	// y·T = x, entrywise.
+	for i := 0; i <= n; i++ {
+		for rp := 0; rp <= n; rp++ {
+			var terms []lp.Term
+			for r := 0; r <= n; r++ {
+				c := y.Prob(i, r)
+				if c.Sign() != 0 {
+					terms = append(terms, lp.T(tv[r][rp], c))
+				}
+			}
+			if len(terms) == 0 {
+				if x.Prob(i, rp).Sign() != 0 {
+					return nil, fmt.Errorf("%w: y's row %d is zero but x[%d][%d] > 0",
+						ErrNotDerivable, i, i, rp)
+				}
+				continue
+			}
+			p.AddConstraint(terms, lp.EQ, x.Prob(i, rp))
+		}
+	}
+	// Rows of T are distributions.
+	for r := 0; r <= n; r++ {
+		terms := make([]lp.Term, 0, n+1)
+		for rp := 0; rp <= n; rp++ {
+			terms = append(terms, lp.TInt(tv[r][rp], 1))
+		}
+		p.AddConstraint(terms, lp.EQ, rational.One())
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("%w: no stochastic T with y·T = x", ErrNotDerivable)
+	}
+	t := matrix.New(n+1, n+1)
+	for r := 0; r <= n; r++ {
+		for rp := 0; rp <= n; rp++ {
+			t.Set(r, rp, sol.Value(tv[r][rp]))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"minimaxdp/internal/rational"
+)
+
+// Dual constructs the linear-programming dual of a minimization
+// problem in the standard correspondence:
+//
+//	primal: min cᵀx    s.t.  aᵢᵀx ≥ bᵢ (yᵢ ≥ 0)
+//	                          aᵢᵀx ≤ bᵢ (yᵢ ≤ 0, modelled as −z, z ≥ 0)
+//	                          aᵢᵀx = bᵢ (yᵢ free)
+//	                          xⱼ ≥ 0 or free
+//	dual:   max bᵀy    s.t.  Σᵢ yᵢ·aᵢⱼ ≤ cⱼ  for xⱼ ≥ 0
+//	                          Σᵢ yᵢ·aᵢⱼ = cⱼ  for xⱼ free
+//
+// Together with exact arithmetic this yields a strong-duality
+// certificate: solving both problems and checking that the optima are
+// *equal rationals* proves optimality of both solutions independently
+// of any property of the simplex implementation. DualValue maps a
+// dual solution back to per-primal-constraint prices.
+func (p *Problem) Dual() (*Problem, error) {
+	if p.sense != Minimize {
+		return nil, errors.New("lp: Dual is defined here for minimization problems; negate the objective first")
+	}
+	if len(p.cons) == 0 {
+		return nil, errors.New("lp: cannot dualize a problem with no constraints")
+	}
+	d := NewProblem(Maximize)
+	// One dual variable per primal constraint.
+	dv := make([]Var, len(p.cons))
+	const (
+		signPos = iota // yᵢ ≥ 0
+		signNeg        // yᵢ ≤ 0 via −z substitution
+		signFree
+	)
+	sign := make([]int, len(p.cons))
+	for i, con := range p.cons {
+		switch con.op {
+		case GE:
+			dv[i] = d.NewVariable(fmt.Sprintf("y%d", i))
+			sign[i] = signPos
+		case LE:
+			// y ≤ 0 modelled as −z with z ≥ 0.
+			dv[i] = d.NewVariable(fmt.Sprintf("z%d", i))
+			sign[i] = signNeg
+		case EQ:
+			dv[i] = d.FreeVariable(fmt.Sprintf("y%d", i))
+			sign[i] = signFree
+		}
+	}
+	// Objective: max Σ bᵢ·yᵢ (with the −z substitution for LE rows).
+	var obj []Term
+	for i, con := range p.cons {
+		coef := rational.Clone(con.rhs)
+		if sign[i] == signNeg {
+			coef.Neg(coef)
+		}
+		if coef.Sign() != 0 {
+			obj = append(obj, T(dv[i], coef))
+		}
+	}
+	d.SetObjective(obj...)
+	// Constraints: one per primal variable. Accumulate columns.
+	cols := make([]map[int]*big.Rat, len(p.vars))
+	for i, con := range p.cons {
+		for _, t := range con.terms {
+			j := int(t.Var)
+			if cols[j] == nil {
+				cols[j] = make(map[int]*big.Rat)
+			}
+			if cols[j][i] == nil {
+				cols[j][i] = rational.Zero()
+			}
+			cols[j][i].Add(cols[j][i], t.Coeff)
+		}
+	}
+	for j := range p.vars {
+		var terms []Term
+		for i, cell := range cols[j] {
+			coef := rational.Clone(cell)
+			if sign[i] == signNeg {
+				coef.Neg(coef)
+			}
+			if coef.Sign() != 0 {
+				terms = append(terms, T(dv[i], coef))
+			}
+		}
+		op := LE
+		if p.vars[j].free {
+			op = EQ
+		}
+		if len(terms) == 0 {
+			// Empty column: constraint is 0 {≤,=} cⱼ; check
+			// consistency eagerly so callers get a clear error.
+			cj := p.objective[j]
+			if (op == LE && cj.Sign() < 0) || (op == EQ && cj.Sign() != 0) {
+				return nil, fmt.Errorf("lp: dual infeasible by construction at variable %s", p.vars[j].name)
+			}
+			continue
+		}
+		d.AddConstraint(terms, op, p.objective[j])
+	}
+	return d, nil
+}
+
+// DualPrices maps a dual solution (from solving p.Dual()) back to one
+// price per primal constraint, undoing the −z substitution on ≤ rows.
+func (p *Problem) DualPrices(dualSol *Solution) ([]*big.Rat, error) {
+	if dualSol.Status != Optimal {
+		return nil, fmt.Errorf("lp: dual solution status %v", dualSol.Status)
+	}
+	if len(dualSol.X) != len(p.cons) {
+		return nil, fmt.Errorf("lp: dual solution has %d values for %d constraints", len(dualSol.X), len(p.cons))
+	}
+	out := make([]*big.Rat, len(p.cons))
+	for i, con := range p.cons {
+		v := rational.Clone(dualSol.X[i])
+		if con.op == LE {
+			v.Neg(v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

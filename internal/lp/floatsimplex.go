@@ -1,0 +1,203 @@
+package lp
+
+import (
+	"errors"
+	"math"
+
+	"minimaxdp/internal/rational"
+)
+
+// FloatSolution is the result of SolveFloat.
+type FloatSolution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+}
+
+const floatEps = 1e-9
+
+// SolveFloat solves the same problem with a dense float64 two-phase
+// simplex. It exists for the exact-vs-float ablation benchmark
+// (DESIGN.md §5); production call sites use Solve. Results can differ
+// from Solve on degenerate problems because of the ±1e-9 tolerance.
+func (p *Problem) SolveFloat() (*FloatSolution, error) {
+	if len(p.vars) == 0 {
+		return nil, errors.New("lp: no variables")
+	}
+	s := newStandardForm(p)
+	nrows, ncols := s.nrows, s.ncols
+
+	// Count artificials exactly as the exact solver does.
+	basisFromSlack := make([]int, nrows)
+	nart := 0
+	for r := 0; r < nrows; r++ {
+		basisFromSlack[r] = -1
+		for j := 0; j < ncols; j++ {
+			if s.a[r][j].Sign() > 0 && s.a[r][j].Cmp(rational.One()) == 0 && s.isSlackColumn(j) && s.slackOnlyInRow(j, r) {
+				basisFromSlack[r] = j
+				break
+			}
+		}
+		if basisFromSlack[r] < 0 {
+			nart++
+		}
+	}
+	total := ncols + nart
+	rows := make([][]float64, nrows)
+	basis := make([]int, nrows)
+	artCol := ncols
+	for r := 0; r < nrows; r++ {
+		row := make([]float64, total+1)
+		for j := 0; j < ncols; j++ {
+			row[j] = rational.Float(s.a[r][j])
+		}
+		row[total] = rational.Float(s.b[r])
+		if basisFromSlack[r] >= 0 {
+			basis[r] = basisFromSlack[r]
+		} else {
+			row[artCol] = 1
+			basis[r] = artCol
+			artCol++
+		}
+		rows[r] = row
+	}
+
+	z := make([]float64, total)
+	for j := ncols; j < total; j++ {
+		z[j] = 1
+	}
+	obj := 0.0
+	for r := 0; r < nrows; r++ {
+		if basis[r] >= ncols {
+			for j := 0; j < total; j++ {
+				z[j] -= rows[r][j]
+			}
+			obj -= rows[r][total]
+		}
+	}
+	if !floatIterate(rows, basis, z, &obj, total, nil) {
+		return &FloatSolution{Status: Infeasible}, nil
+	}
+	if math.Abs(obj) > floatEps {
+		return &FloatSolution{Status: Infeasible}, nil
+	}
+	for r := 0; r < nrows; r++ {
+		if basis[r] < ncols {
+			continue
+		}
+		for j := 0; j < ncols; j++ {
+			if math.Abs(rows[r][j]) > floatEps {
+				floatPivot(rows, basis, z, &obj, r, j, total)
+				break
+			}
+		}
+	}
+
+	// Phase 2.
+	c := make([]float64, ncols)
+	for j := 0; j < ncols; j++ {
+		c[j] = rational.Float(s.c[j])
+	}
+	for j := range z {
+		z[j] = 0
+	}
+	for j := 0; j < ncols; j++ {
+		z[j] = c[j]
+	}
+	obj = 0
+	for r := 0; r < nrows; r++ {
+		bi := basis[r]
+		cb := 0.0
+		if bi < ncols {
+			cb = c[bi]
+		}
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < total; j++ {
+			z[j] -= cb * rows[r][j]
+		}
+		obj -= cb * rows[r][total]
+	}
+	banned := make([]bool, total)
+	for j := ncols; j < total; j++ {
+		banned[j] = true
+	}
+	if !floatIterate(rows, basis, z, &obj, total, banned) {
+		return &FloatSolution{Status: Unbounded}, nil
+	}
+
+	colVal := make([]float64, total)
+	for r, bi := range basis {
+		colVal[bi] = rows[r][total]
+	}
+	x := make([]float64, len(p.vars))
+	objective := 0.0
+	for i := range p.vars {
+		x[i] = colVal[s.colPos[i]]
+		if s.colNeg[i] >= 0 {
+			x[i] -= colVal[s.colNeg[i]]
+		}
+		objective += rational.Float(p.objective[i]) * x[i]
+	}
+	return &FloatSolution{Status: Optimal, Objective: objective, X: x}, nil
+}
+
+func floatIterate(rows [][]float64, basis []int, z []float64, obj *float64, total int, banned []bool) bool {
+	for iter := 0; ; iter++ {
+		enter := -1
+		for j := 0; j < total; j++ {
+			if banned != nil && banned[j] {
+				continue
+			}
+			if z[j] < -floatEps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return true
+		}
+		leave := -1
+		best := math.Inf(1)
+		for r := range rows {
+			arj := rows[r][enter]
+			if arj <= floatEps {
+				continue
+			}
+			ratio := rows[r][total] / arj
+			if ratio < best-floatEps || (math.Abs(ratio-best) <= floatEps && (leave < 0 || basis[r] < basis[leave])) {
+				leave = r
+				best = ratio
+			}
+		}
+		if leave < 0 {
+			return false
+		}
+		floatPivot(rows, basis, z, obj, leave, enter, total)
+	}
+}
+
+func floatPivot(rows [][]float64, basis []int, z []float64, obj *float64, row, col, total int) {
+	pr := rows[row]
+	inv := 1 / pr[col]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	for r := range rows {
+		if r == row || rows[r][col] == 0 {
+			continue
+		}
+		f := rows[r][col]
+		for j := range rows[r] {
+			rows[r][j] -= f * pr[j]
+		}
+	}
+	if zf := z[col]; zf != 0 {
+		for j := 0; j < total; j++ {
+			z[j] -= zf * pr[j]
+		}
+		*obj -= zf * pr[total]
+	}
+	basis[row] = col
+}

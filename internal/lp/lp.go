@@ -1,0 +1,606 @@
+// Package lp implements an exact linear-programming solver over
+// rationals (math/big.Rat), together with a small modelling layer.
+//
+// The paper's two central computations are linear programs:
+//
+//   - the optimal consumer interaction T* against a deployed mechanism
+//     (Section 2.4.3), and
+//   - the optimal α-differentially-private mechanism tailored to a
+//     known consumer (Section 2.5).
+//
+// Go's standard library has no LP solver, so this package provides a
+// two-phase primal simplex method. All pivoting is exact, and Bland's
+// anti-cycling rule guarantees termination, so the solver needs no
+// numeric tolerances: feasibility and optimality certificates are true
+// rational equalities. A float64 variant lives in floatsimplex.go for
+// the speed/exactness ablation benchmark.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"minimaxdp/internal/rational"
+)
+
+// Sense selects minimization or maximization of the objective.
+type Sense int
+
+// Objective senses.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // Σ aᵢxᵢ ≤ b
+	GE           // Σ aᵢxᵢ ≥ b
+	EQ           // Σ aᵢxᵢ = b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Var identifies a decision variable within its Problem.
+type Var int
+
+// Term is one coefficient·variable pair of a linear expression.
+type Term struct {
+	Var   Var
+	Coeff *big.Rat
+}
+
+// T builds a Term; a convenience for call sites.
+func T(v Var, coeff *big.Rat) Term { return Term{Var: v, Coeff: coeff} }
+
+// TInt builds a Term with an integer coefficient.
+func TInt(v Var, coeff int64) Term { return Term{Var: v, Coeff: rational.Int(coeff)} }
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution holds the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// Objective is the optimal objective value in the problem's own
+	// sense (only meaningful when Status == Optimal).
+	Objective *big.Rat
+	// X holds the optimal value of every variable, indexed by Var.
+	X []*big.Rat
+}
+
+// Value returns the optimal value of v.
+func (s *Solution) Value(v Var) *big.Rat {
+	return rational.Clone(s.X[int(v)])
+}
+
+type variable struct {
+	name string
+	free bool
+}
+
+type constraint struct {
+	terms []Term
+	op    Op
+	rhs   *big.Rat
+}
+
+// Problem is a linear program under construction. Variables are
+// non-negative unless declared with FreeVariable.
+type Problem struct {
+	sense     Sense
+	vars      []variable
+	objective []*big.Rat // dense, indexed by Var
+	cons      []constraint
+}
+
+// NewProblem returns an empty problem with the given objective sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// NewVariable adds a non-negative decision variable.
+func (p *Problem) NewVariable(name string) Var {
+	p.vars = append(p.vars, variable{name: name})
+	p.objective = append(p.objective, rational.Zero())
+	return Var(len(p.vars) - 1)
+}
+
+// FreeVariable adds an unrestricted (possibly negative) variable.
+func (p *Problem) FreeVariable(name string) Var {
+	p.vars = append(p.vars, variable{name: name, free: true})
+	p.objective = append(p.objective, rational.Zero())
+	return Var(len(p.vars) - 1)
+}
+
+// NumVariables returns the number of declared variables.
+func (p *Problem) NumVariables() int { return len(p.vars) }
+
+// NumConstraints returns the number of added constraints.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObjectiveCoeff sets the objective coefficient of v.
+func (p *Problem) SetObjectiveCoeff(v Var, c *big.Rat) {
+	p.objective[int(v)] = rational.Clone(c)
+}
+
+// SetObjective replaces the whole objective with the given terms.
+func (p *Problem) SetObjective(terms ...Term) {
+	for i := range p.objective {
+		p.objective[i] = rational.Zero()
+	}
+	for _, t := range terms {
+		p.objective[int(t.Var)].Add(p.objective[int(t.Var)], t.Coeff)
+	}
+}
+
+// AddConstraint adds Σ terms (op) rhs. Terms referencing the same
+// variable are accumulated.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs *big.Rat) {
+	cp := make([]Term, len(terms))
+	for i, t := range terms {
+		cp[i] = Term{Var: t.Var, Coeff: rational.Clone(t.Coeff)}
+	}
+	p.cons = append(p.cons, constraint{terms: cp, op: op, rhs: rational.Clone(rhs)})
+}
+
+// Solve runs two-phase exact simplex and returns the solution.
+func (p *Problem) Solve() (*Solution, error) {
+	if len(p.vars) == 0 {
+		return nil, errors.New("lp: no variables")
+	}
+	s := newStandardForm(p)
+	tab, status := s.phase1()
+	if status == Infeasible {
+		return &Solution{Status: Infeasible}, nil
+	}
+	status = s.phase2(tab)
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := s.extract(tab)
+	obj := rational.Zero()
+	tmp := rational.Zero()
+	for i, c := range p.objective {
+		tmp.Mul(c, x[i])
+		obj.Add(obj, tmp)
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+}
+
+// --- standard form and tableau ------------------------------------------
+
+// standardForm rewrites the problem as
+//
+//	min c·y   s.t.  A y = b,  y ≥ 0,  b ≥ 0
+//
+// with column bookkeeping mapping original variables to standard-form
+// columns (free variables split as y⁺ − y⁻).
+type standardForm struct {
+	p         *Problem
+	ncols     int // structural + slack/surplus columns (artificials appended after)
+	nart      int
+	nrows     int
+	colPos    []int // original var -> positive part column
+	colNeg    []int // original var -> negative part column (-1 if non-free)
+	a         [][]*big.Rat
+	b         []*big.Rat
+	c         []*big.Rat // phase-2 cost over structural+slack columns, minimization sense
+	artOffset int
+}
+
+func newStandardForm(p *Problem) *standardForm {
+	s := &standardForm{p: p}
+	s.colPos = make([]int, len(p.vars))
+	s.colNeg = make([]int, len(p.vars))
+	col := 0
+	for i, v := range p.vars {
+		s.colPos[i] = col
+		col++
+		if v.free {
+			s.colNeg[i] = col
+			col++
+		} else {
+			s.colNeg[i] = -1
+		}
+	}
+	structural := col
+	// Count slack/surplus columns.
+	for _, con := range p.cons {
+		if con.op != EQ {
+			col++
+		}
+	}
+	s.ncols = col
+	s.nrows = len(p.cons)
+	s.artOffset = s.ncols
+	s.a = make([][]*big.Rat, s.nrows)
+	s.b = make([]*big.Rat, s.nrows)
+
+	slackCol := structural
+	for r, con := range p.cons {
+		row := rational.Vector(s.ncols)
+		for _, t := range con.terms {
+			row[s.colPos[t.Var]].Add(row[s.colPos[t.Var]], t.Coeff)
+			if s.colNeg[t.Var] >= 0 {
+				row[s.colNeg[t.Var]].Sub(row[s.colNeg[t.Var]], t.Coeff)
+			}
+		}
+		rhs := rational.Clone(con.rhs)
+		op := con.op
+		if rhs.Sign() < 0 {
+			for j := range row {
+				row[j].Neg(row[j])
+			}
+			rhs.Neg(rhs)
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		// A "≥ 0" row is equivalently "≤ 0" negated; the LE form gets a
+		// slack column that can seed the starting basis, avoiding an
+		// artificial variable (and a phase-1 pivot) per such row. The
+		// optimal-mechanism LPs are dominated by these rows.
+		if op == GE && rhs.Sign() == 0 {
+			for j := range row {
+				row[j].Neg(row[j])
+			}
+			op = LE
+		}
+		switch op {
+		case LE:
+			row[slackCol] = rational.One()
+			slackCol++
+		case GE:
+			row[slackCol] = rational.New(-1, 1)
+			slackCol++
+		}
+		s.a[r] = row
+		s.b[r] = rhs
+	}
+
+	// Phase-2 cost vector in minimization sense.
+	s.c = rational.Vector(s.ncols)
+	for i, coef := range p.objective {
+		cc := rational.Clone(coef)
+		if p.sense == Maximize {
+			cc.Neg(cc)
+		}
+		s.c[s.colPos[i]].Add(s.c[s.colPos[i]], cc)
+		if s.colNeg[i] >= 0 {
+			s.c[s.colNeg[i]].Sub(s.c[s.colNeg[i]], cc)
+		}
+	}
+	return s
+}
+
+// tableau is a simplex dictionary: rows of [A | b] with basis indices
+// and a reduced-cost row z of len totalCols, plus current (negated)
+// objective value.
+type tableau struct {
+	rows  [][]*big.Rat // nrows × (totalCols+1); last entry is rhs
+	basis []int
+	z     []*big.Rat // reduced costs, len totalCols
+	obj   *big.Rat   // current objective value (minimization sense)
+	ncols int        // total columns, incl. artificials
+	art   int        // first artificial column (== len without artificials)
+}
+
+// phase1 builds the initial tableau with artificial variables where
+// needed, minimizes their sum, and reports Infeasible if it cannot be
+// driven to zero.
+func (s *standardForm) phase1() (*tableau, Status) {
+	// Decide per-row whether a slack can serve as the initial basic
+	// variable (only for LE rows after sign normalisation, where the
+	// slack has +1 coefficient).
+	t := &tableau{art: s.ncols}
+	t.basis = make([]int, s.nrows)
+	nart := 0
+	basisFromSlack := make([]int, s.nrows)
+	for r := 0; r < s.nrows; r++ {
+		basisFromSlack[r] = -1
+		for j := 0; j < s.ncols; j++ {
+			if s.a[r][j].Sign() > 0 && s.a[r][j].Cmp(rational.One()) == 0 && s.isSlackColumn(j) && s.slackOnlyInRow(j, r) {
+				basisFromSlack[r] = j
+				break
+			}
+		}
+		if basisFromSlack[r] < 0 {
+			nart++
+		}
+	}
+	s.nart = nart
+	t.ncols = s.ncols + nart
+	t.rows = make([][]*big.Rat, s.nrows)
+	artCol := s.ncols
+	for r := 0; r < s.nrows; r++ {
+		row := make([]*big.Rat, t.ncols+1)
+		for j := 0; j < s.ncols; j++ {
+			row[j] = rational.Clone(s.a[r][j])
+		}
+		for j := s.ncols; j < t.ncols; j++ {
+			row[j] = rational.Zero()
+		}
+		row[t.ncols] = rational.Clone(s.b[r])
+		if basisFromSlack[r] >= 0 {
+			t.basis[r] = basisFromSlack[r]
+		} else {
+			row[artCol] = rational.One()
+			t.basis[r] = artCol
+			artCol++
+		}
+		t.rows[r] = row
+	}
+	// Phase-1 cost: minimize sum of artificials. Reduced costs:
+	// z_j = c_j − Σ_{basic rows} c_B · a_rj, with c = 1 on artificials.
+	t.z = rational.Vector(t.ncols)
+	t.obj = rational.Zero()
+	for j := s.ncols; j < t.ncols; j++ {
+		t.z[j] = rational.One()
+	}
+	for r := 0; r < s.nrows; r++ {
+		if t.basis[r] >= s.ncols { // artificial basic: subtract its row
+			for j := 0; j < t.ncols; j++ {
+				t.z[j].Sub(t.z[j], t.rows[r][j])
+			}
+			t.obj.Sub(t.obj, t.rows[r][t.ncols])
+		}
+	}
+	if status := t.iterate(nil); status == Unbounded {
+		// Phase 1 is bounded below by 0; unbounded cannot happen, but
+		// guard anyway.
+		return nil, Infeasible
+	}
+	// Feasible iff artificial sum is zero. obj holds −(current value).
+	if t.obj.Sign() != 0 {
+		return nil, Infeasible
+	}
+	// Drive any artificial variables remaining in the basis out.
+	for r := 0; r < s.nrows; r++ {
+		if t.basis[r] < s.ncols {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < s.ncols; j++ {
+			if t.rows[r][j].Sign() != 0 {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero out; its artificial stays basic at 0
+			// and will never re-enter because phase 2 bans artificial
+			// columns from entering.
+			continue
+		}
+	}
+	return t, Optimal
+}
+
+func (s *standardForm) isSlackColumn(j int) bool {
+	// Slack/surplus columns are those after the structural block.
+	structural := 0
+	for i := range s.p.vars {
+		structural++
+		if s.colNeg[i] >= 0 {
+			structural++
+		}
+	}
+	return j >= structural
+}
+
+func (s *standardForm) slackOnlyInRow(j, r int) bool {
+	for rr := 0; rr < s.nrows; rr++ {
+		if rr != r && s.a[rr][j].Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// phase2 swaps in the real cost vector and re-optimizes, forbidding
+// artificial columns from entering.
+func (s *standardForm) phase2(t *tableau) Status {
+	// Rebuild reduced costs for the real objective:
+	// z_j = c_j − Σ_r c_{B(r)} a_{rj};  obj = −Σ_r c_{B(r)} b_r.
+	t.z = rational.Vector(t.ncols)
+	t.obj = rational.Zero()
+	for j := 0; j < s.ncols; j++ {
+		t.z[j] = rational.Clone(s.c[j])
+	}
+	tmp := rational.Zero()
+	for r := 0; r < s.nrows; r++ {
+		bi := t.basis[r]
+		var cb *big.Rat
+		if bi < s.ncols {
+			cb = s.c[bi]
+		} else {
+			cb = rational.Zero() // leftover artificial pinned at 0
+		}
+		if cb.Sign() == 0 {
+			continue
+		}
+		for j := 0; j < t.ncols; j++ {
+			tmp.Mul(cb, t.rows[r][j])
+			t.z[j].Sub(t.z[j], tmp)
+		}
+		tmp.Mul(cb, t.rows[r][t.ncols])
+		t.obj.Sub(t.obj, tmp)
+	}
+	banned := make([]bool, t.ncols)
+	for j := s.ncols; j < t.ncols; j++ {
+		banned[j] = true
+	}
+	return t.iterate(banned)
+}
+
+// iterate runs simplex pivots until optimal or unbounded. banned
+// marks columns that may not enter (nil = none).
+//
+// Pivot rule: Dantzig (most negative reduced cost) by default — it
+// needs far fewer pivots, which matters doubly here because every
+// pivot also grows the rational entries — switching to Bland's rule
+// whenever the objective has stalled for a while. Bland's rule cannot
+// cycle, so the hybrid terminates; degenerate stretches are exactly
+// where Dantzig could loop.
+func (t *tableau) iterate(banned []bool) Status {
+	const stallLimit = 12 // degenerate pivots tolerated before engaging Bland
+	stalled := 0
+	lastObj := rational.Clone(t.obj)
+	for {
+		useBland := stalled >= stallLimit
+		enter := -1
+		var best *big.Rat
+		for j := 0; j < t.ncols; j++ {
+			if banned != nil && banned[j] {
+				continue
+			}
+			if t.z[j].Sign() >= 0 {
+				continue
+			}
+			if useBland {
+				enter = j
+				break // Bland: smallest eligible index
+			}
+			if enter < 0 || t.z[j].Cmp(best) < 0 {
+				enter = j
+				best = t.z[j]
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		leave := -1
+		var bestRatio *big.Rat
+		for r := range t.rows {
+			arj := t.rows[r][enter]
+			if arj.Sign() <= 0 {
+				continue
+			}
+			ratio := new(big.Rat).Quo(t.rows[r][t.ncols], arj)
+			if leave < 0 || ratio.Cmp(bestRatio) < 0 ||
+				(ratio.Cmp(bestRatio) == 0 && t.basis[r] < t.basis[leave]) {
+				leave = r
+				bestRatio = ratio
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+		if t.obj.Cmp(lastObj) == 0 {
+			stalled++
+		} else {
+			stalled = 0
+			lastObj.Set(t.obj)
+		}
+	}
+}
+
+// pivot performs a full tableau pivot on (row, col). Only the nonzero
+// columns of the pivot row participate in the elimination — simplex
+// tableaus on the paper's LPs stay sparse for many iterations, and
+// skipping structural zeros is a large constant-factor win for
+// rational arithmetic.
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	inv := new(big.Rat).Inv(pr[col])
+	nz := make([]int, 0, len(pr))
+	for j := range pr {
+		if pr[j].Sign() == 0 {
+			continue
+		}
+		pr[j].Mul(pr[j], inv)
+		nz = append(nz, j)
+	}
+	tmp := rational.Zero()
+	for r := range t.rows {
+		if r == row {
+			continue
+		}
+		factor := t.rows[r][col]
+		if factor.Sign() == 0 {
+			continue
+		}
+		f := rational.Clone(factor)
+		tr := t.rows[r]
+		for _, j := range nz {
+			tmp.Mul(f, pr[j])
+			tr[j].Sub(tr[j], tmp)
+		}
+	}
+	zf := rational.Clone(t.z[col])
+	if zf.Sign() != 0 {
+		for _, j := range nz {
+			tmp.Mul(zf, pr[j])
+			if j < t.ncols {
+				t.z[j].Sub(t.z[j], tmp)
+			} else {
+				t.obj.Sub(t.obj, tmp)
+			}
+		}
+	}
+	t.basis[row] = col
+}
+
+// extract reads the optimal original-variable values out of the final
+// tableau.
+func (s *standardForm) extract(t *tableau) []*big.Rat {
+	colVal := rational.Vector(t.ncols)
+	for r, bi := range t.basis {
+		colVal[bi] = rational.Clone(t.rows[r][t.ncols])
+	}
+	x := rational.Vector(len(s.p.vars))
+	for i := range s.p.vars {
+		x[i] = rational.Clone(colVal[s.colPos[i]])
+		if s.colNeg[i] >= 0 {
+			x[i].Sub(x[i], colVal[s.colNeg[i]])
+		}
+	}
+	return x
+}
+
+// DescribeVar returns the name given to v at creation, for debugging.
+func (p *Problem) DescribeVar(v Var) string {
+	if int(v) < 0 || int(v) >= len(p.vars) {
+		return fmt.Sprintf("var#%d", int(v))
+	}
+	return p.vars[int(v)].name
+}

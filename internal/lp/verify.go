@@ -1,0 +1,95 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+
+	"minimaxdp/internal/rational"
+)
+
+// Verify checks, in exact arithmetic, that the solution satisfies
+// every constraint of the problem and every variable's sign
+// restriction, and that the recorded objective value matches the
+// assignment. It is an independent certificate: the checker shares no
+// state with the simplex machinery beyond the problem definition, so a
+// bug in pivoting cannot hide from it.
+func (s *Solution) Verify(p *Problem) error {
+	if s.Status != Optimal {
+		return fmt.Errorf("lp: cannot verify a %v solution", s.Status)
+	}
+	if len(s.X) != len(p.vars) {
+		return fmt.Errorf("lp: solution has %d values for %d variables", len(s.X), len(p.vars))
+	}
+	for i, v := range p.vars {
+		if !v.free && s.X[i].Sign() < 0 {
+			return fmt.Errorf("lp: variable %s = %s violates non-negativity", v.name, s.X[i].RatString())
+		}
+	}
+	lhs := rational.Zero()
+	tmp := rational.Zero()
+	for ci, con := range p.cons {
+		lhs.SetInt64(0)
+		for _, t := range con.terms {
+			tmp.Mul(t.Coeff, s.X[int(t.Var)])
+			lhs.Add(lhs, tmp)
+		}
+		ok := false
+		switch con.op {
+		case LE:
+			ok = lhs.Cmp(con.rhs) <= 0
+		case GE:
+			ok = lhs.Cmp(con.rhs) >= 0
+		case EQ:
+			ok = lhs.Cmp(con.rhs) == 0
+		}
+		if !ok {
+			return fmt.Errorf("lp: constraint %d violated: %s %s %s",
+				ci, lhs.RatString(), con.op, con.rhs.RatString())
+		}
+	}
+	obj := rational.Zero()
+	for i, c := range p.objective {
+		tmp.Mul(c, s.X[i])
+		obj.Add(obj, tmp)
+	}
+	if obj.Cmp(s.Objective) != 0 {
+		return fmt.Errorf("lp: recorded objective %s does not match assignment's %s",
+			s.Objective.RatString(), obj.RatString())
+	}
+	return nil
+}
+
+// BoundCertificate checks weak duality by hand: for a minimization
+// problem, any feasible solution's objective is an upper bound on the
+// optimum, so two independently produced solutions can cross-validate
+// each other. It returns an error if candidate is feasible yet has a
+// strictly better objective than s (which would disprove s's
+// optimality).
+func (s *Solution) BoundCertificate(p *Problem, candidate []*big.Rat) error {
+	if s.Status != Optimal {
+		return fmt.Errorf("lp: cannot certify a %v solution", s.Status)
+	}
+	if len(candidate) != len(p.vars) {
+		return fmt.Errorf("lp: candidate has %d values for %d variables", len(candidate), len(p.vars))
+	}
+	cand := &Solution{Status: Optimal, X: candidate, Objective: rational.Zero()}
+	tmp := rational.Zero()
+	for i, c := range p.objective {
+		tmp.Mul(c, candidate[i])
+		cand.Objective.Add(cand.Objective, tmp)
+	}
+	if err := cand.Verify(p); err != nil {
+		return nil // infeasible candidates certify nothing
+	}
+	better := false
+	if p.sense == Minimize {
+		better = cand.Objective.Cmp(s.Objective) < 0
+	} else {
+		better = cand.Objective.Cmp(s.Objective) > 0
+	}
+	if better {
+		return fmt.Errorf("lp: feasible candidate with objective %s beats claimed optimum %s",
+			cand.Objective.RatString(), s.Objective.RatString())
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package lp
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"minimaxdp/internal/rational"
+)
+
+func TestVerifyAcceptsOptimal(t *testing.T) {
+	p := buildClassic()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Verify(p); err != nil {
+		t.Errorf("valid solution rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	p := buildClassic()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with a variable: constraint violation.
+	bad := &Solution{Status: Optimal, Objective: sol.Objective, X: rational.CloneVector(sol.X)}
+	bad.X[0] = rational.Int(100)
+	if err := bad.Verify(p); err == nil || !strings.Contains(err.Error(), "constraint") {
+		t.Errorf("tampered variable accepted: %v", err)
+	}
+	// Tamper with the objective value only.
+	bad2 := &Solution{Status: Optimal, Objective: rational.Int(999), X: rational.CloneVector(sol.X)}
+	if err := bad2.Verify(p); err == nil || !strings.Contains(err.Error(), "objective") {
+		t.Errorf("tampered objective accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsNegativeVariable(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.NewVariable("x")
+	p.SetObjective(TInt(x, 1))
+	p.AddConstraint([]Term{TInt(x, 1)}, LE, r("5"))
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Solution{Status: Optimal, Objective: rational.Int(-1), X: []*big.Rat{rational.Int(-1)}}
+	if err := bad.Verify(p); err == nil || !strings.Contains(err.Error(), "non-negativity") {
+		t.Errorf("negative variable accepted: %v", err)
+	}
+	_ = sol
+}
+
+func TestVerifyRejectsNonOptimalStatusAndShape(t *testing.T) {
+	p := buildClassic()
+	infeasible := &Solution{Status: Infeasible}
+	if err := infeasible.Verify(p); err == nil {
+		t.Error("infeasible solution verified")
+	}
+	short := &Solution{Status: Optimal, Objective: rational.Zero(), X: rational.Vector(1)}
+	if err := short.Verify(p); err == nil {
+		t.Error("wrong-length solution verified")
+	}
+}
+
+func TestBoundCertificate(t *testing.T) {
+	p := buildClassic() // max 3x+5y, optimum 36 at (2,6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A feasible but worse candidate certifies nothing.
+	if err := sol.BoundCertificate(p, []*big.Rat{rational.Int(0), rational.Int(0)}); err != nil {
+		t.Errorf("worse feasible candidate raised: %v", err)
+	}
+	// An infeasible candidate certifies nothing.
+	if err := sol.BoundCertificate(p, []*big.Rat{rational.Int(100), rational.Int(100)}); err != nil {
+		t.Errorf("infeasible candidate raised: %v", err)
+	}
+	// A fraudulent "optimum" is exposed by the true optimal point.
+	fraud := &Solution{Status: Optimal, Objective: rational.Int(30),
+		X: []*big.Rat{rational.Int(0), rational.Int(6)}}
+	if err := fraud.BoundCertificate(p, sol.X); err == nil {
+		t.Error("fraudulent optimum not exposed by a better feasible point")
+	}
+	// Shape/status validation.
+	if err := (&Solution{Status: Unbounded}).BoundCertificate(p, sol.X); err == nil {
+		t.Error("unbounded status accepted")
+	}
+	if err := sol.BoundCertificate(p, sol.X[:1]); err == nil {
+		t.Error("wrong-length candidate accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package mechanism
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := mustGeometric(t, 4, "1/3")
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"n":4`) {
+		t.Errorf("JSON missing n: %s", data)
+	}
+	var back Mechanism
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Error("JSON round trip lost exactness")
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	var m Mechanism
+	cases := []string{
+		`{`,                                    // malformed
+		`{"n":1,"rows":[]}`,                    // no rows
+		`{"n":3,"rows":[["1"],["1"]]}`,         // n inconsistent
+		`{"n":1,"rows":[["1","1"],["0","1"]]}`, // row sums 2
+		`{"n":1,"rows":[["x","y"],["0","1"]]}`, // bad rationals
+	}
+	for _, c := range cases {
+		if err := m.UnmarshalJSON([]byte(c)); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+func TestUnmarshalErrorLeavesReceiverUsable(t *testing.T) {
+	g := mustGeometric(t, 2, "1/2")
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Mechanism
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UnmarshalJSON([]byte(`{"n":0,"rows":[]}`)); err == nil {
+		t.Fatal("bad input accepted")
+	}
+	// Receiver untouched by the failed decode.
+	if !m.Equal(g) {
+		t.Error("failed decode corrupted the receiver")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := mustGeometric(t, 3, "1/4")
+	var b strings.Builder
+	if err := g.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(strings.NewReader("# header comment\n" + b.String() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Error("text round trip lost exactness")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadText(strings.NewReader("1/2 1/3\n1 0\n")); err == nil {
+		t.Error("non-stochastic input accepted")
+	}
+}
+
+func TestDescribeAndScaleCheck(t *testing.T) {
+	g := mustGeometric(t, 2, "1/2")
+	if !strings.Contains(g.Describe(), "{0..2}") || !strings.Contains(g.Describe(), "1/2") {
+		t.Errorf("Describe = %q", g.Describe())
+	}
+	nz, err := g.ScaleCheck()
+	if err != nil || nz != 9 {
+		t.Errorf("ScaleCheck = %d, %v (geometric has full support)", nz, err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := mustGeometric(t, 2, "1/2")
+	c := g.Clone()
+	if !c.Equal(g) {
+		t.Error("clone differs")
+	}
+}
+
+func TestTotalVariationRow(t *testing.T) {
+	id, err := Identity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint deterministic rows: TV = 1.
+	if got := id.TotalVariationRow(0, 2); got.RatString() != "1" {
+		t.Errorf("TV(identity rows) = %s", got.RatString())
+	}
+	// Same row: TV = 0.
+	if got := id.TotalVariationRow(1, 1); got.Sign() != 0 {
+		t.Errorf("TV(same row) = %s", got.RatString())
+	}
+	// Geometric adjacent rows at α: TV is strictly between 0 and 1−α.
+	g := mustGeometric(t, 3, "1/2")
+	tv := g.TotalVariationRow(0, 1)
+	if tv.Sign() <= 0 || tv.Cmp(r("1/2")) > 0 {
+		t.Errorf("TV(G rows 0,1) = %s, want in (0, 1/2]", tv.RatString())
+	}
+}

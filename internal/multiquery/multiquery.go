@@ -1,0 +1,206 @@
+// Package multiquery answers several count queries under one overall
+// privacy guarantee, using the paper's single-query geometric
+// mechanism as the building block its conclusion suggests ("Our
+// results could be used as a building block while answering multiple
+// queries").
+//
+// Two classical accounting regimes are provided:
+//
+//   - sequential composition, for arbitrary (possibly overlapping)
+//     queries: an overall budget α_total is split so that the product
+//     of per-query levels still meets α_total;
+//   - parallel composition, for disjoint queries (no individual
+//     affects more than one query, e.g. a histogram): every query can
+//     spend the full budget because a neighbouring database perturbs
+//     only one answer.
+//
+// Every per-query release is an ordinary geometric mechanism, so
+// Theorem 1 still holds query-by-query: each consumer can post-process
+// each answer optimally for its own loss and side information.
+package multiquery
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"minimaxdp/internal/database"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/privacy"
+	"minimaxdp/internal/rational"
+)
+
+// Workload is an ordered collection of count queries over one
+// database.
+type Workload struct {
+	Queries []database.CountQuery
+}
+
+// Size returns the number of queries.
+func (w Workload) Size() int { return len(w.Queries) }
+
+// Disjoint reports whether no row of db satisfies more than one of the
+// workload's predicates — the precondition for parallel composition.
+// (Disjointness is checked against the concrete database, which is
+// what the privacy argument needs: a row change can then alter at most
+// one true answer.)
+func (w Workload) Disjoint(db *database.Database) bool {
+	for i := 0; i < db.Size(); i++ {
+		row := db.Row(i)
+		hits := 0
+		for _, q := range w.Queries {
+			if q.Pred(row) {
+				hits++
+				if hits > 1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Answer is one released query result.
+type Answer struct {
+	Query    string
+	Released int
+	// Alpha is the per-query differential-privacy level this answer
+	// was released at.
+	Alpha *big.Rat
+}
+
+// Answerer releases a workload's answers under an overall budget.
+type Answerer struct {
+	n        int
+	total    *big.Rat
+	perQuery *big.Rat
+	mech     *mechanism.Mechanism
+	parallel bool
+}
+
+// ErrBudget is returned for invalid privacy budgets.
+var ErrBudget = errors.New("multiquery: invalid privacy budget")
+
+// NewSequential prepares an answerer for k arbitrary queries on an
+// n-row database under overall level alphaTotal: the budget is split
+// as α_query = alphaTotal^{1/k} (rounded up at resolution 1/denom so
+// the composed guarantee is exact, see privacy.SplitBudgetRat) and a
+// geometric mechanism at α_query is used for every query.
+func NewSequential(n, k int, alphaTotal *big.Rat, denom int64) (*Answerer, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrBudget, k)
+	}
+	if alphaTotal.Sign() <= 0 || alphaTotal.Cmp(rational.One()) >= 0 {
+		return nil, fmt.Errorf("%w: α_total = %s must be in (0,1)", ErrBudget, alphaTotal.RatString())
+	}
+	per, err := privacy.SplitBudgetRat(alphaTotal, k, denom)
+	if err != nil {
+		return nil, err
+	}
+	if per.Cmp(rational.One()) >= 0 {
+		// Rounding pushed the per-query level to 1 (absolute privacy);
+		// back off one resolution step — the guarantee check in
+		// Answer's accounting still uses the exact per-query value.
+		per = rational.Sub(rational.One(), rational.New(1, denom))
+	}
+	mech, err := mechanism.Geometric(n, per)
+	if err != nil {
+		return nil, err
+	}
+	return &Answerer{n: n, total: rational.Clone(alphaTotal), perQuery: per, mech: mech}, nil
+}
+
+// NewParallel prepares an answerer for disjoint queries: every query
+// is answered at the full level alpha (parallel composition). Answer
+// verifies disjointness against the database before releasing.
+func NewParallel(n int, alpha *big.Rat) (*Answerer, error) {
+	mech, err := mechanism.Geometric(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &Answerer{n: n, total: rational.Clone(alpha), perQuery: rational.Clone(alpha),
+		mech: mech, parallel: true}, nil
+}
+
+// PerQueryAlpha returns the level each individual answer is released
+// at.
+func (a *Answerer) PerQueryAlpha() *big.Rat { return rational.Clone(a.perQuery) }
+
+// ComposedAlpha returns the overall guarantee for the whole released
+// vector of k answers: perQuery^k under sequential composition, or
+// perQuery itself under parallel composition.
+func (a *Answerer) ComposedAlpha(k int) (*big.Rat, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrBudget, k)
+	}
+	if a.parallel {
+		return rational.Clone(a.perQuery), nil
+	}
+	return rational.Pow(a.perQuery, k), nil
+}
+
+// Mechanism returns the per-query geometric mechanism (identical for
+// all queries; they share n and α).
+func (a *Answerer) Mechanism() *mechanism.Mechanism { return a.mech }
+
+// Answer releases the workload: one geometric draw per query. For a
+// parallel answerer the workload must be disjoint on db.
+func (a *Answerer) Answer(db *database.Database, w Workload, rng *rand.Rand) ([]Answer, error) {
+	if w.Size() == 0 {
+		return nil, errors.New("multiquery: empty workload")
+	}
+	if db.Size() != a.n {
+		return nil, fmt.Errorf("multiquery: database size %d, answerer built for %d", db.Size(), a.n)
+	}
+	if a.parallel && !w.Disjoint(db) {
+		return nil, errors.New("multiquery: workload is not disjoint; parallel composition does not apply")
+	}
+	out := make([]Answer, 0, w.Size())
+	for _, q := range w.Queries {
+		truth := q.Eval(db)
+		out = append(out, Answer{
+			Query:    q.Name,
+			Released: a.mech.Sample(truth, rng),
+			Alpha:    rational.Clone(a.perQuery),
+		})
+	}
+	return out, nil
+}
+
+// AgeHistogram builds a disjoint workload bucketing rows by age:
+// [0,b1), [b1,b2), …, [b_last, ∞). Buckets must be strictly
+// increasing positive bounds.
+func AgeHistogram(bounds []int) (Workload, error) {
+	if len(bounds) == 0 {
+		return Workload{}, errors.New("multiquery: no bucket bounds")
+	}
+	for i, b := range bounds {
+		if b <= 0 || (i > 0 && b <= bounds[i-1]) {
+			return Workload{}, fmt.Errorf("multiquery: bounds must be strictly increasing positive, got %v", bounds)
+		}
+	}
+	var w Workload
+	lo := 0
+	for _, hi := range bounds {
+		lo2, hi2 := lo, hi // capture
+		w.Queries = append(w.Queries, database.CountQuery{
+			Name: fmt.Sprintf("age in [%d,%d)", lo2, hi2),
+			Pred: func(r database.Row) bool { return r.Age >= lo2 && r.Age < hi2 },
+		})
+		lo = hi
+	}
+	last := lo
+	w.Queries = append(w.Queries, database.CountQuery{
+		Name: fmt.Sprintf("age >= %d", last),
+		Pred: func(r database.Row) bool { return r.Age >= last },
+	})
+	return w, nil
+}
+
+// ExpectedAbsErrorPerQuery returns the exact expected absolute error
+// of the unrestricted geometric noise at the answerer's per-query
+// level — the accuracy price of the chosen composition regime.
+func (a *Answerer) ExpectedAbsErrorPerQuery() *big.Rat {
+	return privacy.GeometricExpectedAbsNoise(a.perQuery)
+}

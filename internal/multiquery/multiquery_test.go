@@ -1,0 +1,252 @@
+package multiquery
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"minimaxdp/internal/database"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+)
+
+func r(s string) *big.Rat { return rational.MustParse(s) }
+
+func testDB(t *testing.T) *database.Database {
+	t.Helper()
+	return database.Synthetic(30, "San Diego", 0.2, sample.NewRand(5))
+}
+
+func fluAndAdults() Workload {
+	return Workload{Queries: []database.CountQuery{
+		database.FluQuery("San Diego"),
+		{Name: "adults", Pred: func(r database.Row) bool { return r.Age >= 18 }},
+	}}
+}
+
+func TestNewSequentialValidation(t *testing.T) {
+	if _, err := NewSequential(30, 0, r("1/2"), 1000); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewSequential(30, 2, r("0"), 1000); err == nil {
+		t.Error("α=0 accepted")
+	}
+	if _, err := NewSequential(30, 2, r("1"), 1000); err == nil {
+		t.Error("α=1 accepted")
+	}
+}
+
+func TestSequentialBudgetSound(t *testing.T) {
+	total := r("1/4")
+	for k := 1; k <= 6; k++ {
+		a, err := NewSequential(30, k, total, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		composed, err := a.ComposedAlpha(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The composed guarantee must be at least as strong as asked.
+		if composed.Cmp(total) < 0 {
+			t.Errorf("k=%d: composed %s weaker than requested %s", k, composed.RatString(), total.RatString())
+		}
+		// Per-query level weakens (grows) with k.
+		if k > 1 {
+			prev, err := NewSequential(30, k-1, total, 10000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.PerQueryAlpha().Cmp(prev.PerQueryAlpha()) < 0 {
+				t.Errorf("k=%d: per-query α shrank", k)
+			}
+		}
+	}
+}
+
+func TestSequentialAnswer(t *testing.T) {
+	db := testDB(t)
+	w := fluAndAdults()
+	a, err := NewSequential(db.Size(), w.Size(), r("1/2"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sample.NewRand(1)
+	answers, err := a.Answer(db, w, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	for _, ans := range answers {
+		if ans.Released < 0 || ans.Released > db.Size() {
+			t.Errorf("answer %q = %d out of range", ans.Query, ans.Released)
+		}
+		if ans.Alpha.Cmp(a.PerQueryAlpha()) != 0 {
+			t.Errorf("answer %q released at %s, want %s", ans.Query, ans.Alpha.RatString(), a.PerQueryAlpha().RatString())
+		}
+	}
+}
+
+func TestAnswerValidation(t *testing.T) {
+	db := testDB(t)
+	a, err := NewSequential(db.Size(), 2, r("1/2"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sample.NewRand(1)
+	if _, err := a.Answer(db, Workload{}, rng); err == nil {
+		t.Error("empty workload accepted")
+	}
+	small := database.Synthetic(5, "X", 0.1, sample.NewRand(1))
+	if _, err := a.Answer(small, fluAndAdults(), rng); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestParallelRequiresDisjoint(t *testing.T) {
+	db := testDB(t)
+	a, err := NewParallel(db.Size(), r("1/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sample.NewRand(2)
+	// Overlapping workload (flu ⊂ adults typically): rejected.
+	if _, err := a.Answer(db, fluAndAdults(), rng); err == nil {
+		t.Error("overlapping workload accepted by parallel answerer")
+	}
+	// Histogram workload: accepted.
+	hist, err := AgeHistogram([]int{18, 40, 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hist.Disjoint(db) {
+		t.Fatal("histogram workload should be disjoint")
+	}
+	answers, err := a.Answer(db, hist, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 4 {
+		t.Fatalf("got %d answers, want 4 buckets", len(answers))
+	}
+	// Parallel composition: composed guarantee equals the full level.
+	composed, err := a.ComposedAlpha(len(answers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.Cmp(r("1/2")) != 0 {
+		t.Errorf("parallel composed α = %s, want 1/2", composed.RatString())
+	}
+}
+
+func TestComposedAlphaValidation(t *testing.T) {
+	a, err := NewParallel(10, r("1/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ComposedAlpha(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestAgeHistogram(t *testing.T) {
+	w, err := AgeHistogram([]int{18, 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 3 {
+		t.Fatalf("buckets = %d", w.Size())
+	}
+	// Bucket counts partition the database.
+	db := testDB(t)
+	total := 0
+	for _, q := range w.Queries {
+		total += q.Eval(db)
+	}
+	if total != db.Size() {
+		t.Errorf("bucket counts sum to %d, want %d", total, db.Size())
+	}
+	if _, err := AgeHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := AgeHistogram([]int{10, 10}); err == nil {
+		t.Error("non-increasing bounds accepted")
+	}
+	if _, err := AgeHistogram([]int{0}); err == nil {
+		t.Error("zero bound accepted")
+	}
+}
+
+// The accuracy/privacy trade-off across composition regimes: for the
+// same overall guarantee, parallel composition (when applicable) has
+// strictly less per-query noise than sequential splitting.
+func TestParallelBeatsSequentialOnDisjoint(t *testing.T) {
+	total := r("1/2")
+	const k = 4
+	seq, err := NewSequential(50, k, total, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallel(50, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqErr := rational.Float(seq.ExpectedAbsErrorPerQuery())
+	parErr := rational.Float(par.ExpectedAbsErrorPerQuery())
+	if parErr >= seqErr {
+		t.Errorf("parallel E|err| %v should beat sequential %v", parErr, seqErr)
+	}
+	// Both meet the same overall guarantee.
+	cs, err := seq.ComposedAlpha(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := par.ComposedAlpha(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Cmp(total) < 0 || cp.Cmp(total) < 0 {
+		t.Error("a regime failed the overall guarantee")
+	}
+}
+
+// Empirical error tracks the closed form.
+func TestExpectedAbsErrorEmpirical(t *testing.T) {
+	db := testDB(t)
+	hist, err := AgeHistogram([]int{18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewParallel(db.Size(), r("1/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rational.Float(a.ExpectedAbsErrorPerQuery())
+	rng := sample.NewRand(9)
+	const trials = 30000
+	sum := 0.0
+	truths := make([]int, hist.Size())
+	for i, q := range hist.Queries {
+		truths[i] = q.Eval(db)
+	}
+	for trial := 0; trial < trials; trial++ {
+		answers, err := a.Answer(db, hist, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ans := range answers {
+			sum += math.Abs(float64(ans.Released - truths[i]))
+		}
+	}
+	got := sum / float64(trials*hist.Size())
+	// The range restriction clips tails, so empirical error is at most
+	// the unrestricted closed form and close to it for interior truths.
+	if got > want+0.02 {
+		t.Errorf("empirical E|err| %v exceeds closed form %v", got, want)
+	}
+	if got < want*0.5 {
+		t.Errorf("empirical E|err| %v implausibly small vs %v", got, want)
+	}
+}

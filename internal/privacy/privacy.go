@@ -1,0 +1,166 @@
+// Package privacy provides differential-privacy accounting around the
+// paper's multiplicative α parameterization.
+//
+// The paper (following its Definition 2) writes guarantees as
+// α ∈ [0,1] with probability ratios confined to [α, 1/α]; the wider
+// literature writes ε-differential privacy with ratios in
+// [e^{−ε}, e^{ε}]. The two views are related by α = e^{−ε}. This
+// package converts between them and implements the standard accounting
+// rules in exact α-form:
+//
+//   - sequential composition: answering k queries at levels α₁…α_k is
+//     (α₁·…·α_k)-DP overall;
+//   - group privacy: an α-DP mechanism protects groups of g
+//     individuals at level α^g;
+//   - budget splitting: dividing an ε budget across k queries.
+//
+// Everything is exact over rationals except the explicitly float-typed
+// ε conversions (e is transcendental).
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"minimaxdp/internal/rational"
+)
+
+// ErrOutOfRange is returned for parameters outside their domain.
+var ErrOutOfRange = errors.New("privacy: parameter out of range")
+
+// AlphaFromEpsilon converts an ε-DP guarantee (ε ≥ 0) to the paper's
+// α = e^{−ε} ∈ (0,1].
+func AlphaFromEpsilon(epsilon float64) (float64, error) {
+	if epsilon < 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return 0, fmt.Errorf("%w: ε = %v", ErrOutOfRange, epsilon)
+	}
+	return math.Exp(-epsilon), nil
+}
+
+// EpsilonFromAlpha converts the paper's α ∈ (0,1] to ε = −ln α ≥ 0.
+func EpsilonFromAlpha(alpha float64) (float64, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return 0, fmt.Errorf("%w: α = %v", ErrOutOfRange, alpha)
+	}
+	return -math.Log(alpha), nil
+}
+
+// Compose returns the sequential-composition guarantee of releasing
+// the outputs of mechanisms at levels alphas on the same database:
+// the product Π αᵢ (in ε terms, the familiar Σ εᵢ). Each αᵢ must lie
+// in [0,1].
+func Compose(alphas []*big.Rat) (*big.Rat, error) {
+	if len(alphas) == 0 {
+		return nil, fmt.Errorf("%w: empty composition", ErrOutOfRange)
+	}
+	out := rational.One()
+	one := rational.One()
+	for i, a := range alphas {
+		if a.Sign() < 0 || a.Cmp(one) > 0 {
+			return nil, fmt.Errorf("%w: α[%d] = %s", ErrOutOfRange, i, a.RatString())
+		}
+		out.Mul(out, a)
+	}
+	return out, nil
+}
+
+// Group returns the group-privacy level of an α-DP mechanism for
+// groups of g ≥ 1 individuals: α^g. (Changing g rows moves the count
+// by at most g, and each unit step costs a factor α.)
+func Group(alpha *big.Rat, g int) (*big.Rat, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("%w: group size %d", ErrOutOfRange, g)
+	}
+	if alpha.Sign() < 0 || alpha.Cmp(rational.One()) > 0 {
+		return nil, fmt.Errorf("%w: α = %s", ErrOutOfRange, alpha.RatString())
+	}
+	return rational.Pow(alpha, g), nil
+}
+
+// SplitBudget divides a total privacy budget (given as the overall
+// α_total the curator is willing to guarantee) evenly across k
+// queries, returning the per-query level α_query with
+// α_query^k = α_total, i.e. α_query = α_total^{1/k}. Because rational
+// k-th roots generally do not exist, the result is float64; use
+// SplitBudgetRat for an exact per-query rational that is at least as
+// protective.
+func SplitBudget(alphaTotal float64, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("%w: k = %d", ErrOutOfRange, k)
+	}
+	if alphaTotal <= 0 || alphaTotal > 1 {
+		return 0, fmt.Errorf("%w: α_total = %v", ErrOutOfRange, alphaTotal)
+	}
+	return math.Pow(alphaTotal, 1/float64(k)), nil
+}
+
+// SplitBudgetRat returns an exact rational per-query level whose k-th
+// power is ≥ alphaTotal (i.e. the composed guarantee is at least as
+// strong as requested), found by rounding the real k-th root up at the
+// given denominator resolution.
+func SplitBudgetRat(alphaTotal *big.Rat, k int, denom int64) (*big.Rat, error) {
+	if k < 1 || denom < 2 {
+		return nil, fmt.Errorf("%w: k=%d denom=%d", ErrOutOfRange, k, denom)
+	}
+	one := rational.One()
+	if alphaTotal.Sign() <= 0 || alphaTotal.Cmp(one) > 0 {
+		return nil, fmt.Errorf("%w: α_total = %s", ErrOutOfRange, alphaTotal.RatString())
+	}
+	root := math.Pow(rational.Float(alphaTotal), 1/float64(k))
+	// Round up to the next multiple of 1/denom, then nudge further up
+	// until the exact power condition α^k ≥ α_total holds (float error
+	// can land one step low).
+	num := int64(math.Ceil(root * float64(denom)))
+	for ; num <= denom; num++ {
+		cand := rational.New(num, denom)
+		if rational.Pow(cand, k).Cmp(alphaTotal) >= 0 {
+			return cand, nil
+		}
+	}
+	return one, nil
+}
+
+// Loss bounds ------------------------------------------------------------
+
+// RatioBound returns the multiplicative band [α, 1/α] as floats, the
+// form used when explaining a guarantee to non-specialists.
+func RatioBound(alpha *big.Rat) (lo, hi float64, err error) {
+	if alpha.Sign() <= 0 || alpha.Cmp(rational.One()) > 0 {
+		return 0, 0, fmt.Errorf("%w: α = %s", ErrOutOfRange, alpha.RatString())
+	}
+	f := rational.Float(alpha)
+	return f, 1 / f, nil
+}
+
+// GeometricTailBound returns Pr[|Z| ≥ t] for the unrestricted
+// two-sided geometric noise of Definition 1 with ratio α: the exact
+// value 2α^t/(1+α) for t ≥ 1 (and 1 for t ≤ 0). This is the accuracy
+// guarantee a curator can quote alongside the privacy level.
+func GeometricTailBound(alpha *big.Rat, t int) *big.Rat {
+	if t <= 0 {
+		return rational.One()
+	}
+	num := rational.Mul(rational.Int(2), rational.Pow(alpha, t))
+	return rational.Div(num, rational.Add(rational.One(), alpha))
+}
+
+// GeometricExpectedAbsNoise returns E|Z| for Definition 1 noise:
+// 2α/((1−α)(1+α)) exactly.
+func GeometricExpectedAbsNoise(alpha *big.Rat) *big.Rat {
+	one := rational.One()
+	num := rational.Mul(rational.Int(2), alpha)
+	den := rational.Mul(rational.Sub(one, alpha), rational.Add(one, alpha))
+	return rational.Div(num, den)
+}
+
+// GeometricNoiseVariance returns Var(Z) = E[Z²] (the noise has mean
+// zero) for Definition 1 noise, exactly: 2α/(1−α)². Derivation:
+// E[Z²] = 2·(1−α)/(1+α)·Σ_{k≥1} k²α^k = 2·(1−α)/(1+α)·α(1+α)/(1−α)³.
+func GeometricNoiseVariance(alpha *big.Rat) *big.Rat {
+	one := rational.One()
+	oneMinus := rational.Sub(one, alpha)
+	den := rational.Mul(oneMinus, oneMinus)
+	return rational.Div(rational.Mul(rational.Int(2), alpha), den)
+}

@@ -1,0 +1,239 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+)
+
+func r(s string) *big.Rat { return rational.MustParse(s) }
+
+func TestAlphaEpsilonRoundTrip(t *testing.T) {
+	for _, eps := range []float64{0, 0.1, 0.5, 1, math.Ln2, 5} {
+		a, err := AlphaFromEpsilon(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := EpsilonFromAlpha(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(back-eps) > 1e-12 {
+			t.Errorf("round trip %v → %v → %v", eps, a, back)
+		}
+	}
+	// ε = ln 2 ⇔ α = 1/2.
+	a, _ := AlphaFromEpsilon(math.Ln2)
+	if math.Abs(a-0.5) > 1e-15 {
+		t.Errorf("α(ln 2) = %v", a)
+	}
+}
+
+func TestConversionErrors(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := AlphaFromEpsilon(bad); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("AlphaFromEpsilon(%v) err = %v", bad, err)
+		}
+	}
+	for _, bad := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := EpsilonFromAlpha(bad); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("EpsilonFromAlpha(%v) err = %v", bad, err)
+		}
+	}
+}
+
+func TestCompose(t *testing.T) {
+	got, err := Compose([]*big.Rat{r("1/2"), r("1/3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RatString() != "1/6" {
+		t.Errorf("Compose = %s, want 1/6", got.RatString())
+	}
+	if _, err := Compose(nil); !errors.Is(err, ErrOutOfRange) {
+		t.Error("empty composition accepted")
+	}
+	if _, err := Compose([]*big.Rat{r("3/2")}); !errors.Is(err, ErrOutOfRange) {
+		t.Error("α>1 accepted")
+	}
+}
+
+// In ε terms, composition adds: −ln(Πα) = Σ(−ln α).
+func TestComposeMatchesEpsilonAddition(t *testing.T) {
+	alphas := []*big.Rat{r("1/2"), r("2/3"), r("3/4")}
+	composed, err := Compose(alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epsSum := 0.0
+	for _, a := range alphas {
+		e, err := EpsilonFromAlpha(rational.Float(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		epsSum += e
+	}
+	got, err := EpsilonFromAlpha(rational.Float(composed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-epsSum) > 1e-12 {
+		t.Errorf("composed ε = %v, sum = %v", got, epsSum)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	got, err := Group(r("1/2"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RatString() != "1/8" {
+		t.Errorf("Group = %s", got.RatString())
+	}
+	if _, err := Group(r("1/2"), 0); !errors.Is(err, ErrOutOfRange) {
+		t.Error("g=0 accepted")
+	}
+	if _, err := Group(r("2"), 1); !errors.Is(err, ErrOutOfRange) {
+		t.Error("α>1 accepted")
+	}
+	one, err := Group(r("1/2"), 1)
+	if err != nil || one.RatString() != "1/2" {
+		t.Error("g=1 should be identity")
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	got, err := SplitBudget(0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SplitBudget(1/4, 2) = %v, want 0.5", got)
+	}
+	if _, err := SplitBudget(0.5, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SplitBudget(0, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Error("α=0 accepted")
+	}
+	if _, err := SplitBudget(2, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Error("α>1 accepted")
+	}
+}
+
+func TestSplitBudgetRat(t *testing.T) {
+	total := r("1/4")
+	per, err := SplitBudgetRat(total, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guarantee must hold exactly: per² ≥ 1/4, i.e. per ≥ 1/2.
+	if rational.Pow(per, 2).Cmp(total) < 0 {
+		t.Errorf("per-query level %s too weak", per.RatString())
+	}
+	// And not be wastefully conservative: within 1/1000 of the root.
+	if rational.Float(per) > 0.5+0.002 {
+		t.Errorf("per-query level %s too conservative", per.RatString())
+	}
+	if _, err := SplitBudgetRat(total, 0, 1000); !errors.Is(err, ErrOutOfRange) {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SplitBudgetRat(total, 2, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Error("denom=1 accepted")
+	}
+	if _, err := SplitBudgetRat(r("0"), 2, 10); !errors.Is(err, ErrOutOfRange) {
+		t.Error("α=0 accepted")
+	}
+}
+
+// Property: SplitBudgetRat always composes to at least the requested
+// guarantee.
+func TestQuickSplitBudgetSound(t *testing.T) {
+	f := func(num uint8, kk uint8) bool {
+		n := int64(num%99) + 1 // α_total = n/100 ∈ (0,1)
+		total := rational.New(n, 100)
+		k := int(kk%5) + 1
+		per, err := SplitBudgetRat(total, k, 10000)
+		if err != nil {
+			return false
+		}
+		return rational.Pow(per, k).Cmp(total) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioBound(t *testing.T) {
+	lo, hi, err := RatioBound(r("1/2"))
+	if err != nil || lo != 0.5 || hi != 2 {
+		t.Errorf("RatioBound = %v %v %v", lo, hi, err)
+	}
+	if _, _, err := RatioBound(r("0")); !errors.Is(err, ErrOutOfRange) {
+		t.Error("α=0 accepted")
+	}
+}
+
+func TestGeometricTailBound(t *testing.T) {
+	alpha := r("1/2")
+	if GeometricTailBound(alpha, 0).RatString() != "1" {
+		t.Error("t=0 should be 1")
+	}
+	// Pr[|Z| ≥ 1] = 2·(1/2)/(3/2) = 2/3.
+	if got := GeometricTailBound(alpha, 1); got.RatString() != "2/3" {
+		t.Errorf("tail(1) = %s", got.RatString())
+	}
+	// Pr[|Z| ≥ 3] = 2·(1/8)/(3/2) = 1/6.
+	if got := GeometricTailBound(alpha, 3); got.RatString() != "1/6" {
+		t.Errorf("tail(3) = %s", got.RatString())
+	}
+}
+
+// Closed-form moments agree with Monte-Carlo sampling of the
+// Definition 1 noise.
+func TestGeometricMomentsEmpirical(t *testing.T) {
+	alpha := r("2/5")
+	wantAbs := rational.Float(GeometricExpectedAbsNoise(alpha))
+	wantVar := rational.Float(GeometricNoiseVariance(alpha))
+	rng := sample.NewRand(19)
+	const trials = 400000
+	sumAbs, sumSq := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		z := float64(sample.TwoSidedGeometric(0.4, rng))
+		sumAbs += math.Abs(z)
+		sumSq += z * z
+	}
+	gotAbs := sumAbs / trials
+	gotVar := sumSq / trials
+	if math.Abs(gotAbs-wantAbs) > 0.01 {
+		t.Errorf("E|Z| empirical %v, closed form %v", gotAbs, wantAbs)
+	}
+	if math.Abs(gotVar-wantVar) > 0.05 {
+		t.Errorf("Var(Z) empirical %v, closed form %v", gotVar, wantVar)
+	}
+}
+
+// The tail bound is exactly the tail of the sampled distribution.
+func TestGeometricTailEmpirical(t *testing.T) {
+	alpha := r("1/2")
+	rng := sample.NewRand(23)
+	const trials = 300000
+	const tt = 2
+	count := 0
+	for i := 0; i < trials; i++ {
+		z := sample.TwoSidedGeometric(0.5, rng)
+		if z >= tt || z <= -tt {
+			count++
+		}
+	}
+	want := rational.Float(GeometricTailBound(alpha, tt))
+	got := float64(count) / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("tail empirical %v, exact %v", got, want)
+	}
+}

@@ -1,0 +1,47 @@
+package rational
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that every accepted
+// string round-trips through RatString.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"1/2", "-3/7", "0", "42", "0.125", "", "x", "1/0", " 5/17 ", "999999999999999999/7"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(r.RatString())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", r.RatString(), s, err)
+		}
+		if back.Cmp(r) != 0 {
+			t.Fatalf("round trip changed value: %q → %s → %s", s, r.RatString(), back.RatString())
+		}
+	})
+}
+
+// FuzzPow checks that Pow agrees with iterated multiplication for
+// arbitrary small bases and exponents.
+func FuzzPow(f *testing.F) {
+	f.Add(int64(2), int64(3), uint8(5))
+	f.Add(int64(-7), int64(4), uint8(0))
+	f.Fuzz(func(t *testing.T, p, q int64, k uint8) {
+		if q == 0 {
+			return
+		}
+		a := New(p, q)
+		n := int(k % 12)
+		want := One()
+		for i := 0; i < n; i++ {
+			want.Mul(want, a)
+		}
+		if got := Pow(a, n); got.Cmp(want) != 0 {
+			t.Fatalf("Pow(%s, %d) = %s, want %s", a.RatString(), n, got.RatString(), want.RatString())
+		}
+	})
+}

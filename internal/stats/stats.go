@@ -1,0 +1,267 @@
+// Package stats supplies the statistical toolkit used by the
+// Monte-Carlo experiments: descriptive statistics, distances between
+// distributions (total variation, chi-square, Kolmogorov–Smirnov),
+// confidence intervals, and an empirical differential-privacy audit.
+// Go's ecosystem has no stdlib statistics package, so the experiment
+// harness's needs are implemented here from scratch.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+)
+
+// ErrEmpty is returned by statistics that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator).
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: variance needs ≥ 2 samples, got %d", len(xs))
+	}
+	m, _ := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// on the sorted sample.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// MeanCI returns the mean together with a normal-approximation
+// confidence half-width z·s/√n (z = 1.96 for 95%).
+func MeanCI(xs []float64, z float64) (mean, halfWidth float64, err error) {
+	mean, err = Mean(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(xs) < 2 {
+		return mean, math.Inf(1), nil
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mean, z * sd / math.Sqrt(float64(len(xs))), nil
+}
+
+// TotalVariation returns ½·Σ|p−q| for two probability vectors of equal
+// length.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2, nil
+}
+
+// ChiSquare returns the Pearson chi-square statistic
+// Σ (observed − expectedCount)² / expectedCount, where expectedCount =
+// expectedProb·total. Cells with zero expected probability must have
+// zero observations; otherwise the statistic is +Inf.
+func ChiSquare(observed []int, expectedProb []float64) (float64, error) {
+	if len(observed) != len(expectedProb) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(observed), len(expectedProb))
+	}
+	if len(observed) == 0 {
+		return 0, ErrEmpty
+	}
+	total := 0
+	for _, o := range observed {
+		total += o
+	}
+	if total == 0 {
+		return 0, ErrEmpty
+	}
+	stat := 0.0
+	for i, o := range observed {
+		e := expectedProb[i] * float64(total)
+		if e == 0 {
+			if o != 0 {
+				return math.Inf(1), nil
+			}
+			continue
+		}
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	return stat, nil
+}
+
+// KolmogorovSmirnov returns max_k |CDF_p(k) − CDF_q(k)| for two
+// probability vectors on the same support.
+func KolmogorovSmirnov(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, ErrEmpty
+	}
+	cp, cq, worst := 0.0, 0.0, 0.0
+	for i := range p {
+		cp += p[i]
+		cq += q[i]
+		if d := math.Abs(cp - cq); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// Histogram tallies integer observations into buckets [0, buckets).
+// Out-of-range values are clamped.
+func Histogram(xs []int, buckets int) []int {
+	h := make([]int, buckets)
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		if x >= buckets {
+			x = buckets - 1
+		}
+		h[x]++
+	}
+	return h
+}
+
+// DPAuditResult reports the worst empirical privacy ratio observed
+// between adjacent inputs of a mechanism.
+type DPAuditResult struct {
+	WorstAlpha float64 // empirical min over (i,r) of freq ratio, clipped to [0,1]
+	I, R       int     // where the worst ratio occurred
+	Trials     int
+}
+
+// AuditDP estimates the mechanism's privacy level from samples: it
+// draws trials outputs for every input, then for every adjacent input
+// pair and output computes the frequency ratio, returning the worst.
+// With enough trials the result converges to BestAlpha; the audit
+// exists to validate samplers against the exact matrix, and as an
+// example of black-box DP testing.
+func AuditDP(m *mechanism.Mechanism, trials int, rng *rand.Rand) (*DPAuditResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("stats: trials must be positive, got %d", trials)
+	}
+	n := m.N()
+	freq := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		counts := make([]int, n+1)
+		for t := 0; t < trials; t++ {
+			counts[m.Sample(i, rng)]++
+		}
+		freq[i] = make([]float64, n+1)
+		for r := 0; r <= n; r++ {
+			freq[i][r] = float64(counts[r]) / float64(trials)
+		}
+	}
+	res := &DPAuditResult{WorstAlpha: 1, Trials: trials}
+	// Frequency ratios are only meaningful where both cells have
+	// enough expected mass; rare tail cells would contribute pure
+	// sampling noise (a 1-vs-8 count looks like α = 1/8). The usual
+	// rule of ≥ ~400 expected observations keeps the relative error of
+	// each frequency near 5%, so the worst ratio is within ~10% of its
+	// exact value.
+	minExpected := 400.0 / float64(trials)
+	for i := 0; i < n; i++ {
+		for r := 0; r <= n; r++ {
+			a, b := freq[i][r], freq[i+1][r]
+			pa, pb := rational.Float(m.Prob(i, r)), rational.Float(m.Prob(i+1, r))
+			if pa < minExpected || pb < minExpected {
+				continue
+			}
+			if a == 0 || b == 0 {
+				continue // unobserved in this run; too little signal
+			}
+			ratio := a / b
+			if ratio > 1 {
+				ratio = 1 / ratio
+			}
+			if ratio < res.WorstAlpha {
+				res.WorstAlpha = ratio
+				res.I, res.R = i, r
+			}
+		}
+	}
+	return res, nil
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length samples.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: correlation needs ≥ 2 samples")
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

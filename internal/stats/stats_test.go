@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil || math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, %v", v, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || math.Abs(sd-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v, %v", sd, err)
+	}
+}
+
+func TestStatErrors(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Mean(nil) should ErrEmpty")
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("Variance of 1 sample should error")
+	}
+	if _, err := StdDev(nil); err == nil {
+		t.Error("StdDev(nil) should error")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Error("Quantile(nil) should ErrEmpty")
+	}
+	if _, err := Quantile([]float64{1}, 2); err == nil {
+		t.Error("q>1 accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if q, _ := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q, _ := Quantile(xs, 1); q != 4 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q, _ := Quantile(xs, 0.5); q != 2.5 {
+		t.Errorf("median = %v", q)
+	}
+	if q, _ := Quantile([]float64{7}, 0.3); q != 7 {
+		t.Errorf("singleton quantile = %v", q)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 3 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	m, hw, err := MeanCI(xs, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 3 {
+		t.Errorf("mean = %v", m)
+	}
+	want := 1.96 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(hw-want) > 1e-12 {
+		t.Errorf("halfWidth = %v, want %v", hw, want)
+	}
+	_, hw, err = MeanCI([]float64{42}, 1.96)
+	if err != nil || !math.IsInf(hw, 1) {
+		t.Error("single sample should give infinite half-width")
+	}
+	if _, _, err := MeanCI(nil, 1.96); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{0.25, 0.25, 0.5}
+	tv, err := TotalVariation(p, q)
+	if err != nil || tv != 0.5 {
+		t.Errorf("TV = %v, %v", tv, err)
+	}
+	if _, err := TotalVariation(p, q[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TotalVariation(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty accepted")
+	}
+	same, _ := TotalVariation(p, p)
+	if same != 0 {
+		t.Error("TV(p,p) != 0")
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	// 100 draws, expected uniform over 2 cells, observed 60/40:
+	// (60-50)²/50 + (40-50)²/50 = 4.
+	stat, err := ChiSquare([]int{60, 40}, []float64{0.5, 0.5})
+	if err != nil || stat != 4 {
+		t.Errorf("chi2 = %v, %v", stat, err)
+	}
+	// Zero expected cell with observations → +Inf.
+	stat, err = ChiSquare([]int{1, 99}, []float64{0, 1})
+	if err != nil || !math.IsInf(stat, 1) {
+		t.Errorf("chi2 with impossible cell = %v, %v", stat, err)
+	}
+	// Zero expected cell without observations is fine.
+	stat, err = ChiSquare([]int{0, 100}, []float64{0, 1})
+	if err != nil || stat != 0 {
+		t.Errorf("chi2 = %v, %v", stat, err)
+	}
+	if _, err := ChiSquare([]int{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ChiSquare(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty accepted")
+	}
+	if _, err := ChiSquare([]int{0, 0}, []float64{0.5, 0.5}); !errors.Is(err, ErrEmpty) {
+		t.Error("zero total accepted")
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	p := []float64{1, 0, 0}
+	q := []float64{0, 0, 1}
+	ks, err := KolmogorovSmirnov(p, q)
+	if err != nil || ks != 1 {
+		t.Errorf("KS = %v, %v", ks, err)
+	}
+	if _, err := KolmogorovSmirnov(p, q[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := KolmogorovSmirnov(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{0, 1, 1, 5, -2}, 3)
+	if h[0] != 2 || h[1] != 2 || h[2] != 1 {
+		t.Errorf("Histogram = %v", h)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	c, err := Correlation(xs, ys)
+	if err != nil || math.Abs(c-1) > 1e-12 {
+		t.Errorf("corr = %v, %v", c, err)
+	}
+	neg := []float64{8, 6, 4, 2}
+	c, _ = Correlation(xs, neg)
+	if math.Abs(c+1) > 1e-12 {
+		t.Errorf("anti-corr = %v", c)
+	}
+	if _, err := Correlation(xs, ys[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Correlation([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+// The empirical DP audit of the geometric mechanism converges near its
+// exact α.
+func TestAuditDPGeometric(t *testing.T) {
+	g, err := mechanism.Geometric(3, rational.MustParse("1/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AuditDP(g, 200000, sample.NewRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstAlpha < 0.45 || res.WorstAlpha > 0.55 {
+		t.Errorf("audited α = %v, want ≈ 0.5", res.WorstAlpha)
+	}
+	if res.Trials != 200000 {
+		t.Error("trials not recorded")
+	}
+	if _, err := AuditDP(g, 0, sample.NewRand(1)); err == nil {
+		t.Error("zero trials accepted")
+	}
+}

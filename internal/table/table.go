@@ -1,0 +1,153 @@
+// Package table renders aligned text tables for the experiment
+// harness, in two flavors: exact rational matrices (to reproduce the
+// paper's Table 1 and Table 2 cell-for-cell) and generic string-cell
+// tables with headers for experiment result rows.
+package table
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/rational"
+)
+
+// WriteMatrix renders a rational matrix with exact entries, aligned
+// per column, prefixed by a title line.
+func WriteMatrix(w io.Writer, title string, m *matrix.Matrix) error {
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, m.String())
+	return err
+}
+
+// WriteMatrixFloat renders a rational matrix in fixed-point decimal
+// with the given precision, for eyeballing against the paper's rounded
+// tables.
+func WriteMatrixFloat(w io.Writer, title string, m *matrix.Matrix, prec int) error {
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	cells := make([][]string, m.Rows())
+	for i := 0; i < m.Rows(); i++ {
+		cells[i] = make([]string, m.Cols())
+		for j := 0; j < m.Cols(); j++ {
+			cells[i][j] = fmt.Sprintf("%.*f", prec, rational.Float(m.At(i, j)))
+		}
+	}
+	return writeAligned(w, nil, cells)
+}
+
+// Table accumulates rows of string cells under a header and renders
+// them column-aligned.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// New returns a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; extra or missing cells are tolerated and
+// padded at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row where each cell is formatted with %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case *big.Rat:
+			row[i] = v.RatString()
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	return writeAligned(w, t.header, t.rows)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Write(&b); err != nil {
+		return fmt.Sprintf("table: render error: %v", err)
+	}
+	return b.String()
+}
+
+func writeAligned(w io.Writer, header []string, rows [][]string) error {
+	cols := len(header)
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if header != nil {
+		measure(header)
+	}
+	for _, r := range rows {
+		measure(r)
+	}
+	writeRow := func(r []string) error {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if header != nil {
+		if err := writeRow(header); err != nil {
+			return err
+		}
+		rule := make([]string, cols)
+		for i := range rule {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+		if err := writeRow(rule); err != nil {
+			return err
+		}
+	}
+	for _, r := range rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"minimaxdp/internal/matrix"
+)
+
+func TestWriteMatrix(t *testing.T) {
+	m := matrix.MustFromStrings([][]string{{"1/2", "1"}, {"1", "1/2"}})
+	var b strings.Builder
+	if err := WriteMatrix(&b, "G:", m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "G:") || !strings.Contains(out, "1/2") {
+		t.Errorf("output:\n%s", out)
+	}
+	b.Reset()
+	if err := WriteMatrix(&b, "", m); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "G:") {
+		t.Error("empty title printed")
+	}
+}
+
+func TestWriteMatrixFloat(t *testing.T) {
+	m := matrix.MustFromStrings([][]string{{"1/4", "3/4"}})
+	var b strings.Builder
+	if err := WriteMatrixFloat(&b, "M", m, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0.25") || !strings.Contains(b.String(), "0.75") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := New("id", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("bb", "22", "extra")
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "id") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Errorf("rule: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "extra") {
+		t.Errorf("extra cell lost: %q", lines[3])
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("kind", "val")
+	tb.AddRowf("rat", matrix.MustFromStrings([][]string{{"1/3"}}).At(0, 0))
+	tb.AddRowf("float", 0.5)
+	tb.AddRowf("int", 42)
+	out := tb.String()
+	if !strings.Contains(out, "1/3") || !strings.Contains(out, "0.5") || !strings.Contains(out, "42") {
+		t.Errorf("output:\n%s", out)
+	}
+}

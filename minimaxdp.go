@@ -1,0 +1,247 @@
+// Package minimaxdp implements universally optimal differentially
+// private mechanisms for minimax (risk-averse) information consumers,
+// reproducing Gupte & Sundararajan, "Universally Optimal Privacy
+// Mechanisms for Minimax Agents" (PODS 2010).
+//
+// # Model
+//
+// A count query over an n-row database returns an integer in {0..n}.
+// An oblivious privacy mechanism perturbs that result: it is an
+// (n+1)×(n+1) row-stochastic matrix x with x[i][r] = Pr[release r |
+// true result i]. The mechanism is α-differentially private
+// (α ∈ [0,1]) when probabilities on adjacent inputs stay within a
+// multiplicative α…1/α band (Definition 2 of the paper); larger α
+// means stronger privacy.
+//
+// An information consumer has a monotone loss function l(i,r) and side
+// information S ⊆ {0..n}, and — being risk-averse — evaluates a
+// mechanism by its worst-case expected loss over S (the minimax rule).
+// A rational consumer post-processes the mechanism's output with the
+// randomized reinterpretation that minimizes that worst-case loss.
+//
+// # Headline result
+//
+// The paper's Theorem 1, reproduced exactly by this library: deploying
+// the geometric mechanism G_{n,α} is simultaneously optimal for every
+// minimax consumer — each consumer's optimal post-processing of
+// G_{n,α} achieves exactly the loss of the α-DP mechanism that would
+// have been tailored to that consumer by the Section 2.5 linear
+// program. Furthermore, one result can be released at several privacy
+// levels α₁ < … < α_k in a collusion-resistant way by cascading
+// stochastic transitions (Algorithm 1).
+//
+// # Quick start
+//
+//	alpha := minimaxdp.MustRat("1/2")      // privacy level
+//	g, _ := minimaxdp.Geometric(100, alpha) // mechanism for a 100-row DB
+//	release := g.Sample(42, rng)            // perturbed query result
+//
+//	gov := &minimaxdp.Consumer{Loss: minimaxdp.AbsoluteLoss()}
+//	best, _ := minimaxdp.OptimalInteraction(gov, g)
+//	// best.Induced is the mechanism the consumer effectively sees;
+//	// best.Loss equals the tailored optimum (Theorem 1).
+//
+// All numerics are exact rationals (math/big.Rat): the theorem checks
+// in this library are true equalities, not floating-point
+// approximations.
+package minimaxdp
+
+import (
+	"math/big"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/derive"
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/release"
+)
+
+// Mechanism is an oblivious privacy mechanism for a count query on
+// {0..n}: an immutable row-stochastic matrix of release probabilities.
+type Mechanism = mechanism.Mechanism
+
+// Matrix is a dense matrix of exact rationals; consumer interactions
+// (post-processing matrices) use this type.
+type Matrix = matrix.Matrix
+
+// Consumer is a minimax information consumer: a monotone loss function
+// plus optional side information (the set of possible true results).
+type Consumer = consumer.Consumer
+
+// Bayesian is an information consumer in the Bayesian model of Ghosh
+// et al. (STOC 2009), used for the Section 2.7 comparison: a prior
+// over true results plus a loss function.
+type Bayesian = consumer.Bayesian
+
+// Interaction is a consumer's optimal post-processing of a deployed
+// mechanism: the reinterpretation matrix T, the induced mechanism y·T,
+// and its minimax loss.
+type Interaction = consumer.Interaction
+
+// Tailored is the optimal α-DP mechanism computed for one known
+// consumer, together with its loss.
+type Tailored = consumer.Tailored
+
+// ReleasePlan is a prepared multi-level release (Algorithm 1): one
+// query result published at several privacy levels with correlated
+// noise, collusion-resistantly.
+type ReleasePlan = release.Plan
+
+// LossFunction is a consumer loss l(i,r), assumed monotone
+// non-decreasing in |i−r| (validated by ValidateLoss).
+type LossFunction = loss.Function
+
+// DPViolation describes a differential-privacy violation found by
+// Mechanism.CheckDP.
+type DPViolation = mechanism.DPViolation
+
+// Rat parses an exact rational from a string such as "1/2" or "0.25".
+func Rat(s string) (*big.Rat, error) { return rational.Parse(s) }
+
+// MustRat is Rat for compile-time-known literals; panics on bad input.
+func MustRat(s string) *big.Rat { return rational.MustParse(s) }
+
+// Geometric returns the range-restricted α-geometric mechanism
+// G_{n,α} (Definition 4 of the paper): two-sided geometric noise with
+// ratio α added to the true result and clamped into [0,n]. It is
+// α-differentially private and, by Theorem 1, universally optimal for
+// all minimax consumers.
+func Geometric(n int, alpha *big.Rat) (*Mechanism, error) {
+	return mechanism.Geometric(n, alpha)
+}
+
+// NewMechanism wraps a row-stochastic matrix as a Mechanism,
+// validating stochasticity.
+func NewMechanism(m *Matrix) (*Mechanism, error) { return mechanism.New(m) }
+
+// MechanismFromStrings builds a mechanism from rational string
+// entries, e.g. {{"1/2","1/2"},{"1/4","3/4"}}.
+func MechanismFromStrings(rows [][]string) (*Mechanism, error) {
+	return mechanism.FromStrings(rows)
+}
+
+// Uniform returns the output-independent uniform mechanism on {0..n}
+// (perfect privacy, zero utility) — a baseline.
+func Uniform(n int) (*Mechanism, error) { return mechanism.Uniform(n) }
+
+// IdentityMechanism returns the mechanism that releases the exact
+// result (no privacy) — a baseline.
+func IdentityMechanism(n int) (*Mechanism, error) { return mechanism.Identity(n) }
+
+// RandomizedResponse returns the classical randomized-response
+// mechanism: truth with probability p, uniform otherwise — a
+// non-geometric DP baseline.
+func RandomizedResponse(n int, p *big.Rat) (*Mechanism, error) {
+	return mechanism.RandomizedResponse(n, p)
+}
+
+// AbsoluteLoss returns l(i,r) = |i−r| (mean error).
+func AbsoluteLoss() LossFunction { return loss.Absolute{} }
+
+// SquaredLoss returns l(i,r) = (i−r)² (variance of error).
+func SquaredLoss() LossFunction { return loss.Squared{} }
+
+// ZeroOneLoss returns l(i,r) = 1{i ≠ r} (frequency of error).
+func ZeroOneLoss() LossFunction { return loss.ZeroOne{} }
+
+// DeadbandLoss returns l(i,r) = max(0, |i−r|−width).
+func DeadbandLoss(width int) LossFunction { return loss.Deadband{Width: width} }
+
+// ValidateLoss checks the paper's Section 2.3 assumption (monotone
+// non-decreasing in |i−r|) on the domain {0..n}.
+func ValidateLoss(l LossFunction, n int) error { return loss.Validate(l, n) }
+
+// SideInterval builds contiguous side information {lo..hi}, the common
+// case (population upper bounds, sales lower bounds).
+func SideInterval(lo, hi int) []int { return consumer.Interval(lo, hi) }
+
+// OptimalInteraction solves the consumer's optimal post-processing LP
+// (Section 2.4.3) against a deployed mechanism. By Theorem 1, when the
+// deployed mechanism is Geometric(n, α), the result's Loss equals
+// OptimalMechanism(c, n, α).Loss for every consumer c.
+func OptimalInteraction(c *Consumer, deployed *Mechanism) (*Interaction, error) {
+	return consumer.OptimalInteraction(c, deployed)
+}
+
+// OptimalMechanism solves the Section 2.5 LP: the α-DP mechanism
+// minimizing the consumer's minimax loss.
+func OptimalMechanism(c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
+	return consumer.OptimalMechanism(c, n, alpha)
+}
+
+// OptimalBayesianInteraction computes the Bayes-optimal deterministic
+// remap of a deployed mechanism's outputs (Section 2.7 comparison).
+func OptimalBayesianInteraction(b *Bayesian, deployed *Mechanism) (*consumer.BayesianInteraction, error) {
+	return consumer.OptimalBayesianInteraction(b, deployed)
+}
+
+// OptimalBayesianMechanism solves the Bayesian analogue of the
+// Section 2.5 LP (Ghosh et al.'s objective).
+func OptimalBayesianMechanism(b *Bayesian, n int, alpha *big.Rat) (*Tailored, error) {
+	return consumer.OptimalBayesianMechanism(b, n, alpha)
+}
+
+// UniformPrior returns the uniform prior on {0..n} for Bayesian
+// consumers.
+func UniformPrior(n int) []*big.Rat { return consumer.UniformPrior(n) }
+
+// Derivable reports whether mechanism m can be obtained from
+// Geometric(n, α) by randomized post-processing, via Theorem 2's
+// three-term characterization: for every column, (1+α²)·x₂ −
+// α·(x₁+x₃) ≥ 0 on all consecutive triples.
+func Derivable(m *Mechanism, alpha *big.Rat) bool { return derive.Derivable(m, alpha) }
+
+// Factor computes the unique post-processing T with m = G_{n,α}·T, or
+// an error wrapping derive.ErrNotDerivable when none exists.
+func Factor(m *Mechanism, alpha *big.Rat) (*Matrix, error) { return derive.Factor(m, alpha) }
+
+// Transition returns the Lemma 3 stochastic matrix T_{α,β} with
+// G_{n,β} = G_{n,α}·T_{α,β}, defined whenever α ≤ β (privacy can only
+// be added, never removed).
+func Transition(n int, alpha, beta *big.Rat) (*Matrix, error) {
+	return derive.Transition(n, alpha, beta)
+}
+
+// NewReleasePlan prepares Algorithm 1 for privacy levels α₁ < … < α_k:
+// Release then publishes one correlated result per level, and any
+// coalition of consumers learns no more than its least-private member
+// (Lemma 4).
+func NewReleasePlan(n int, alphas []*big.Rat) (*ReleasePlan, error) {
+	return release.NewPlan(n, alphas)
+}
+
+// RowPairStructure describes the Lemma 5 tight-prefix/tight-suffix
+// pattern of one adjacent row pair of a mechanism.
+type RowPairStructure = consumer.RowPairStructure
+
+// CheckLemma5 verifies the paper's Lemma 5 structure on a mechanism:
+// every adjacent row pair is pinned by the privacy constraints except
+// for at most one slack column.
+func CheckLemma5(m *Mechanism, alpha *big.Rat) ([]RowPairStructure, error) {
+	return consumer.CheckLemma5(m, alpha)
+}
+
+// OptimalMechanismRefined is OptimalMechanism followed by the
+// lexicographic tie-breaking used in the proof of Lemma 5: among
+// minimax-optimal mechanisms it returns one minimizing the secondary
+// objective Σ x[i][r]·|i−r|, which is guaranteed to satisfy
+// CheckLemma5.
+func OptimalMechanismRefined(c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
+	return consumer.OptimalMechanismRefined(c, n, alpha)
+}
+
+// DerivableFrom decides Definition 3 between arbitrary mechanisms: it
+// returns a row-stochastic T with x = y·T when one exists (so a
+// consumer of y can simulate x), or an error wrapping
+// derive.ErrNotDerivable. Unlike Factor this handles singular deployed
+// mechanisms via exact LP feasibility.
+func DerivableFrom(x, y *Mechanism) (*Matrix, error) { return derive.DerivableFrom(x, y) }
+
+// OptimalDeterministicInteraction finds the best deterministic remap
+// of a deployed mechanism by exhaustive enumeration (n ≤ 6) — the
+// restriction §2.7 contrasts with randomized post-processing.
+func OptimalDeterministicInteraction(c *Consumer, deployed *Mechanism) (*Interaction, error) {
+	return consumer.OptimalDeterministicInteraction(c, deployed)
+}
