@@ -1,0 +1,35 @@
+# Development entry points for minimaxdp. `make check` is the same
+# gate CI runs (.github/workflows/ci.yml -> scripts/check.sh).
+
+.PHONY: check build test race vet dpvet fuzz-smoke
+
+## check: full CI gate (fmt, build, vet, dpvet, race tests, fuzz smoke)
+check:
+	./scripts/check.sh
+
+## build: compile every package
+build:
+	go build ./...
+
+## test: run the test suite
+test:
+	go test ./...
+
+## race: run the test suite under the race detector
+race:
+	go test -race ./...
+
+## vet: run go vet plus the project's dpvet analyzers
+vet:
+	go vet ./...
+	go run ./cmd/dpvet ./...
+
+## dpvet: run only the project analyzers
+dpvet:
+	go run ./cmd/dpvet ./...
+
+## fuzz-smoke: short run of every fuzz target (FUZZTIME=10s default)
+fuzz-smoke:
+	go test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/rational
+	go test -run='^$$' -fuzz='^FuzzPow$$' -fuzztime=$${FUZZTIME:-10s} ./internal/rational
+	go test -run='^$$' -fuzz='^FuzzUnmarshalJSON$$' -fuzztime=$${FUZZTIME:-10s} ./internal/mechanism

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"minimaxdp/internal/analysis/registry"
+)
+
+func TestListExitsZero(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("run(-list) = %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	if got := run([]string{"-run", "nosuchanalyzer"}); got != 2 {
+		t.Fatalf("run(-run nosuchanalyzer) = %d, want 2", got)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if got := run([]string{"-definitely-not-a-flag"}); got != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", got)
+	}
+}
+
+// TestFixtureExitsOne points the real binary entry at a deliberately
+// violating fixture package and expects the findings exit code.
+func TestFixtureExitsOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short")
+	}
+	got := run([]string{"../../internal/analysis/errdiscard/testdata/src/errdiscard"})
+	if got != 1 {
+		t.Fatalf("run(errdiscard fixture) = %d, want 1", got)
+	}
+}
+
+// TestSelfCleanExitsZero runs the suite over dpvet's own sources.
+func TestSelfCleanExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short")
+	}
+	if got := run([]string{"./..."}); got != 0 {
+		t.Fatalf("run(./...) = %d, want 0", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	if got := filter(registry.All(), "randsource , errdiscard"); len(got) != 2 {
+		t.Fatalf("filter matched %d analyzers, want 2", len(got))
+	}
+	if got := filter(registry.All(), ""); len(got) != 0 {
+		t.Fatalf("empty filter matched %d analyzers, want 0", len(got))
+	}
+}

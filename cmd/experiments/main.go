@@ -71,13 +71,14 @@ func main() {
 	}
 
 	var w io.Writer = os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 
@@ -115,6 +116,14 @@ func main() {
 		if err := e.run(w, cfg); err != nil {
 			fmt.Fprintf(w, "ERROR: %v\n", err)
 			failed++
+		}
+	}
+	// The file carries the experiment tables; a close error means a
+	// truncated results file, which must not pass silently.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
 		}
 	}
 	if failed > 0 {

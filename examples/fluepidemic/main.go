@@ -23,14 +23,14 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"minimaxdp"
 	"minimaxdp/internal/database"
+	"minimaxdp/internal/sample"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(2024))
+	rng := sample.NewRand(2024)
 
 	// Synthetic survey population for San Diego. (Kept small so the
 	// exact rational LPs below solve in seconds; the mechanisms

@@ -17,7 +17,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"minimaxdp"
 )
@@ -33,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(7))
+	rng := minimaxdp.NewRand(7)
 	released := g.Sample(trueCount, rng)
 	fmt.Printf("true count: %d (secret)\n", trueCount)
 	fmt.Printf("released:   %d (α = %s geometric mechanism)\n\n", released, alpha.RatString())

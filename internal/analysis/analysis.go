@@ -1,0 +1,180 @@
+// Package analysis is the driver framework for dpvet, this module's
+// custom static-analysis suite. It plays the role of
+// golang.org/x/tools/go/analysis in a stdlib-only setting: analyzers
+// receive a type-checked package (a Pass), report position-tagged
+// diagnostics, and the driver filters suppressions and orders output.
+//
+// Why a bespoke vet exists at all: the optimality theorems this
+// library reproduces hold only under exact rational arithmetic and a
+// single seedable randomness source. Those are whole-program
+// invariants that the Go compiler cannot see — a stray float64
+// conversion in the LP solver or a mutated shared *big.Rat type-checks
+// fine and silently invalidates every "exact equality" claim in the
+// test suite. The analyzers under internal/analysis/... encode those
+// invariants as machine-checked rules; cmd/dpvet runs them in CI.
+//
+// Suppression: a finding can be silenced with a directive comment
+//
+//	//dpvet:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// placed either on the offending line or on the line directly above
+// it. The analyzer list is mandatory (there is no blanket ignore) and
+// a justification is expected by convention; the real-tree test in
+// internal/analysis/registry keeps the ignore count honest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"minimaxdp/internal/analysis/load"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dpvet:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description shown by `dpvet -list`.
+	Doc string
+	// Run inspects the pass and reports findings via pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// IgnorePrefix is the directive-comment prefix for suppressions.
+const IgnorePrefix = "//dpvet:ignore"
+
+// Run applies every analyzer to every package and returns the
+// surviving diagnostics sorted by position. Findings matched by a
+// //dpvet:ignore directive are dropped.
+func Run(res *load.Result, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range res.Pkgs {
+		ignores := collectIgnores(res.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     res.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    new([]Diagnostic),
+			}
+			a.Run(pass)
+			for _, d := range *pass.diags {
+				if !ignores.match(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// ignoreSet records, per analyzer, the file lines covered by a
+// //dpvet:ignore directive. A directive covers its own line (trailing
+// comment) and the line after it (standalone comment).
+type ignoreSet map[string]map[string]bool // analyzer -> "file:line" -> true
+
+func (s ignoreSet) match(analyzer string, pos token.Position) bool {
+	lines := s[analyzer]
+	if lines == nil {
+		return false
+	}
+	return lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, name := range names {
+					if set[name] == nil {
+						set[name] = make(map[string]bool)
+					}
+					set[name][fmt.Sprintf("%s:%d", p.Filename, p.Line)] = true
+					set[name][fmt.Sprintf("%s:%d", p.Filename, p.Line+1)] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnore extracts the analyzer list from a //dpvet:ignore
+// directive. Everything after the first whitespace-separated field is
+// a human justification and is not interpreted.
+func parseIgnore(text string) ([]string, bool) {
+	if !strings.HasPrefix(text, IgnorePrefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, IgnorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //dpvet:ignoreXYZ is not a directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//dpvet:ignore errdiscard read-only file", []string{"errdiscard"}},
+		{"//dpvet:ignore errdiscard,ratmutate shared justification", []string{"errdiscard", "ratmutate"}},
+		{"//dpvet:ignore floatexact", []string{"floatexact"}},
+		{"//dpvet:ignore\trandsource tab-separated", []string{"randsource"}},
+		{"//dpvet:ignore", nil},             // analyzer list is mandatory
+		{"//dpvet:ignoreerrdiscard", nil},   // not a directive
+		{"// dpvet:ignore errdiscard", nil}, // space breaks the directive prefix
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		got, ok := parseIgnore(c.text)
+		if c.want == nil {
+			if ok {
+				t.Errorf("parseIgnore(%q) = %v, want no directive", c.text, got)
+			}
+			continue
+		}
+		if !ok || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseIgnore(%q) = %v/%v, want %v", c.text, got, ok, c.want)
+		}
+	}
+}
+
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		path     string
+		suffixes []string
+		want     bool
+	}{
+		{"minimaxdp/internal/lp", []string{"minimaxdp/internal/lp"}, true},
+		{"minimaxdp/internal/analysis/x/testdata/src/internal/sample", []string{"internal/sample"}, true},
+		{"minimaxdp/internal/lpx", []string{"minimaxdp/internal/lp"}, false},
+		{"minimaxdp/internal/notlp", []string{"internal/lp"}, false},
+		{"internal/sample", []string{"internal/sample"}, true},
+		{"minimaxdp/internal/sample", []string{"internal/sample"}, true},
+	}
+	for _, c := range cases {
+		if got := PathMatches(c.path, c.suffixes); got != c.want {
+			t.Errorf("PathMatches(%q, %v) = %v, want %v", c.path, c.suffixes, got, c.want)
+		}
+	}
+}

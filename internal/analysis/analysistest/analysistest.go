@@ -1,0 +1,101 @@
+// Package analysistest is the golden-diagnostic harness for dpvet
+// analyzers, a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture package under testdata/src/<analyzer>/ annotates the lines
+// it expects findings on with trailing comments of the form
+//
+//	expr // want `regexp1` `regexp2`
+//
+// Run loads the fixture through the production loader (so fixtures
+// exercise the same type-checking and //dpvet:ignore filtering as real
+// code), applies one analyzer, and fails the test unless the reported
+// diagnostics and the want annotations match one-to-one per line.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"minimaxdp/internal/analysis"
+	"minimaxdp/internal/analysis/load"
+)
+
+// expectation is one `want` regexp awaiting a diagnostic on its line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+// Run applies analyzer to the packages matched by patterns (resolved
+// relative to dir) and checks diagnostics against // want comments.
+// It returns the surviving diagnostics for any extra assertions.
+func Run(t *testing.T, dir string, analyzer *analysis.Analyzer, patterns ...string) []analysis.Diagnostic {
+	t.Helper()
+	res, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	expectations := collectWants(t, res)
+	diags := analysis.Run(res, []*analysis.Analyzer{analyzer})
+
+	for _, d := range diags {
+		if !claim(expectations, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expectations {
+		if !e.met {
+			t.Errorf("%s:%d: no diagnostic matched want `%s`", e.file, e.line, e.rx)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmet expectation matching d.
+func claim(exps []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range exps {
+		if !e.met && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.rx.MatchString(d.Message) {
+			e.met = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, res *load.Result) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, pkg := range res.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					idx := strings.Index(text, "want ")
+					if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+						continue
+					}
+					pos := res.Fset.Position(c.Pos())
+					body := text[idx+len("want "):]
+					matches := wantRE.FindAllStringSubmatch(body, -1)
+					if len(matches) == 0 {
+						t.Fatalf("%s: malformed want comment %q (patterns must be backquoted)", pos, c.Text)
+					}
+					for _, m := range matches {
+						rx, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+						}
+						exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+					}
+				}
+			}
+		}
+	}
+	return exps
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Unparen strips any enclosing parentheses from e.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Callee resolves the object a call expression invokes: a function,
+// method, or builtin. It returns nil for calls through function
+// values and for type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// CalleeFunc is Callee narrowed to *types.Func (nil otherwise).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn, _ := Callee(info, call).(*types.Func)
+	return fn
+}
+
+// RootIdent returns the identifier at the root of a selector/index
+// chain: RootIdent(m.a[i][j]) == m. It returns nil for expressions
+// not rooted at a plain identifier (calls, composites, etc.).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IsBigRat reports whether t is math/big.Rat or *math/big.Rat.
+func IsBigRat(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rat" && obj.Pkg() != nil && obj.Pkg().Path() == "math/big"
+}
+
+// PathMatches reports whether the import path matches any entry in
+// suffixes, where a match is either full equality or a "/"-delimited
+// suffix. Suffix matching lets analyzer scopes written against real
+// module paths also cover the testdata fixture packages, whose import
+// paths carry a testdata/src prefix.
+func PathMatches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

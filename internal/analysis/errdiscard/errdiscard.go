@@ -1,0 +1,192 @@
+// Package errdiscard implements the dpvet analyzer that forbids
+// silently dropped errors in non-test code.
+//
+// The failure modes this module cares about are quiet ones: an LP
+// that returns Infeasible, a mechanism row that fails validation, a
+// truncated results file. Discarding such an error converts a loud
+// failure into a wrong number in a paper-reproduction table. The
+// analyzer flags:
+//
+//   - expression statements (including go/defer) calling anything
+//     whose results include an error, and
+//   - assignments that put an error-typed result into the blank
+//     identifier (`_ = f()`, `x, _ := g()`).
+//
+// Exemptions, mirroring errcheck's conventional defaults:
+//
+//   - the fmt Print/Fprint family — their errors only surface for
+//     broken writers, and the binaries here print diagnostics to
+//     stdout/stderr or to writers whose Close IS checked;
+//   - methods on strings.Builder and bytes.Buffer, which are
+//     documented never to return a non-nil error.
+//
+// Genuinely intentional discards (Close on a read-only file, say)
+// carry a //dpvet:ignore errdiscard directive with a justification.
+package errdiscard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"minimaxdp/internal/analysis"
+)
+
+// Analyzer is the production instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscard",
+	Doc: "forbid discarding error results via bare calls, go/defer statements, " +
+		"or assignment to the blank identifier in non-test files",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := analysis.Unparen(n.X).(*ast.CallExpr); ok {
+					checkBareCall(pass, call, "result of call discarded")
+				}
+			case *ast.DeferStmt:
+				checkBareCall(pass, n.Call, "error from deferred call discarded")
+			case *ast.GoStmt:
+				checkBareCall(pass, n.Call, "error from goroutine call discarded")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBareCall flags a call-as-statement whose results include an
+// error.
+func checkBareCall(pass *analysis.Pass, call *ast.CallExpr, what string) {
+	pos, ok := errResultPositions(pass, call)
+	if !ok || len(pos) == 0 || exempt(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s: %s returns an error; handle it, propagate it, or suppress with //dpvet:ignore errdiscard <why>",
+		what, calleeName(pass, call))
+}
+
+// checkAssign flags blank-identifier assignment of error values.
+func checkAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	// Multi-value form: x, _ := f().
+	if len(assign.Lhs) > 1 && len(assign.Rhs) == 1 {
+		call, ok := analysis.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		errPos, ok := errResultPositions(pass, call)
+		if !ok || exempt(pass, call) {
+			return
+		}
+		for _, i := range errPos {
+			if i < len(assign.Lhs) && isBlank(assign.Lhs[i]) {
+				pass.Reportf(assign.Lhs[i].Pos(),
+					"error result %d of %s assigned to blank identifier; handle it, propagate it, or suppress with //dpvet:ignore errdiscard <why>",
+					i, calleeName(pass, call))
+			}
+		}
+		return
+	}
+	// Paired form: _ = expr (possibly several pairs).
+	if len(assign.Lhs) == len(assign.Rhs) {
+		for i, lhs := range assign.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			tv, ok := pass.Info.Types[assign.Rhs[i]]
+			if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+				continue
+			}
+			if call, ok := analysis.Unparen(assign.Rhs[i]).(*ast.CallExpr); ok && exempt(pass, call) {
+				continue
+			}
+			pass.Reportf(lhs.Pos(),
+				"error value assigned to blank identifier; handle it, propagate it, or suppress with //dpvet:ignore errdiscard <why>")
+		}
+	}
+}
+
+// errResultPositions returns the result indices of call that carry an
+// error. ok is false when the call's type cannot be determined (or is
+// a conversion).
+func errResultPositions(pass *analysis.Pass, call *ast.CallExpr) (idx []int, ok bool) {
+	tv, found := pass.Info.Types[call]
+	if !found || tv.Type == nil || tv.IsType() {
+		return nil, false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				idx = append(idx, i)
+			}
+		}
+	default:
+		if isErrorType(t) {
+			idx = append(idx, 0)
+		}
+	}
+	return idx, true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// fmtPrinters never carry actionable errors for the writers this
+// module uses; see the package comment.
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && fmtPrinters[fn.Name()] {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true // documented to never return a non-nil error
+	}
+	return false
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(pass.Info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "(" + sig.Recv().Type().String() + ")." + fn.Name()
+		}
+		if pkg := fn.Pkg(); pkg != nil {
+			return pkg.Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

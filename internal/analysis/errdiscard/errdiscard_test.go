@@ -1,0 +1,15 @@
+package errdiscard_test
+
+import (
+	"testing"
+
+	"minimaxdp/internal/analysis/analysistest"
+	"minimaxdp/internal/analysis/errdiscard"
+)
+
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, ".", errdiscard.Analyzer, "./testdata/src/errdiscard")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; analyzer is inert")
+	}
+}

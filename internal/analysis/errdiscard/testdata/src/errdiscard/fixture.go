@@ -1,0 +1,90 @@
+// Package fixture exercises the errdiscard analyzer: every way of
+// silently dropping an error is flagged; handled errors, error-free
+// calls, and the fmt/Builder exemptions are not.
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func valueAndError() (int, error) { return 0, errors.New("boom") }
+
+func pureValue() int { return 42 }
+
+// BareCall drops the only result.
+func BareCall() {
+	mayFail() // want `result of call discarded`
+}
+
+// BareMultiCall drops a trailing error.
+func BareMultiCall() {
+	valueAndError() // want `result of call discarded`
+}
+
+// DeferredClose drops the error at function exit, where write
+// failures surface.
+func DeferredClose(f *os.File) {
+	defer f.Close() // want `error from deferred call discarded`
+}
+
+// GoCall loses the error on another goroutine.
+func GoCall() {
+	go mayFail() // want `error from goroutine call discarded`
+}
+
+// BlankSingle discards via the blank identifier.
+func BlankSingle() {
+	_ = mayFail() // want `error value assigned to blank identifier`
+}
+
+// BlankTuple discards the error position of a tuple.
+func BlankTuple() int {
+	v, _ := valueAndError() // want `error result 1 of fixture\.valueAndError assigned to blank identifier`
+	return v
+}
+
+// HandledOK is the control for propagation.
+func HandledOK() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := valueAndError()
+	_ = v
+	return err
+}
+
+// NoErrorOK: discarding non-error results is not this analyzer's
+// business.
+func NoErrorOK() {
+	pureValue()
+	v, exact := 1.5, true
+	_ = v
+	_ = exact
+}
+
+// FmtExemptOK: the fmt print family is exempt by design.
+func FmtExemptOK(w *os.File) {
+	fmt.Println("hello")
+	fmt.Fprintf(w, "x=%d\n", 1)
+}
+
+// BuilderExemptOK: strings.Builder and bytes.Buffer never fail.
+func BuilderExemptOK() string {
+	var b strings.Builder
+	b.WriteString("a")
+	var buf bytes.Buffer
+	buf.WriteByte('b')
+	return b.String() + buf.String()
+}
+
+// Suppressed shows the justified escape hatch.
+func Suppressed(f *os.File) {
+	//dpvet:ignore errdiscard read-only handle, Close cannot fail meaningfully
+	defer f.Close()
+}

@@ -1,0 +1,51 @@
+package floatexact_test
+
+import (
+	"testing"
+
+	"minimaxdp/internal/analysis"
+	"minimaxdp/internal/analysis/analysistest"
+	"minimaxdp/internal/analysis/floatexact"
+	"minimaxdp/internal/analysis/load"
+)
+
+// TestFixture runs the analyzer over the fixture package, scoped so
+// the fixture's import path counts as exact-arithmetic, and checks
+// diagnostics against the // want annotations.
+func TestFixture(t *testing.T) {
+	a := floatexact.New([]string{"testdata/src/floatexact"}, nil)
+	diags := analysistest.Run(t, ".", a, "./testdata/src/floatexact")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; analyzer is inert")
+	}
+}
+
+// TestOutOfScope checks that the fixture is silent when the scope
+// names only real exact-arithmetic packages: floatexact must never
+// fire outside its fence.
+func TestOutOfScope(t *testing.T) {
+	a := floatexact.New([]string{"minimaxdp/internal/lp"}, nil)
+	if got := rawRun(t, a); len(got) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", got)
+	}
+}
+
+// TestAllowFile checks the per-file allowlist: with the fixture file
+// allowlisted, every finding disappears.
+func TestAllowFile(t *testing.T) {
+	a := floatexact.New([]string{"testdata/src/floatexact"}, []string{"fixture.go"})
+	if got := rawRun(t, a); len(got) != 0 {
+		t.Fatalf("allowlisted file produced diagnostics: %v", got)
+	}
+}
+
+// rawRun applies the analyzer to the fixture without consulting want
+// annotations.
+func rawRun(t *testing.T, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	res, err := load.Load(".", "./testdata/src/floatexact")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return analysis.Run(res, []*analysis.Analyzer{a})
+}

@@ -1,0 +1,181 @@
+// Package load resolves Go package patterns and type-checks the
+// matched packages using only the standard library.
+//
+// The exact-arithmetic analyzers in internal/analysis need full
+// go/types information (to distinguish a *big.Rat receiver from a
+// *Matrix one, or an error result from a bool), but this module is
+// deliberately dependency-free, so golang.org/x/tools/go/packages is
+// off the table. Instead we do what driver tools did before
+// go/packages existed:
+//
+//  1. shell out to `go list -e -deps -export -json <patterns>` to
+//     resolve patterns, file lists, and compiled export data for every
+//     dependency (the go command writes export files into the build
+//     cache as a side effect);
+//  2. parse the matched packages from source with go/parser; and
+//  3. type-check them with go/types, importing dependencies through
+//     go/importer's gc lookup hook pointed at the export files from
+//     step 1.
+//
+// Test files (_test.go) are intentionally not loaded: every analyzer
+// in this module is specified over non-test code, and the vet
+// invariants (exact arithmetic, seeded randomness) do not bind tests.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked, pattern-matched package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File // parsed non-test Go files, with comments
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Result is the outcome of a Load call. Fset is shared by every
+// package so diagnostic positions can be printed uniformly.
+type Result struct {
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// listedPackage mirrors the subset of `go list -json` output we
+// consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct {
+		Err string
+	}
+}
+
+// Load resolves patterns relative to dir (any directory inside the
+// module) and returns the type-checked packages the patterns matched.
+// Dependencies are imported from compiled export data, so only the
+// matched packages themselves are parsed from source.
+func Load(dir string, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	res := &Result{Fset: fset}
+	for _, p := range targets {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := typecheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, pkg)
+	}
+	sort.Slice(res.Pkgs, func(i, j int) bool {
+		return res.Pkgs[i].ImportPath < res.Pkgs[j].ImportPath
+	})
+	return res, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("load: patterns %v matched no packages", patterns)
+	}
+	return out, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*Package, error) {
+	if len(p.GoFiles) == 0 {
+		return nil, fmt.Errorf("load: %s: no Go files", p.ImportPath)
+	}
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

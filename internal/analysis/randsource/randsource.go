@@ -1,0 +1,87 @@
+// Package randsource implements the dpvet analyzer that funnels all
+// randomness through internal/sample.
+//
+// Every experiment binary in this module takes a -seed flag and every
+// reported number must be reproducible from it. That works only if
+// there is exactly one way to obtain a PRNG: sample.NewRand. A
+// rand.New(rand.NewSource(...)) constructed ad hoc forks the seeding
+// policy, and a call to a top-level math/rand function (rand.Intn,
+// rand.Float64, ...) silently draws from the global, self-seeded
+// source — both unreproducible and invisible in review. Centralizing
+// construction also keeps a single swap point if sampling ever moves
+// to crypto/rand for release builds.
+//
+// The analyzer forbids referencing any math/rand (or math/rand/v2)
+// function outside packages on the Allow list. Using the types
+// (*rand.Rand as a parameter, rand.Source as an interface) is fine
+// everywhere — the point is that only internal/sample may construct
+// or draw without an explicit source.
+//
+// Test files are outside dpvet's loading universe, so tests may seed
+// local PRNGs freely.
+package randsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"minimaxdp/internal/analysis"
+)
+
+// DefaultAllow lists packages (by import path or "/"-suffix) that may
+// touch math/rand directly.
+var DefaultAllow = []string{
+	"minimaxdp/internal/sample",
+	"internal/sample",
+}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultAllow)
+
+// New builds a randsource analyzer with a custom allow list.
+func New(allow []string) *analysis.Analyzer {
+	a := &analyzer{allow: allow}
+	return &analysis.Analyzer{
+		Name: "randsource",
+		Doc: "forbid direct math/rand construction and global-source draws outside " +
+			"internal/sample; all randomness flows through sample.NewRand",
+		Run: a.run,
+	}
+}
+
+type analyzer struct {
+	allow []string
+}
+
+func (a *analyzer) run(pass *analysis.Pass) {
+	if analysis.PathMatches(pass.Pkg.Path(), a.allow) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := analysis.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if _, ok := pass.Info.Uses[sel.Sel].(*types.Func); !ok {
+				return true // types and constants are fine; only functions are fenced
+			}
+			pass.Reportf(sel.Pos(),
+				"direct %s.%s use outside internal/sample; construct PRNGs with sample.NewRand(seed) so experiments stay seed-reproducible",
+				path, sel.Sel.Name)
+			return true
+		})
+	}
+}

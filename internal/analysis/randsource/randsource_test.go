@@ -1,0 +1,28 @@
+package randsource_test
+
+import (
+	"strings"
+	"testing"
+
+	"minimaxdp/internal/analysis/analysistest"
+	"minimaxdp/internal/analysis/randsource"
+)
+
+// TestFixture checks both fixture packages in one run: the plain
+// fixture must produce every want-annotated finding, and the
+// internal/sample-suffixed sibling must stay silent despite
+// constructing PRNGs (the allow list matches by path suffix).
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, ".", randsource.Analyzer,
+		"./testdata/src/randsource",
+		"./testdata/src/randsource/internal/sample",
+	)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; analyzer is inert")
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Pos.Filename, "internal/sample") {
+			t.Errorf("allow-listed package was flagged: %s", d)
+		}
+	}
+}

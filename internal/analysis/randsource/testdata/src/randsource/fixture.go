@@ -1,0 +1,39 @@
+// Package fixture exercises the randsource analyzer: ad-hoc PRNG
+// construction and global-source draws are flagged; passing *rand.Rand
+// values around is not.
+package fixture
+
+import "math/rand"
+
+// Construct builds a PRNG directly instead of via sample.NewRand.
+func Construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `math/rand\.New use outside internal/sample` `math/rand\.NewSource use outside internal/sample`
+}
+
+// GlobalDraw uses the package-global, self-seeded source.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `math/rand\.Intn use outside internal/sample`
+}
+
+// GlobalFloat covers a second global draw.
+func GlobalFloat() float64 {
+	return rand.Float64() // want `math/rand\.Float64 use outside internal/sample`
+}
+
+// TypeUseOK is the control: consuming an injected PRNG is the
+// sanctioned pattern everywhere.
+func TypeUseOK(rng *rand.Rand) int {
+	return rng.Intn(2)
+}
+
+// VarOfTypeOK declares variables of rand types without constructing.
+func VarOfTypeOK() {
+	var src rand.Source
+	_ = src
+}
+
+// Suppressed shows the justified escape hatch.
+func Suppressed() int {
+	//dpvet:ignore randsource one-off demo draw, reproducibility irrelevant
+	return rand.Int()
+}

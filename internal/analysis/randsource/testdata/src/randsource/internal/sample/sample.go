@@ -1,0 +1,17 @@
+// Package sample mimics the real internal/sample: its import path
+// suffix puts it on the randsource allow list, so direct math/rand
+// construction here is legal.
+package sample
+
+import "math/rand"
+
+// NewRand is the one sanctioned PRNG constructor.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// GlobalOK draws from the global source; inside the allow list even
+// this is not flagged.
+func GlobalOK() int {
+	return rand.Int()
+}

@@ -1,0 +1,168 @@
+// Package ratmutate implements the dpvet analyzer that hunts *big.Rat
+// aliasing bugs.
+//
+// math/big.Rat has a mutable, pointer-based API: r.Add(a, b) writes
+// into r. The conventions in this module (see internal/rational's doc
+// comment and DESIGN.md §7) are that exported helpers return fresh
+// values and that borrowed state is never mutated — an LP tableau
+// whose entries alias a caller's rationals is corrupted the moment
+// either side calls Add or Set on a shared pointer. Two rules:
+//
+//  1. mutation-of-alias: calling a mutating big.Rat method (Add, Sub,
+//     Mul, Quo, Set, Neg, Inv, ...) with a receiver that is directly a
+//     function parameter or a package-level variable. Locals (fresh
+//     values from rational.Zero/Clone/new(big.Rat)) are fine, and so
+//     is mutating fields of a method's own receiver — that is what
+//     methods are for.
+//
+//  2. return-of-internal-state: a method returning a *big.Rat reached
+//     through its receiver (return m.a[i]) hands the caller a live
+//     alias into the structure's storage. Return rational.Clone(...)
+//     instead, or document the borrow and suppress with
+//     //dpvet:ignore ratmutate <why>.
+//
+// Both rules are deliberately syntactic (no alias analysis): they
+// catch the direct form of the bug with zero false negatives on it,
+// and the module's fresh-value convention keeps the indirect forms
+// rare enough for review.
+package ratmutate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"minimaxdp/internal/analysis"
+)
+
+// mutators are the big.Rat methods that write to their receiver.
+var mutators = map[string]bool{
+	"Abs": true, "Add": true, "Inv": true, "Mul": true, "Neg": true,
+	"Quo": true, "Set": true, "SetFloat64": true, "SetFrac": true,
+	"SetFrac64": true, "SetInt": true, "SetInt64": true,
+	"SetString": true, "Sub": true,
+}
+
+// Analyzer is the production instance.
+var Analyzer = &analysis.Analyzer{
+	Name: "ratmutate",
+	Doc: "flag mutating big.Rat method calls on parameters or package-level values, " +
+		"and methods returning un-copied internal *big.Rat state",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	params := paramObjects(pass, fn)
+	recv := receiverObject(pass, fn)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures capture the enclosing scope; the parameter set
+			// stays valid, so keep walking.
+			return true
+		case *ast.CallExpr:
+			checkMutation(pass, n, params)
+		case *ast.ReturnStmt:
+			if recv != nil {
+				checkReturn(pass, n, recv)
+			}
+		}
+		return true
+	})
+}
+
+// checkMutation flags rat.Mutator(...) where rat is a parameter or a
+// package-level variable.
+func checkMutation(pass *analysis.Pass, call *ast.CallExpr, params map[types.Object]bool) {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !mutators[sel.Sel.Name] {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !analysis.IsBigRat(sig.Recv().Type()) {
+		return
+	}
+	id, ok := analysis.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	switch {
+	case params[obj]:
+		pass.Reportf(call.Pos(),
+			"(*big.Rat).%s mutates parameter %q, which aliases caller-owned state; operate on rational.Clone(%s) or a fresh value",
+			sel.Sel.Name, id.Name, id.Name)
+	case isPackageLevel(pass, obj):
+		pass.Reportf(call.Pos(),
+			"(*big.Rat).%s mutates package-level value %q; shared rational constants must stay immutable",
+			sel.Sel.Name, id.Name)
+	}
+}
+
+// checkReturn flags `return <path rooted at receiver>` of type
+// *big.Rat.
+func checkReturn(pass *analysis.Pass, ret *ast.ReturnStmt, recv types.Object) {
+	for _, res := range ret.Results {
+		res = analysis.Unparen(res)
+		switch res.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+		default:
+			continue // calls, idents, composites: not a direct field path
+		}
+		tv, ok := pass.Info.Types[res]
+		if !ok || !analysis.IsBigRat(tv.Type) {
+			continue
+		}
+		root := analysis.RootIdent(res)
+		if root == nil || pass.Info.Uses[root] != recv {
+			continue
+		}
+		pass.Reportf(res.Pos(),
+			"method returns internal *big.Rat state of receiver %q without a copy; return rational.Clone(...) or document the borrow with //dpvet:ignore ratmutate",
+			root.Name)
+	}
+}
+
+func paramObjects(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	return params
+}
+
+func receiverObject(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.Info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+func isPackageLevel(pass *analysis.Pass, obj *types.Var) bool {
+	return obj.Parent() == pass.Pkg.Scope()
+}

@@ -1,0 +1,15 @@
+package ratmutate_test
+
+import (
+	"testing"
+
+	"minimaxdp/internal/analysis/analysistest"
+	"minimaxdp/internal/analysis/ratmutate"
+)
+
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, ".", ratmutate.Analyzer, "./testdata/src/ratmutate")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; analyzer is inert")
+	}
+}

@@ -1,0 +1,76 @@
+// Package fixture exercises the ratmutate analyzer: mutating a
+// *big.Rat that aliases caller-owned or shared state is flagged;
+// mutating fresh locals or a method's own fields is not.
+package fixture
+
+import "math/big"
+
+// shared is package-level state; mutating it corrupts every reader.
+var shared = big.NewRat(1, 2)
+
+// MutateParam writes through a parameter the caller still owns.
+func MutateParam(a, b *big.Rat) *big.Rat {
+	a.Add(a, b) // want `\(\*big\.Rat\)\.Add mutates parameter "a"`
+	return a
+}
+
+// SetParam covers the Set family.
+func SetParam(dst, src *big.Rat) {
+	dst.Set(src) // want `\(\*big\.Rat\)\.Set mutates parameter "dst"`
+}
+
+// MutateShared writes to a package-level rational.
+func MutateShared() {
+	shared.Neg(shared) // want `\(\*big\.Rat\)\.Neg mutates package-level value "shared"`
+}
+
+// FreshLocalOK is the control: accumulate into a fresh value.
+func FreshLocalOK(a, b *big.Rat) *big.Rat {
+	out := new(big.Rat)
+	out.Add(a, b)
+	out.Mul(out, out)
+	return out
+}
+
+// Holder is a struct whose methods may mutate their own state.
+type Holder struct {
+	v    *big.Rat
+	cell []*big.Rat
+}
+
+// Bump mutates receiver-owned state, which is fine.
+func (h *Holder) Bump(x *big.Rat) {
+	h.v.Add(h.v, x)
+}
+
+// Value leaks a live alias into the holder's storage.
+func (h *Holder) Value() *big.Rat {
+	return h.v // want `returns internal \*big\.Rat state of receiver "h"`
+}
+
+// At leaks through an index path.
+func (h *Holder) At(i int) *big.Rat {
+	return h.cell[i] // want `returns internal \*big\.Rat state of receiver "h"`
+}
+
+// ValueCopy is the sanctioned form: hand out a copy.
+func (h *Holder) ValueCopy() *big.Rat {
+	return new(big.Rat).Set(h.v)
+}
+
+// Borrowed documents a deliberate alias with a justified suppression.
+func (h *Holder) Borrowed() *big.Rat {
+	//dpvet:ignore ratmutate documented borrow; caller contract forbids mutation
+	return h.v
+}
+
+// NotARat checks the type gate: Set on a non-Rat receiver is ignored.
+type NotARat struct{}
+
+// Set is an unrelated method that happens to share a mutator name.
+func (NotARat) Set(x int) {}
+
+// CallsOtherSet must not be flagged.
+func CallsOtherSet(n NotARat) {
+	n.Set(3)
+}

@@ -1,0 +1,33 @@
+// Package registry wires the individual dpvet analyzers into the
+// suite that cmd/dpvet and the repo-wide regression test both run.
+// It lives outside package analysis to keep the framework free of
+// imports on its own analyzers.
+package registry
+
+import (
+	"minimaxdp/internal/analysis"
+	"minimaxdp/internal/analysis/errdiscard"
+	"minimaxdp/internal/analysis/floatexact"
+	"minimaxdp/internal/analysis/load"
+	"minimaxdp/internal/analysis/randsource"
+	"minimaxdp/internal/analysis/ratmutate"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errdiscard.Analyzer,
+		floatexact.Analyzer,
+		randsource.Analyzer,
+		ratmutate.Analyzer,
+	}
+}
+
+// Run loads patterns relative to dir and applies the whole suite.
+func Run(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
+	res, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(res, All()), nil
+}

@@ -109,6 +109,7 @@ func (m *Matrix) Cols() int { return m.cols }
 // mutated by the caller; use Set to write.
 func (m *Matrix) At(i, j int) *big.Rat {
 	m.check(i, j)
+	//dpvet:ignore ratmutate documented borrow: At is the hot read path (simplex pivots call it in inner loops) and cloning here would dominate; the no-mutation contract is in the doc comment and Set copies on write
 	return m.a[i*m.cols+j]
 }
 
@@ -511,6 +512,7 @@ func (m *Matrix) Float64() [][]float64 {
 	for i := 0; i < m.rows; i++ {
 		out[i] = make([]float64, m.cols)
 		for j := 0; j < m.cols; j++ {
+			//dpvet:ignore floatexact Float64 is the one sanctioned float exit of this package: a display/plotting rendering that no exact computation consumes
 			out[i][j] = rational.Float(m.At(i, j))
 		}
 	}

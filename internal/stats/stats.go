@@ -25,11 +25,17 @@ func Mean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
+	return mean(xs), nil
+}
+
+// mean is the no-error core of Mean for callers that have already
+// established xs is non-empty.
+func mean(xs []float64) float64 {
 	s := 0.0
 	for _, x := range xs {
 		s += x
 	}
-	return s / float64(len(xs)), nil
+	return s / float64(len(xs))
 }
 
 // Variance returns the unbiased sample variance (n−1 denominator).
@@ -37,7 +43,7 @@ func Variance(xs []float64) (float64, error) {
 	if len(xs) < 2 {
 		return 0, fmt.Errorf("stats: variance needs ≥ 2 samples, got %d", len(xs))
 	}
-	m, _ := Mean(xs)
+	m := mean(xs)
 	s := 0.0
 	for _, x := range xs {
 		d := x - m
@@ -251,8 +257,7 @@ func Correlation(xs, ys []float64) (float64, error) {
 	if len(xs) < 2 {
 		return 0, fmt.Errorf("stats: correlation needs ≥ 2 samples")
 	}
-	mx, _ := Mean(xs)
-	my, _ := Mean(ys)
+	mx, my := mean(xs), mean(ys)
 	var sxy, sxx, syy float64
 	for i := range xs {
 		dx, dy := xs[i]-mx, ys[i]-my

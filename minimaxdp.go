@@ -48,6 +48,7 @@ package minimaxdp
 
 import (
 	"math/big"
+	"math/rand"
 
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/derive"
@@ -56,6 +57,7 @@ import (
 	"minimaxdp/internal/mechanism"
 	"minimaxdp/internal/rational"
 	"minimaxdp/internal/release"
+	"minimaxdp/internal/sample"
 )
 
 // Mechanism is an oblivious privacy mechanism for a count query on
@@ -102,6 +104,14 @@ func Rat(s string) (*big.Rat, error) { return rational.Parse(s) }
 
 // MustRat is Rat for compile-time-known literals; panics on bad input.
 func MustRat(s string) *big.Rat { return rational.MustParse(s) }
+
+// NewRand returns the deterministic PRNG every sampling entry point of
+// this module accepts. It is the single sanctioned constructor
+// (enforced by the randsource analyzer in cmd/dpvet): routing all
+// randomness through one seedable source keeps every experiment
+// reproducible from its -seed flag and leaves one swap point should
+// release builds ever move to crypto/rand.
+func NewRand(seed int64) *rand.Rand { return sample.NewRand(seed) }
 
 // Geometric returns the range-restricted α-geometric mechanism
 // G_{n,α} (Definition 4 of the paper): two-sided geometric noise with

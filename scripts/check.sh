@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# check.sh — the full CI gate for minimaxdp, runnable locally as
+# `make check` or `./scripts/check.sh`.
+#
+# Order is cheapest-first so broken trees fail fast: format, build,
+# the compiler-adjacent vets (go vet + the project's own dpvet
+# invariants), then the race-enabled test suite, then a short fuzz
+# smoke over the parsing/encoding fuzz targets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Seconds each fuzz target runs; override for longer local soaks:
+#   FUZZTIME=60s ./scripts/check.sh
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "==> gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "${unformatted}" ]; then
+    echo "gofmt required for:" >&2
+    echo "${unformatted}" >&2
+    exit 1
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> dpvet (exact-arithmetic / randomness / error-handling invariants)"
+go run ./cmd/dpvet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME} per target)"
+go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="${FUZZTIME}" ./internal/rational
+go test -run='^$' -fuzz='^FuzzPow$' -fuzztime="${FUZZTIME}" ./internal/rational
+go test -run='^$' -fuzz='^FuzzUnmarshalJSON$' -fuzztime="${FUZZTIME}" ./internal/mechanism
+
+echo "==> all checks passed"
