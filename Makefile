@@ -1,7 +1,7 @@
 # Development entry points for minimaxdp. `make check` is the same
 # gate CI runs (.github/workflows/ci.yml -> scripts/check.sh).
 
-.PHONY: check build test race vet dpvet fuzz-smoke
+.PHONY: check build test race vet dpvet fuzz-smoke bench
 
 ## check: full CI gate (fmt, build, vet, dpvet, race tests, fuzz smoke)
 check:
@@ -28,8 +28,14 @@ vet:
 dpvet:
 	go run ./cmd/dpvet ./...
 
+## bench: engine throughput benchmarks, one iteration (the CI smoke);
+## use `go test -bench=Engine -benchmem ./internal/engine` for real numbers
+bench:
+	go test -run='^$$' -bench=Engine -benchtime=1x ./internal/engine
+
 ## fuzz-smoke: short run of every fuzz target (FUZZTIME=10s default)
 fuzz-smoke:
 	go test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/rational
 	go test -run='^$$' -fuzz='^FuzzPow$$' -fuzztime=$${FUZZTIME:-10s} ./internal/rational
 	go test -run='^$$' -fuzz='^FuzzUnmarshalJSON$$' -fuzztime=$${FUZZTIME:-10s} ./internal/mechanism
+	go test -run='^$$' -fuzz='^FuzzParseLevels$$' -fuzztime=$${FUZZTIME:-10s} ./cmd/dpserver

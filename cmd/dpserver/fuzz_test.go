@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLevels exercises the -levels flag parser: comma-split,
+// rational.Parse per part, and the strictly-increasing-in-(0,1)
+// validation. Invariants on accepted input: at least one level, every
+// level strictly inside (0,1), strictly increasing, and the
+// canonical re-rendering round-trips through the parser.
+func FuzzParseLevels(f *testing.F) {
+	for _, seed := range []string{
+		"1/2,2/3,4/5", "1/2", "0.1,0.5,0.9", " 1/3 , 1/2 ", "2/4,3/4",
+		"", ",", "1/2,", "2/3,1/2", "1/2,1/2", "0,1/2", "1,1/2",
+		"-1/2", "3/2", "zzz", "1/0", "1e10,1/2", "0.9999999999,1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		alphas, err := parseLevels(s)
+		if err != nil {
+			if alphas != nil {
+				t.Fatalf("error %v with non-nil result", err)
+			}
+			return
+		}
+		if len(alphas) == 0 {
+			t.Fatal("accepted input produced no levels")
+		}
+		parts := make([]string, len(alphas))
+		for i, a := range alphas {
+			if a.Sign() <= 0 || a.Num().Cmp(a.Denom()) >= 0 {
+				t.Fatalf("level %d = %s outside (0,1)", i+1, a.RatString())
+			}
+			if i > 0 && a.Cmp(alphas[i-1]) <= 0 {
+				t.Fatalf("levels not strictly increasing: %s then %s",
+					alphas[i-1].RatString(), a.RatString())
+			}
+			parts[i] = a.RatString()
+		}
+		// Canonical form must round-trip to the same levels.
+		again, err := parseLevels(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", strings.Join(parts, ","), err)
+		}
+		for i := range alphas {
+			if again[i].Cmp(alphas[i]) != 0 {
+				t.Fatalf("round-trip changed level %d: %s → %s",
+					i+1, alphas[i].RatString(), again[i].RatString())
+			}
+		}
+	})
+}

@@ -1,13 +1,16 @@
 // Command dpserver publishes a count-query result at multiple privacy
 // levels over HTTP — the paper's motivating "report on the Internet"
-// scenario (Section 2.6) made concrete.
+// scenario (Section 2.6) made concrete, served through the
+// internal/engine compute-once layer.
 //
 // On startup it generates a synthetic survey database, evaluates the
-// flu count query, and prepares an Algorithm 1 release plan. Each
-// request to /result?level=K returns the level-K released value for
-// the *current epoch*; all levels within an epoch come from one
-// correlated cascade draw, so colluding readers cannot cancel the
-// noise (Lemma 4). POST /epoch advances to a fresh draw.
+// flu count query, and prepares an Algorithm 1 release plan via the
+// engine's artifact cache. Each request to /result?level=K returns
+// the level-K released value for the *current epoch*; all levels
+// within an epoch come from one correlated cascade draw, so colluding
+// readers cannot cancel the noise (Lemma 4). POST /epoch advances to
+// a fresh draw. Handlers are lock-free: the epoch lives behind an
+// atomic snapshot and exact artifacts come from the engine's caches.
 //
 // Endpoints:
 //
@@ -15,39 +18,27 @@
 //	GET  /result?level=K released result at privacy level K (1-based)
 //	GET  /levels         the privacy levels and their α values
 //	POST /epoch          advance to a new correlated release
+//	GET  /mechanism      exact marginal mechanism of a level (public)
+//	GET  /tailored       engine-cached §2.5 tailored-optimum solve
+//	GET  /sample         draws of the public mechanism at a claimed input
+//	GET  /metrics        serving and engine-cache counters
 //	GET  /healthz        liveness probe
+//
+// The process runs a configured http.Server (header/read/write
+// timeouts) and drains connections gracefully on SIGINT/SIGTERM.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
-	"math/big"
-	"math/rand"
 	"net/http"
-	"strconv"
-	"strings"
-	"sync"
-
-	"minimaxdp/internal/database"
-	"minimaxdp/internal/rational"
-	"minimaxdp/internal/release"
-	"minimaxdp/internal/sample"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 )
-
-// serverState holds the release plan and the current epoch's
-// correlated results. All handler access is mutex-guarded.
-type serverState struct {
-	mu      sync.Mutex
-	plan    *release.Plan
-	rng     *rand.Rand
-	truth   int
-	epoch   int
-	current []int
-	alphas  []*big.Rat
-	city    string
-}
 
 func main() {
 	addr := flag.String("addr", ":8990", "listen address")
@@ -56,167 +47,53 @@ func main() {
 	fluRate := flag.Float64("flurate", 0.08, "synthetic flu rate among adults")
 	levelsStr := flag.String("levels", "1/2,2/3,4/5", "increasing privacy levels")
 	seed := flag.Int64("seed", 1, "PRNG seed")
+	maxTailoredN := flag.Int("max-tailored-n", defaultMaxTailoredN,
+		"largest domain size accepted by /tailored (LP cost grows as n⁴)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
+		"how long to drain connections after SIGINT/SIGTERM")
 	flag.Parse()
 
 	s, err := newServer(*n, *city, *fluRate, *levelsStr, *seed)
 	if err != nil {
 		log.Fatal("dpserver: ", err)
 	}
+	s.logRequests = true
+	if *maxTailoredN > 0 {
+		s.maxTailoredN = *maxTailoredN
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("dpserver: listening on %s (levels %s)", *addr, *levelsStr)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
-}
 
-func newServer(n int, city string, fluRate float64, levelsStr string, seed int64) (*serverState, error) {
-	rng := sample.NewRand(seed)
-	db := database.Synthetic(n, city, fluRate, rng)
-	q := database.FluQuery(city)
-	truth := q.Eval(db)
-
-	var alphas []*big.Rat
-	for _, s := range strings.Split(levelsStr, ",") {
-		a, err := rational.Parse(s)
-		if err != nil {
-			return nil, fmt.Errorf("bad levels: %w", err)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("dpserver: ", err)
 		}
-		alphas = append(alphas, a)
+	case <-ctx.Done():
+		stop()
+		log.Printf("dpserver: shutdown signal received; draining for up to %s", *shutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("dpserver: graceful shutdown incomplete: %v", err)
+			if cerr := srv.Close(); cerr != nil {
+				log.Printf("dpserver: close: %v", cerr)
+			}
+		}
 	}
-	plan, err := release.NewPlan(n, alphas)
-	if err != nil {
-		return nil, err
-	}
-	st := &serverState{plan: plan, truth: truth, alphas: alphas, city: city, rng: rng}
-	if err := st.advance(); err != nil {
-		return nil, err
-	}
-	return st, nil
-}
-
-// mux wires the HTTP routes.
-func (s *serverState) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleRoot)
-	mux.HandleFunc("/result", s.handleResult)
-	mux.HandleFunc("/levels", s.handleLevels)
-	mux.HandleFunc("/epoch", s.handleEpoch)
-	mux.HandleFunc("/mechanism", s.handleMechanism)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
-
-// advance draws a fresh correlated cascade for a new epoch. Caller
-// must not hold the lock.
-func (s *serverState) advance() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out, err := s.plan.Release(s.truth, s.rng)
-	if err != nil {
-		return err
-	}
-	s.current = out
-	s.epoch++
-	return nil
-}
-
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("dpserver: encode: %v", err)
-	}
-}
-
-func (s *serverState) handleRoot(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"service": "minimaxdp multi-level count release (Algorithm 1)",
-		"query":   fmt.Sprintf("adults in %s with flu", s.city),
-		"levels":  len(s.alphas),
-		"epoch":   s.epoch,
-		"usage":   "/result?level=K (1 = least private), POST /epoch for a fresh draw",
-	})
-}
-
-func (s *serverState) handleLevels(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	type level struct {
-		Level int    `json:"level"`
-		Alpha string `json:"alpha"`
-	}
-	out := make([]level, len(s.alphas))
-	for i, a := range s.alphas {
-		out[i] = level{Level: i + 1, Alpha: a.RatString()}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *serverState) handleResult(w http.ResponseWriter, r *http.Request) {
-	lvlStr := r.URL.Query().Get("level")
-	if lvlStr == "" {
-		lvlStr = "1"
-	}
-	lvl, err := strconv.Atoi(lvlStr)
-	if err != nil || lvl < 1 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "level must be a positive integer"})
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if lvl > len(s.current) {
-		writeJSON(w, http.StatusBadRequest,
-			map[string]string{"error": fmt.Sprintf("level %d out of range 1..%d", lvl, len(s.current))})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"epoch":  s.epoch,
-		"level":  lvl,
-		"alpha":  s.alphas[lvl-1].RatString(),
-		"result": s.current[lvl-1],
-	})
-}
-
-// handleMechanism serves the exact marginal mechanism of a level as
-// JSON, so consumers can solve their optimal post-processing locally
-// (the mechanism matrix is public knowledge; only the database is
-// secret).
-func (s *serverState) handleMechanism(w http.ResponseWriter, r *http.Request) {
-	lvlStr := r.URL.Query().Get("level")
-	if lvlStr == "" {
-		lvlStr = "1"
-	}
-	lvl, err := strconv.Atoi(lvlStr)
-	if err != nil || lvl < 1 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "level must be a positive integer"})
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, err := s.plan.Marginal(lvl)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, m)
-}
-
-func (s *serverState) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
-		return
-	}
-	if err := s.advance(); err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		return
-	}
-	s.mu.Lock()
-	epoch := s.epoch
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
+	log.Printf("dpserver: stopped")
 }

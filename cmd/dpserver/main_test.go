@@ -2,12 +2,18 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/rational"
 )
 
-func newTestServer(t *testing.T) *serverState {
+func newTestServer(t *testing.T) *server {
 	t.Helper()
 	s, err := newServer(200, "San Diego", 0.1, "1/2,2/3", 42)
 	if err != nil {
@@ -39,9 +45,60 @@ func TestNewServerValidation(t *testing.T) {
 	}
 }
 
+func TestParseLevels(t *testing.T) {
+	alphas, err := parseLevels("1/2, 2/3 ,4/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alphas) != 3 || alphas[2].RatString() != "4/5" {
+		t.Errorf("alphas = %v", alphas)
+	}
+	for _, bad := range []string{"", ",", "1/2,", "0,1/2", "1,1/2", "1/2,1/2", "2/3,1/2", "-1/2", "3/2"} {
+		if _, err := parseLevels(bad); err == nil {
+			t.Errorf("parseLevels(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseLossAndSide(t *testing.T) {
+	for name, want := range map[string]string{
+		"": "absolute", "absolute": "absolute", "squared": "squared",
+		"zero-one": "zero-one", "deadband": "deadband(1)",
+	} {
+		lf, err := parseLoss(name, "")
+		if err != nil {
+			t.Fatalf("parseLoss(%q): %v", name, err)
+		}
+		if lf.Name() != want {
+			t.Errorf("parseLoss(%q).Name() = %q, want %q", name, lf.Name(), want)
+		}
+	}
+	if lf, err := parseLoss("deadband", "3"); err != nil || lf.Name() != "deadband(3)" {
+		t.Errorf("deadband width 3: %v %v", lf, err)
+	}
+	if _, err := parseLoss("deadband", "-1"); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := parseLoss("nope", ""); err == nil {
+		t.Error("unknown loss accepted")
+	}
+	side, err := parseSide("3-6")
+	if err != nil || len(side) != 4 || side[0] != 3 {
+		t.Errorf("parseSide(3-6) = %v, %v", side, err)
+	}
+	if s, err := parseSide(""); err != nil || s != nil {
+		t.Errorf("empty side = %v, %v", s, err)
+	}
+	for _, bad := range []string{"6-3", "x-3", "3-x", "-1-3", "3"} {
+		if _, err := parseSide(bad); err == nil {
+			t.Errorf("parseSide(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRootAndLevels(t *testing.T) {
 	s := newTestServer(t)
-	mux := s.mux()
+	mux := s.handler()
 	rec, body := get(t, mux, "/")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("root status %d", rec.Code)
@@ -68,7 +125,7 @@ func TestRootAndLevels(t *testing.T) {
 
 func TestResultEndpoint(t *testing.T) {
 	s := newTestServer(t)
-	mux := s.mux()
+	mux := s.handler()
 	rec, body := get(t, mux, "/result?level=1")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -107,7 +164,7 @@ func TestResultEndpoint(t *testing.T) {
 
 func TestEpochEndpoint(t *testing.T) {
 	s := newTestServer(t)
-	mux := s.mux()
+	mux := s.handler()
 	_, before := get(t, mux, "/result?level=1")
 	req := httptest.NewRequest(http.MethodPost, "/epoch", nil)
 	rec := httptest.NewRecorder()
@@ -138,7 +195,7 @@ func TestEpochEndpoint(t *testing.T) {
 func TestHealthz(t *testing.T) {
 	s := newTestServer(t)
 	rec := httptest.NewRecorder()
-	s.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	s.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
 		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
 	}
@@ -146,7 +203,7 @@ func TestHealthz(t *testing.T) {
 
 func TestMechanismEndpoint(t *testing.T) {
 	s := newTestServer(t)
-	mux := s.mux()
+	mux := s.handler()
 	req := httptest.NewRequest(http.MethodGet, "/mechanism?level=1", nil)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, req)
@@ -170,5 +227,216 @@ func TestMechanismEndpoint(t *testing.T) {
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s status %d", q, rec.Code)
 		}
+	}
+}
+
+func TestTailoredEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	rec, body := get(t, mux, "/tailored?loss=absolute&n=8&level=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	// The served optimum must equal the direct §2.5 solve.
+	want, err := consumer.OptimalMechanism(
+		&consumer.Consumer{Loss: loss.Absolute{}}, 8, rational.MustParse("1/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body["minimax_loss"] != want.Loss.RatString() {
+		t.Errorf("minimax_loss = %v, want %s", body["minimax_loss"], want.Loss.RatString())
+	}
+	// Repeat request is a cache hit.
+	if _, body = get(t, mux, "/tailored?loss=absolute&n=8&level=1"); body["minimax_loss"] != want.Loss.RatString() {
+		t.Errorf("cached minimax_loss = %v", body["minimax_loss"])
+	}
+	if hits := s.eng.Metrics().Tailored.Cache.Hits; hits < 1 {
+		t.Errorf("tailored cache hits = %d, want ≥1", hits)
+	}
+	// Side information and explicit alpha.
+	rec, body = get(t, mux, "/tailored?loss=squared&n=6&alpha=1/3&side=2-5")
+	if rec.Code != http.StatusOK || body["side"] != "2-5" || body["alpha"] != "1/3" {
+		t.Errorf("tailored with side: %d %v", rec.Code, body)
+	}
+	// mech=1 includes the mechanism matrix.
+	_, body = get(t, mux, "/tailored?loss=absolute&n=4&level=1&mech=1")
+	if body["mechanism"] == nil {
+		t.Error("mech=1 did not include the mechanism")
+	}
+	// Rejections: bad loss, oversized n, bad alpha, bad side.
+	for _, q := range []string{
+		"/tailored?loss=nope&n=4",
+		"/tailored?n=9999",
+		"/tailored?n=0",
+		"/tailored?alpha=zzz&n=4",
+		"/tailored?side=9-2&n=4",
+		"/tailored?loss=deadband&width=x&n=4",
+	} {
+		rec, _ := get(t, mux, q)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+func TestSampleEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	rec, body := get(t, mux, "/sample?level=1&input=100&count=50")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	draws := body["draws"].([]interface{})
+	if len(draws) != 50 {
+		t.Fatalf("draws = %d, want 50", len(draws))
+	}
+	for _, d := range draws {
+		if v := int(d.(float64)); v < 0 || v > 200 {
+			t.Errorf("draw %d outside [0,200]", v)
+		}
+	}
+	for _, q := range []string{
+		"/sample?input=-1", "/sample?input=201", "/sample?count=0",
+		fmt.Sprintf("/sample?count=%d", maxSampleCount+1), "/sample?level=0",
+	} {
+		rec, _ := get(t, mux, q)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	_, _ = get(t, mux, "/result?level=1")
+	rec, body := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	srv := body["server"].(map[string]interface{})
+	if srv["epoch"].(float64) != 1 || srv["n"].(float64) != 200 {
+		t.Errorf("server metrics = %v", srv)
+	}
+	routes := srv["routes"].(map[string]interface{})
+	res := routes["/result"].(map[string]interface{})
+	if res["count"].(float64) < 1 {
+		t.Errorf("/result count = %v", res["count"])
+	}
+	eng := body["engine"].(map[string]interface{})
+	plans := eng["plans"].(map[string]interface{})
+	if plans["requests"].(float64) < 1 {
+		t.Errorf("engine plan requests = %v", plans["requests"])
+	}
+}
+
+// TestConcurrentServing is the -race stress test: 32 goroutines mix
+// reads (/result, /mechanism, /metrics, /sample), engine-cached LP
+// solves (/tailored), and epoch advances (POST /epoch). It asserts
+// the release invariant — within one epoch every (epoch, level) pair
+// maps to exactly one result, because all levels of an epoch come
+// from a single cascade draw published atomically — and that the
+// engine's coalescer collapsed the duplicate concurrent tailored
+// solves into a single LP run (miss counter = 1).
+func TestConcurrentServing(t *testing.T) {
+	s, err := newServer(120, "San Diego", 0.1, "1/2,2/3,4/5", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := s.handler()
+
+	const workers = 32
+	const perWorker = 40
+
+	var mu sync.Mutex
+	seen := make(map[[2]int]int) // (epoch, level) → result
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer done.Done()
+			start.Wait()
+			for k := 0; k < perWorker; k++ {
+				switch k % 8 {
+				case 0, 1, 2, 3: // result reads dominate, cycling levels
+					lvl := 1 + (w+k)%3
+					rec := httptest.NewRecorder()
+					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+						fmt.Sprintf("/result?level=%d", lvl), nil))
+					if rec.Code != http.StatusOK {
+						t.Errorf("/result status %d", rec.Code)
+						return
+					}
+					var body struct {
+						Epoch  int `json:"epoch"`
+						Level  int `json:"level"`
+						Result int `json:"result"`
+					}
+					if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+						t.Errorf("bad /result JSON: %v", err)
+						return
+					}
+					key := [2]int{body.Epoch, body.Level}
+					mu.Lock()
+					if prev, ok := seen[key]; ok && prev != body.Result {
+						t.Errorf("epoch %d level %d: saw results %d and %d (cascade draw torn)",
+							body.Epoch, body.Level, prev, body.Result)
+					}
+					seen[key] = body.Result
+					mu.Unlock()
+				case 4: // identical tailored solve from every goroutine
+					rec := httptest.NewRecorder()
+					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+						"/tailored?loss=absolute&n=8&level=1", nil))
+					if rec.Code != http.StatusOK {
+						t.Errorf("/tailored status %d: %s", rec.Code, rec.Body.String())
+						return
+					}
+				case 5: // pooled sampler draws
+					rec := httptest.NewRecorder()
+					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+						"/sample?level=2&input=60&count=8", nil))
+					if rec.Code != http.StatusOK {
+						t.Errorf("/sample status %d", rec.Code)
+						return
+					}
+				case 6: // metrics reads race the counters
+					rec := httptest.NewRecorder()
+					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+					if rec.Code != http.StatusOK {
+						t.Errorf("/metrics status %d", rec.Code)
+						return
+					}
+				case 7: // occasional epoch advance
+					if w%4 == 0 {
+						rec := httptest.NewRecorder()
+						mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/epoch", nil))
+						if rec.Code != http.StatusOK {
+							t.Errorf("/epoch status %d", rec.Code)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	start.Done()
+	done.Wait()
+
+	m := s.eng.Metrics()
+	if m.Tailored.Cache.Misses != 1 {
+		t.Errorf("tailored LP misses = %d, want 1 (coalescer must collapse %d concurrent identical solves)",
+			m.Tailored.Cache.Misses, workers)
+	}
+	if m.Tailored.Requests != workers*perWorker/8 {
+		t.Errorf("tailored requests = %d, want %d", m.Tailored.Requests, workers*perWorker/8)
+	}
+	if m.SamplerDraws == 0 {
+		t.Error("no sampler draws recorded")
+	}
+	if len(seen) == 0 {
+		t.Fatal("no results observed")
 	}
 }

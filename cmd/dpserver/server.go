@@ -1,0 +1,489 @@
+// Server core: state, routing, instrumentation, and handlers.
+// main.go owns flags, the http.Server, and the shutdown path.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/database"
+	"minimaxdp/internal/engine"
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/release"
+	"minimaxdp/internal/sample"
+)
+
+// defaultMaxTailoredN caps the domain size accepted by /tailored: the
+// §2.5 LP has (n+1)²+1 variables and is meant here as an interactive
+// demonstration, not a bulk workload.
+const defaultMaxTailoredN = 24
+
+// maxSampleCount caps one /sample batch.
+const maxSampleCount = 4096
+
+// epochState is one epoch's correlated release: every level's result
+// comes from a single Algorithm 1 cascade draw, so colluding readers
+// cannot average away the noise (Lemma 4). The struct is immutable
+// once published; handlers read it through an atomic pointer and
+// never lock.
+type epochState struct {
+	epoch   int
+	results []int
+}
+
+// routeStat accumulates per-route serving counters.
+type routeStat struct {
+	count  atomic.Uint64
+	errors atomic.Uint64
+	nanos  atomic.Uint64
+}
+
+// server wires the engine, the release plan, and the epoch state.
+// Request handling is lock-free: the current epoch lives behind an
+// atomic snapshot pointer, exact artifacts come from the engine's
+// caches, and the only mutex guards the PRNG used by the rare epoch
+// advance.
+type server struct {
+	eng          *engine.Engine
+	plan         *release.Plan
+	truth        int
+	city         string
+	alphas       []*big.Rat
+	maxTailoredN int
+	logRequests  bool
+	start        time.Time
+
+	mu  sync.Mutex // guards rng (sample.NewRand PRNGs are not goroutine-safe)
+	rng *rand.Rand
+
+	state  atomic.Pointer[epochState]
+	routes map[string]*routeStat
+}
+
+// parseLevels parses the -levels flag: comma-separated rationals that
+// must be strictly increasing within (0,1). It owns the full
+// validation so the fuzz target FuzzParseLevels can exercise parser
+// and invariants together.
+func parseLevels(s string) ([]*big.Rat, error) {
+	one := rational.One()
+	var out []*big.Rat
+	for i, part := range strings.Split(s, ",") {
+		a, err := rational.Parse(part)
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", i+1, err)
+		}
+		if a.Sign() <= 0 || a.Cmp(one) >= 0 {
+			return nil, fmt.Errorf("level %d: %s outside (0,1)", i+1, a.RatString())
+		}
+		if i > 0 && a.Cmp(out[i-1]) <= 0 {
+			return nil, fmt.Errorf("level %d: %s not greater than level %d (%s)",
+				i+1, a.RatString(), i, out[i-1].RatString())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// parseLoss resolves the /tailored loss parameter. width applies only
+// to the deadband family.
+func parseLoss(name, width string) (loss.Function, error) {
+	switch name {
+	case "", "absolute", "abs":
+		return loss.Absolute{}, nil
+	case "squared", "sq":
+		return loss.Squared{}, nil
+	case "zero-one", "zeroone", "01":
+		return loss.ZeroOne{}, nil
+	case "deadband":
+		w := 1
+		if width != "" {
+			var err error
+			w, err = strconv.Atoi(width)
+			if err != nil || w < 0 {
+				return nil, fmt.Errorf("width must be a non-negative integer, got %q", width)
+			}
+		}
+		return loss.Deadband{Width: w}, nil
+	default:
+		return nil, fmt.Errorf("unknown loss %q (absolute, squared, zero-one, deadband)", name)
+	}
+}
+
+// parseSide resolves a "lo-hi" side-information interval; empty means
+// no side information (the full domain).
+func parseSide(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	lo, hi, ok := strings.Cut(s, "-")
+	if !ok {
+		return nil, fmt.Errorf("side must be lo-hi, got %q", s)
+	}
+	l, err := strconv.Atoi(lo)
+	if err != nil {
+		return nil, fmt.Errorf("side lower bound %q: %w", lo, err)
+	}
+	h, err := strconv.Atoi(hi)
+	if err != nil {
+		return nil, fmt.Errorf("side upper bound %q: %w", hi, err)
+	}
+	if l < 0 || h < l {
+		return nil, fmt.Errorf("side %q: need 0 ≤ lo ≤ hi", s)
+	}
+	return consumer.Interval(l, h), nil
+}
+
+func newServer(n int, city string, fluRate float64, levelsStr string, seed int64) (*server, error) {
+	alphas, err := parseLevels(levelsStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad levels: %w", err)
+	}
+	eng := engine.New(engine.Config{Seed: seed})
+	rng := sample.NewRand(seed)
+	db := database.Synthetic(n, city, fluRate, rng)
+	truth := database.FluQuery(city).Eval(db)
+	plan, err := eng.ReleasePlan(n, alphas)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		eng:          eng,
+		plan:         plan,
+		truth:        truth,
+		city:         city,
+		alphas:       alphas,
+		maxTailoredN: defaultMaxTailoredN,
+		start:        time.Now(),
+		rng:          rng,
+		routes:       make(map[string]*routeStat),
+	}
+	s.state.Store(&epochState{})
+	if _, err := s.advance(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// advance draws a fresh correlated cascade and publishes it as the
+// next epoch's snapshot.
+func (s *server) advance() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, err := s.plan.Release(s.truth, s.rng)
+	if err != nil {
+		return 0, err
+	}
+	next := &epochState{epoch: s.state.Load().epoch + 1, results: out}
+	s.state.Store(next)
+	return next.epoch, nil
+}
+
+// handler builds the instrumented route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	for route, h := range map[string]http.HandlerFunc{
+		"/":          s.handleRoot,
+		"/result":    s.handleResult,
+		"/levels":    s.handleLevels,
+		"/epoch":     s.handleEpoch,
+		"/mechanism": s.handleMechanism,
+		"/tailored":  s.handleTailored,
+		"/sample":    s.handleSample,
+		"/metrics":   s.handleMetrics,
+		"/healthz": func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		},
+	} {
+		mux.HandleFunc(route, s.instrument(route, h))
+	}
+	return mux
+}
+
+// statusWriter records the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route counters and structured
+// access logging (key=value pairs, one line per request).
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	st := &routeStat{}
+	s.routes[route] = st
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h(sw, r)
+		elapsed := time.Since(begin)
+		st.count.Add(1)
+		st.nanos.Add(uint64(elapsed.Nanoseconds()))
+		if sw.status >= 400 {
+			st.errors.Add(1)
+		}
+		if s.logRequests {
+			log.Printf("access method=%s path=%s status=%d dur_us=%d remote=%s",
+				r.Method, r.URL.Path, sw.status, elapsed.Microseconds(), r.RemoteAddr)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dpserver: encode: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"service": "minimaxdp multi-level count release (Algorithm 1)",
+		"query":   fmt.Sprintf("adults in %s with flu", s.city),
+		"levels":  len(s.alphas),
+		"epoch":   s.state.Load().epoch,
+		"endpoints": map[string]string{
+			"GET /result?level=K":                 "released result at privacy level K (1 = least private)",
+			"GET /levels":                         "privacy levels and their α values",
+			"POST /epoch":                         "advance to a fresh correlated draw",
+			"GET /mechanism?level=K":              "exact marginal mechanism G_{n,α_K} (public knowledge)",
+			"GET /tailored?loss=L&side=lo-hi&n=N": "engine-cached §2.5 tailored-optimum solve",
+			"GET /sample?level=K&input=i&count=M": "fresh draws of the public mechanism at a claimed input",
+			"GET /metrics":                        "serving and engine-cache counters",
+			"GET /healthz":                        "liveness probe",
+		},
+	})
+}
+
+func (s *server) handleLevels(w http.ResponseWriter, _ *http.Request) {
+	type level struct {
+		Level int    `json:"level"`
+		Alpha string `json:"alpha"`
+	}
+	out := make([]level, len(s.alphas))
+	for i, a := range s.alphas {
+		out[i] = level{Level: i + 1, Alpha: a.RatString()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// parseLevel reads a 1-based level query parameter (default 1).
+func (s *server) parseLevel(r *http.Request) (int, error) {
+	lvlStr := r.URL.Query().Get("level")
+	if lvlStr == "" {
+		lvlStr = "1"
+	}
+	lvl, err := strconv.Atoi(lvlStr)
+	if err != nil || lvl < 1 {
+		return 0, fmt.Errorf("level must be a positive integer")
+	}
+	if lvl > len(s.alphas) {
+		return 0, fmt.Errorf("level %d out of range 1..%d", lvl, len(s.alphas))
+	}
+	return lvl, nil
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	lvl, err := s.parseLevel(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := s.state.Load()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"epoch":  st.epoch,
+		"level":  lvl,
+		"alpha":  s.alphas[lvl-1].RatString(),
+		"result": st.results[lvl-1],
+	})
+}
+
+// handleMechanism serves the exact marginal mechanism of a level as
+// JSON, so consumers can solve their optimal post-processing locally
+// (the mechanism matrix is public knowledge; only the database is
+// secret).
+func (s *server) handleMechanism(w http.ResponseWriter, r *http.Request) {
+	lvl, err := s.parseLevel(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := s.plan.Marginal(lvl)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	epoch, err := s.advance()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
+}
+
+// handleTailored answers "what is the optimal α-DP mechanism for this
+// consumer?" via the engine-cached §2.5 LP. The solve is keyed by
+// (n, α, loss, side), so repeat queries — the common case for a
+// public dashboard — are cache lookups, and concurrent identical
+// first-time queries are coalesced into one solve.
+func (s *server) handleTailored(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lf, err := parseLoss(q.Get("loss"), q.Get("width"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	side, err := parseSide(q.Get("side"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := s.plan.N()
+	if n > s.maxTailoredN {
+		n = s.maxTailoredN
+	}
+	if nStr := q.Get("n"); nStr != "" {
+		n, err = strconv.Atoi(nStr)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		if n > s.maxTailoredN {
+			writeError(w, http.StatusBadRequest, "n %d exceeds the LP cap %d", n, s.maxTailoredN)
+			return
+		}
+	}
+	var alpha *big.Rat
+	if aStr := q.Get("alpha"); aStr != "" {
+		alpha, err = rational.Parse(aStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad alpha: %v", err)
+			return
+		}
+	} else {
+		lvl, err := s.parseLevel(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		alpha = s.alphas[lvl-1]
+	}
+	c := &consumer.Consumer{Loss: lf, Side: side}
+	tl, err := s.eng.TailoredMechanism(c, n, alpha)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := map[string]interface{}{
+		"n":            n,
+		"alpha":        alpha.RatString(),
+		"loss":         lf.Name(),
+		"minimax_loss": tl.Loss.RatString(),
+	}
+	if sideStr := q.Get("side"); sideStr != "" {
+		resp["side"] = sideStr
+	}
+	if q.Get("mech") == "1" {
+		resp["mechanism"] = tl.Mechanism
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSample draws from the *public* mechanism of a level at a
+// caller-claimed input, via the engine's pooled alias samplers. This
+// never touches the secret query result — fresh draws of the truth
+// would let readers average the noise away, which is exactly what the
+// epoch snapshot exists to prevent.
+func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
+	lvl, err := s.parseLevel(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	input := 0
+	if inStr := q.Get("input"); inStr != "" {
+		input, err = strconv.Atoi(inStr)
+		if err != nil || input < 0 || input > s.plan.N() {
+			writeError(w, http.StatusBadRequest, "input must lie in [0,%d]", s.plan.N())
+			return
+		}
+	}
+	count := 1
+	if cStr := q.Get("count"); cStr != "" {
+		count, err = strconv.Atoi(cStr)
+		if err != nil || count < 1 || count > maxSampleCount {
+			writeError(w, http.StatusBadRequest, "count must lie in [1,%d]", maxSampleCount)
+			return
+		}
+	}
+	smp, err := s.eng.GeometricSampler(s.plan.N(), s.alphas[lvl-1])
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"level": lvl,
+		"alpha": s.alphas[lvl-1].RatString(),
+		"input": input,
+		"draws": smp.SampleN(input, count),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	type routeSnapshot struct {
+		Count      uint64 `json:"count"`
+		Errors     uint64 `json:"errors"`
+		TotalNanos uint64 `json:"total_nanos"`
+	}
+	routes := make(map[string]routeSnapshot, len(s.routes))
+	for route, st := range s.routes {
+		routes[route] = routeSnapshot{
+			Count:      st.count.Load(),
+			Errors:     st.errors.Load(),
+			TotalNanos: st.nanos.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"server": map[string]interface{}{
+			"epoch":          s.state.Load().epoch,
+			"levels":         len(s.alphas),
+			"n":              s.plan.N(),
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"routes":         routes,
+		},
+		"engine": s.eng.Metrics(),
+	})
+}

@@ -35,6 +35,11 @@ var DefaultScope = []string{
 	"minimaxdp/internal/derive",
 	"minimaxdp/internal/consumer",
 	"minimaxdp/internal/matrix",
+	// The serving engine caches exact artifacts (mechanisms,
+	// transitions, LP optima) and must stay exact everywhere except
+	// its alias-table samplers, which are float-native by design and
+	// exempted via AllowFiles below.
+	"minimaxdp/internal/engine",
 	// The analyzer's own fixture package counts as exact-arithmetic so
 	// that the production binary demonstrably fires when pointed at it
 	// (`go run ./cmd/dpvet ./internal/analysis/floatexact/testdata/src/floatexact`).
@@ -47,6 +52,7 @@ var DefaultScope = []string{
 // packages.
 var DefaultAllowFiles = []string{
 	"floatsimplex.go", // float64 shadow solver, used only to cross-check the exact one
+	"sampler.go",      // engine's alias-table samplers: float-side like mechanism.Sample
 }
 
 // Analyzer is the production instance.

@@ -1,0 +1,106 @@
+// Parallel throughput benchmarks for the serving engine. These back
+// the subsystem's claim: the artifact cache turns repeat LP solves
+// and mechanism constructions into lookups. Compare
+// BenchmarkEngineTailoredCached against
+// BenchmarkEngineTailoredUncached (the raw §2.5 solve) — the gap is
+// several orders of magnitude. scripts/check.sh runs every Engine
+// benchmark once as a compile-and-smoke gate.
+package engine
+
+import (
+	"testing"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/rational"
+)
+
+func BenchmarkEngineTailoredCached(b *testing.B) {
+	e := New(Config{})
+	a := rational.MustParse("1/2")
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	if _, err := e.TailoredMechanism(c, 8, a); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.TailoredMechanism(c, 8, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEngineTailoredUncached(b *testing.B) {
+	a := rational.MustParse("1/2")
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := consumer.OptimalMechanism(c, 8, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineGeometricCached(b *testing.B) {
+	e := New(Config{})
+	a := rational.MustParse("1/2")
+	if _, err := e.Geometric(64, a); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Geometric(64, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEngineSamplerParallel(b *testing.B) {
+	e := New(Config{})
+	s, err := e.GeometricSampler(64, rational.MustParse("1/2"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = s.Sample(32)
+		}
+	})
+}
+
+// BenchmarkEngineSamplerVsCDF quantifies the alias-table win over the
+// exact inverse-CDF walk used by mechanism.Sample (O(1) vs O(n) per
+// draw, plus no per-call PRNG contention).
+func BenchmarkEngineSamplerVsCDF(b *testing.B) {
+	e := New(Config{})
+	a := rational.MustParse("1/2")
+	s, err := e.GeometricSampler(64, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := e.Geometric(64, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("alias-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = s.Sample(32)
+		}
+	})
+	b.Run("exact-cdf", func(b *testing.B) {
+		rng := newRNGPool(1).get()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = g.Sample(32, rng)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cache is a size-bounded, generation-stamped artifact cache. Every
+// access stamps the entry with a fresh tick from a global logical
+// clock; when an insert pushes the cache past capacity, the entry
+// with the oldest stamp is evicted (least-recently-used, implemented
+// as a linear scan — caches here hold at most a few hundred entries,
+// so the scan is noise next to the artifact computations they avoid).
+//
+// Reads take only the RLock: the generation stamp lives in an atomic
+// inside the entry so a hit never needs the write lock.
+type cache struct {
+	capacity int
+	clock    atomic.Uint64
+
+	mu      sync.RWMutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	val any
+	gen atomic.Uint64
+}
+
+func newCache(capacity int) *cache {
+	return &cache{capacity: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached value for key, refreshing its generation
+// stamp so hot entries survive eviction.
+func (c *cache) get(key string) (any, bool) {
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	e.gen.Store(c.clock.Add(1))
+	return e.val, true
+}
+
+// put inserts key→val and returns how many entries were evicted to
+// stay within capacity. If the key is already present the existing
+// value is kept (first writer wins; artifacts are deterministic, so
+// both values are equal anyway).
+func (c *cache) put(key string, val any) (evicted int) {
+	e := &cacheEntry{val: val}
+	e.gen.Store(c.clock.Add(1))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return 0
+	}
+	c.entries[key] = e
+	for c.capacity > 0 && len(c.entries) > c.capacity {
+		victim := ""
+		var oldest uint64
+		for k, cand := range c.entries {
+			if k == key {
+				continue // never evict the entry just inserted
+			}
+			if g := cand.gen.Load(); victim == "" || g < oldest {
+				victim, oldest = k, g
+			}
+		}
+		if victim == "" {
+			break // capacity 1 and only the new entry present
+		}
+		delete(c.entries, victim)
+		evicted++
+	}
+	return evicted
+}
+
+// size returns the current number of cached entries.
+func (c *cache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,312 @@
+// Package engine is the concurrent mechanism-serving layer of
+// minimaxdp: it sits between the exact core (mechanism, derive,
+// consumer, release) and every serving surface (cmd/dpserver, CLIs,
+// library users) and makes the expensive artifacts compute-once.
+//
+// Every artifact this module produces — the geometric mechanism
+// G_{n,α} and its inverse (Lemmas 1–2), the cascade transition
+// matrices T_{α,β} (Lemma 3), multi-level release plans
+// (Algorithm 1), and the LP optima of §2.4.3/§2.5 — is a
+// deterministic, total function of its parameters. Exact rational
+// arithmetic has no rounding modes and no environment dependence, so
+// the parameters form a sound cache key: two computations with equal
+// keys yield equal artifacts, always. The engine exploits this with
+// three mechanisms:
+//
+//   - a keyed artifact cache per artifact class (size-bounded, LRU by
+//     generation stamp, hit/miss/eviction counters);
+//   - singleflight-style request coalescing, so N concurrent requests
+//     for the same not-yet-cached artifact run the computation once
+//     and share the result (critical for the LP solves, which cost
+//     milliseconds to seconds while a cache hit costs nanoseconds);
+//   - a pool of precompiled alias-table samplers with per-goroutine
+//     PRNGs (sample.NewRand returns a *rand.Rand that is NOT
+//     goroutine-safe; the pool hands each goroutine its own).
+//
+// Cached artifacts are shared between callers and must be treated as
+// read-only. Immutable types (*mechanism.Mechanism, *release.Plan,
+// the solved LP results) are returned directly; raw *matrix.Matrix
+// artifacts, which expose a Set method, are returned as clones so no
+// caller can corrupt the cache.
+//
+// Cache keys for LP solves include the consumer's loss function via
+// loss.Function.Name(). The built-in losses embed their parameters in
+// their names (e.g. "deadband(2)", "1/3×absolute"), making the name a
+// faithful identity; users of loss.Table must give distinct tables
+// distinct Labels or bypass the engine.
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/derive"
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/release"
+)
+
+// Default cache capacities (entries, not bytes — artifacts are
+// O((n+1)²) rationals, so a few hundred entries of moderate n fit
+// comfortably in memory).
+const (
+	DefaultMatrixCacheSize  = 64
+	DefaultLPCacheSize      = 256
+	DefaultSamplerCacheSize = 64
+)
+
+// Config tunes an Engine. The zero value is ready to use: every
+// capacity defaults to the package constants and the sampler pool
+// seeds from Seed (default 1).
+type Config struct {
+	// MatrixCacheSize bounds each of the mechanism, inverse,
+	// transition, and release-plan caches.
+	MatrixCacheSize int
+	// LPCacheSize bounds the tailored-mechanism and interaction
+	// caches (LP solutions; the most expensive artifacts).
+	LPCacheSize int
+	// SamplerCacheSize bounds the precompiled sampler cache.
+	SamplerCacheSize int
+	// Seed is the base seed for the sampler pool's PRNGs. Pool PRNG
+	// k is seeded with Seed+k, so a fixed seed gives a reproducible
+	// *set* of streams (though goroutine scheduling still decides
+	// which goroutine draws from which stream).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MatrixCacheSize <= 0 {
+		c.MatrixCacheSize = DefaultMatrixCacheSize
+	}
+	if c.LPCacheSize <= 0 {
+		c.LPCacheSize = DefaultLPCacheSize
+	}
+	if c.SamplerCacheSize <= 0 {
+		c.SamplerCacheSize = DefaultSamplerCacheSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Engine is a concurrency-safe, compute-once serving layer over the
+// exact core. All methods are safe for concurrent use; construct one
+// Engine per process (or per tenant) and share it.
+type Engine struct {
+	mechanisms   *store
+	inverses     *store
+	transitions  *store
+	plans        *store
+	tailored     *store
+	interactions *store
+	samplers     *store
+
+	rngs         *rngPool
+	samplerDraws atomic.Uint64
+}
+
+// New builds an Engine from cfg (zero value fine; see Config).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		mechanisms:   newStore(cfg.MatrixCacheSize),
+		inverses:     newStore(cfg.MatrixCacheSize),
+		transitions:  newStore(cfg.MatrixCacheSize),
+		plans:        newStore(cfg.MatrixCacheSize),
+		tailored:     newStore(cfg.LPCacheSize),
+		interactions: newStore(cfg.LPCacheSize),
+		samplers:     newStore(cfg.SamplerCacheSize),
+		rngs:         newRNGPool(cfg.Seed),
+	}
+}
+
+// getTyped adapts the any-typed store to a concrete artifact type.
+func getTyped[T any](s *store, key string, fn func() (T, error)) (T, error) {
+	v, err := s.getOrCompute(key, func() (any, error) { return fn() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// --- cache keys -----------------------------------------------------------
+
+// ratKey renders a rational for key use. big.Rat is always stored in
+// lowest terms, so equal rationals render identically ("2/4" and
+// "1/2" share a key).
+func ratKey(a *big.Rat) string { return a.RatString() }
+
+func checkRat(name string, a *big.Rat) error {
+	if a == nil {
+		return fmt.Errorf("engine: nil %s", name)
+	}
+	return nil
+}
+
+// consumerKey canonicalizes the cache-relevant identity of a minimax
+// consumer on {0..n}: the loss function's name plus the sorted,
+// deduplicated side-information set clipped to the domain (matching
+// how the LP builders themselves normalize side information). The
+// display Name of the consumer is deliberately excluded.
+func consumerKey(c *consumer.Consumer, n int) (string, error) {
+	if c == nil || c.Loss == nil {
+		return "", fmt.Errorf("engine: consumer with a loss function required")
+	}
+	var b strings.Builder
+	b.WriteString("loss=")
+	b.WriteString(c.Loss.Name())
+	b.WriteString("|side=")
+	if len(c.Side) == 0 {
+		b.WriteString("full")
+		return b.String(), nil
+	}
+	side := make([]int, 0, len(c.Side))
+	seen := make(map[int]bool, len(c.Side))
+	for _, i := range c.Side {
+		if i < 0 || i > n || seen[i] {
+			continue
+		}
+		seen[i] = true
+		side = append(side, i)
+	}
+	sort.Ints(side)
+	for k, i := range side {
+		if k > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(i))
+	}
+	return b.String(), nil
+}
+
+// --- exact artifacts ------------------------------------------------------
+
+// Geometric returns the (shared, immutable) geometric mechanism
+// G_{n,α}, computing it at most once per (n, α).
+func (e *Engine) Geometric(n int, alpha *big.Rat) (*mechanism.Mechanism, error) {
+	if err := checkRat("alpha", alpha); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
+	return getTyped(e.mechanisms, key, func() (*mechanism.Mechanism, error) {
+		return mechanism.Geometric(n, alpha)
+	})
+}
+
+// GeometricInverse returns the Lemma 1/2 inverse of G_{n,α} as a
+// fresh clone of the cached matrix (matrices are mutable, so callers
+// never see the cache's copy).
+func (e *Engine) GeometricInverse(n int, alpha *big.Rat) (*matrix.Matrix, error) {
+	if err := checkRat("alpha", alpha); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
+	m, err := getTyped(e.inverses, key, func() (*matrix.Matrix, error) {
+		return mechanism.GeometricInverse(n, alpha)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.Clone(), nil
+}
+
+// Transition returns the Lemma 3 stochastic matrix T_{α,β} with
+// G_{n,β} = G_{n,α}·T_{α,β} as a fresh clone of the cached matrix.
+func (e *Engine) Transition(n int, alpha, beta *big.Rat) (*matrix.Matrix, error) {
+	if err := checkRat("alpha", alpha); err != nil {
+		return nil, err
+	}
+	if err := checkRat("beta", beta); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("n=%d|a=%s|b=%s", n, ratKey(alpha), ratKey(beta))
+	m, err := getTyped(e.transitions, key, func() (*matrix.Matrix, error) {
+		return derive.Transition(n, alpha, beta)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.Clone(), nil
+}
+
+// ReleasePlan returns the (shared) Algorithm 1 release plan for the
+// privacy levels α₁ < … < α_k, computing the cascade chain at most
+// once per (n, levels). Plans expose no mutators and are safe to
+// share between goroutines; sampling from a plan still requires a
+// caller-owned PRNG.
+func (e *Engine) ReleasePlan(n int, alphas []*big.Rat) (*release.Plan, error) {
+	parts := make([]string, len(alphas))
+	for i, a := range alphas {
+		if err := checkRat(fmt.Sprintf("level %d", i+1), a); err != nil {
+			return nil, err
+		}
+		parts[i] = ratKey(a)
+	}
+	key := fmt.Sprintf("n=%d|a=%s", n, strings.Join(parts, ","))
+	return getTyped(e.plans, key, func() (*release.Plan, error) {
+		return release.NewPlan(n, alphas)
+	})
+}
+
+// TailoredMechanism solves (once per key) the §2.5 LP: the optimal
+// α-DP mechanism for consumer c on {0..n}. The returned Tailored is
+// shared between callers and must be treated as read-only.
+func (e *Engine) TailoredMechanism(c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Tailored, error) {
+	if err := checkRat("alpha", alpha); err != nil {
+		return nil, err
+	}
+	ck, err := consumerKey(c, n)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("n=%d|a=%s|%s", n, ratKey(alpha), ck)
+	return getTyped(e.tailored, key, func() (*consumer.Tailored, error) {
+		return consumer.OptimalMechanism(c, n, alpha)
+	})
+}
+
+// OptimalInteraction solves (once per key) the §2.4.3 LP: consumer
+// c's optimal post-processing of the deployed geometric mechanism
+// G_{n,α}. By Theorem 1 its Loss equals the tailored optimum, so a
+// warm engine can answer "what does consumer c lose at level α?"
+// from cache along either route. The returned Interaction is shared
+// and must be treated as read-only.
+func (e *Engine) OptimalInteraction(c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Interaction, error) {
+	if err := checkRat("alpha", alpha); err != nil {
+		return nil, err
+	}
+	ck, err := consumerKey(c, n)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("n=%d|a=%s|%s", n, ratKey(alpha), ck)
+	return getTyped(e.interactions, key, func() (*consumer.Interaction, error) {
+		deployed, err := e.Geometric(n, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return consumer.OptimalInteraction(c, deployed)
+	})
+}
+
+// Metrics snapshots the engine's counters (see Metrics for the JSON
+// shape).
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Mechanisms:   e.mechanisms.stats(),
+		Inverses:     e.inverses.stats(),
+		Transitions:  e.transitions.stats(),
+		Plans:        e.plans.stats(),
+		Tailored:     e.tailored.stats(),
+		Interactions: e.interactions.stats(),
+		Samplers:     e.samplers.stats(),
+		SamplerDraws: e.samplerDraws.Load(),
+	}
+}

@@ -1,0 +1,50 @@
+package engine
+
+import "sync"
+
+// flightGroup coalesces concurrent computations of the same key:
+// while one goroutine (the leader) runs the compute function, every
+// other goroutine asking for the same key blocks until the leader
+// finishes and then shares its result. This is the classic
+// "singleflight" pattern, implemented in-package because the module
+// is stdlib-only.
+//
+// Results are not retained after the leader returns — long-term
+// storage is the cache's job; the flight group only spans the window
+// in which duplicate work could start.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// do runs fn once per key per in-flight window. The returned leader
+// flag reports whether this goroutine ran fn itself (true) or was
+// coalesced onto another goroutine's call (false).
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, leader bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, false, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.val, true, c.err
+}

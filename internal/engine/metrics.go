@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CacheStats is a point-in-time snapshot of one artifact cache.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// ArtifactStats aggregates the serving counters for one artifact
+// class: how many times it was requested, how long the cache-miss
+// computations took in total, and the cache behavior. Misses count
+// actual computations, so under request coalescing N concurrent
+// identical requests contribute N to Requests, 1 to Misses, and N−1
+// to Coalesced.
+type ArtifactStats struct {
+	Requests     uint64     `json:"requests"`
+	ComputeNanos uint64     `json:"compute_nanos"`
+	Cache        CacheStats `json:"cache"`
+}
+
+// Metrics is the engine's expvar-style metrics surface: a plain
+// struct that marshals directly to JSON. Counters are monotone over
+// the engine's lifetime; snapshots are internally consistent per
+// counter but not across counters (each is read atomically, the
+// struct is not a transaction).
+type Metrics struct {
+	Mechanisms   ArtifactStats `json:"mechanisms"`
+	Inverses     ArtifactStats `json:"inverses"`
+	Transitions  ArtifactStats `json:"transitions"`
+	Plans        ArtifactStats `json:"plans"`
+	Tailored     ArtifactStats `json:"tailored"`
+	Interactions ArtifactStats `json:"interactions"`
+	Samplers     ArtifactStats `json:"samplers"`
+	SamplerDraws uint64        `json:"sampler_draws"`
+}
+
+// store couples one artifact cache with a flight group and its
+// counters. All engine artifact lookups go through getOrCompute.
+type store struct {
+	cache  *cache
+	flight flightGroup
+
+	requests     atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	coalesced    atomic.Uint64
+	evictions    atomic.Uint64
+	computeNanos atomic.Uint64
+}
+
+func newStore(capacity int) *store {
+	return &store{cache: newCache(capacity)}
+}
+
+// getOrCompute is the engine's core serving primitive: cache lookup,
+// then coalesced compute-and-fill on miss. Errors are returned to
+// every coalesced caller and never cached (the artifacts here are
+// deterministic, so an error is a caller mistake — bad parameters —
+// and retrying with the same key would fail identically anyway).
+func (s *store) getOrCompute(key string, fn func() (any, error)) (any, error) {
+	s.requests.Add(1)
+	if v, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		return v, nil
+	}
+	v, leader, err := s.flight.do(key, func() (any, error) {
+		// Re-check under the flight: a previous leader may have
+		// filled the cache between our lookup and joining the group.
+		if v, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			return v, nil
+		}
+		s.misses.Add(1)
+		start := time.Now()
+		v, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		s.computeNanos.Add(uint64(time.Since(start).Nanoseconds()))
+		s.evictions.Add(uint64(s.cache.put(key, v)))
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !leader {
+		s.coalesced.Add(1)
+	}
+	return v, nil
+}
+
+// stats snapshots the store's counters.
+func (s *store) stats() ArtifactStats {
+	return ArtifactStats{
+		Requests:     s.requests.Load(),
+		ComputeNanos: s.computeNanos.Load(),
+		Cache: CacheStats{
+			Size:      s.cache.size(),
+			Capacity:  s.cache.capacity,
+			Hits:      s.hits.Load(),
+			Misses:    s.misses.Load(),
+			Coalesced: s.coalesced.Load(),
+			Evictions: s.evictions.Load(),
+		},
+	}
+}

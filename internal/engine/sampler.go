@@ -1,0 +1,133 @@
+// Sampling lives on the float side of the exact-arithmetic boundary
+// (DESIGN.md §7): alias tables are built from float64 projections of
+// the exact row distributions, exactly like mechanism.Sample's
+// inverse-CDF walk. This file is therefore exempt from the floatexact
+// analyzer (see internal/analysis/floatexact.DefaultAllowFiles);
+// everything else in the package stays exact.
+
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+)
+
+// rngPool hands out per-goroutine PRNGs. sample.NewRand returns a
+// *rand.Rand that is not safe for concurrent use, so concurrent
+// samplers must never share one; the pool gives each borrowing
+// goroutine its own stream, seeded base+k for the k-th stream ever
+// created (deterministic stream *set*, scheduler-dependent
+// assignment).
+type rngPool struct {
+	base int64
+	seq  atomic.Int64
+	pool sync.Pool
+}
+
+func newRNGPool(seed int64) *rngPool {
+	p := &rngPool{base: seed}
+	p.pool.New = func() any {
+		return sample.NewRand(p.base + p.seq.Add(1))
+	}
+	return p
+}
+
+func (p *rngPool) get() *rand.Rand  { return p.pool.Get().(*rand.Rand) }
+func (p *rngPool) put(r *rand.Rand) { p.pool.Put(r) }
+
+// Sampler draws from a fixed mechanism in O(1) per draw: one Walker
+// alias table per mechanism row, precompiled at construction. Unlike
+// mechanism.Sample (which takes a caller-owned *rand.Rand and walks
+// the CDF in O(n)), Sampler methods are safe for concurrent use —
+// each draw borrows a PRNG from the engine's pool.
+type Sampler struct {
+	n     int
+	rows  []*sample.Alias
+	pool  *rngPool
+	draws *atomic.Uint64
+}
+
+func newSampler(m *mechanism.Mechanism, pool *rngPool, draws *atomic.Uint64) (*Sampler, error) {
+	n := m.N()
+	rows := make([]*sample.Alias, n+1)
+	for i := 0; i <= n; i++ {
+		row := m.Row(i)
+		w := make([]float64, len(row))
+		for j, p := range row {
+			w[j] = rational.Float(p)
+		}
+		a, err := sample.NewAlias(w)
+		if err != nil {
+			return nil, fmt.Errorf("engine: sampler row %d: %w", i, err)
+		}
+		rows[i] = a
+	}
+	return &Sampler{n: n, rows: rows, pool: pool, draws: draws}, nil
+}
+
+// N returns the mechanism's domain bound (results lie in {0..n}).
+func (s *Sampler) N() int { return s.n }
+
+// Sample draws one released result for true input i.
+func (s *Sampler) Sample(i int) int {
+	s.check(i)
+	rng := s.pool.get()
+	r := s.rows[i].Sample(rng)
+	s.pool.put(rng)
+	s.draws.Add(1)
+	return r
+}
+
+// SampleN draws count released results for true input i, borrowing
+// one pooled PRNG for the whole batch.
+func (s *Sampler) SampleN(i, count int) []int {
+	s.check(i)
+	if count < 0 {
+		panic(fmt.Sprintf("engine: negative sample count %d", count))
+	}
+	out := make([]int, count)
+	rng := s.pool.get()
+	for k := range out {
+		out[k] = s.rows[i].Sample(rng)
+	}
+	s.pool.put(rng)
+	s.draws.Add(uint64(count))
+	return out
+}
+
+func (s *Sampler) check(i int) {
+	if i < 0 || i > s.n {
+		panic(fmt.Sprintf("engine: input %d out of range [0,%d]", i, s.n))
+	}
+}
+
+// GeometricSampler returns the (shared, concurrency-safe) precompiled
+// sampler for G_{n,α}, building the alias tables at most once per
+// (n, α).
+func (e *Engine) GeometricSampler(n int, alpha *big.Rat) (*Sampler, error) {
+	if err := checkRat("alpha", alpha); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
+	return getTyped(e.samplers, key, func() (*Sampler, error) {
+		g, err := e.Geometric(n, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return newSampler(g, e.rngs, &e.samplerDraws)
+	})
+}
+
+// MechanismSampler precompiles a concurrency-safe sampler for an
+// arbitrary mechanism. The result is not cached (the engine cannot
+// key arbitrary mechanisms); callers should retain it.
+func (e *Engine) MechanismSampler(m *mechanism.Mechanism) (*Sampler, error) {
+	return newSampler(m, e.rngs, &e.samplerDraws)
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+)
+
+func TestGeometricSamplerDistribution(t *testing.T) {
+	e := New(Config{Seed: 7})
+	a := rational.MustParse("1/2")
+	s, err := e.GeometricSampler(8, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	const trials = 50000
+	counts := make([]int, 9)
+	for _, r := range s.SampleN(4, trials) {
+		counts[r]++
+	}
+	pmf := sample.EmpiricalPMF(counts)
+	g, err := e.Geometric(8, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= 8; r++ {
+		want := rational.Float(g.Prob(4, r))
+		if math.Abs(pmf[r]-want) > 0.01 {
+			t.Errorf("Pr[release %d] = %.4f, want %.4f ± 0.01", r, pmf[r], want)
+		}
+	}
+	if got := e.Metrics().SamplerDraws; got != trials {
+		t.Errorf("sampler draws = %d, want %d", got, trials)
+	}
+}
+
+func TestSamplerCachedPerKey(t *testing.T) {
+	e := New(Config{})
+	a := rational.MustParse("1/3")
+	s1, err := e.GeometricSampler(6, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.GeometricSampler(6, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("sampler not cached")
+	}
+	m := e.Metrics()
+	if m.Samplers.Cache.Misses != 1 || m.Samplers.Cache.Hits != 1 {
+		t.Errorf("sampler stats = %+v", m.Samplers)
+	}
+}
+
+func TestSamplerConcurrentDraws(t *testing.T) {
+	e := New(Config{Seed: 3})
+	s, err := e.GeometricSampler(10, rational.MustParse("2/3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 16, 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				r := s.Sample(w % 11)
+				if r < 0 || r > 10 {
+					t.Errorf("draw %d out of range", r)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := e.Metrics().SamplerDraws; got != workers*perWorker {
+		t.Errorf("draws = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSamplerBoundsPanics(t *testing.T) {
+	e := New(Config{})
+	s, err := e.GeometricSampler(4, rational.MustParse("1/2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sample(%d) did not panic", bad)
+				}
+			}()
+			s.Sample(bad)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative count did not panic")
+			}
+		}()
+		s.SampleN(0, -1)
+	}()
+}
+
+func TestMechanismSamplerArbitrary(t *testing.T) {
+	e := New(Config{})
+	g, err := e.Geometric(5, rational.MustParse("1/4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.MechanismSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Sample(2); r < 0 || r > 5 {
+		t.Errorf("draw %d out of range", r)
+	}
+}

@@ -15,6 +15,13 @@ import (
 // NewRand returns a deterministic PRNG for the given seed. All
 // experiment binaries accept a seed so every reported number is
 // reproducible.
+//
+// The returned *rand.Rand is NOT safe for concurrent use: its
+// internal state is mutated on every draw with no synchronization.
+// Give each goroutine its own seeded instance, or route concurrent
+// sampling through internal/engine's sampler pool, which keeps one
+// pooled PRNG per borrowing goroutine (sync.Pool) precisely so no
+// two goroutines ever share a stream.
 func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }

@@ -52,6 +52,7 @@ import (
 
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/derive"
+	"minimaxdp/internal/engine"
 	"minimaxdp/internal/loss"
 	"minimaxdp/internal/matrix"
 	"minimaxdp/internal/mechanism"
@@ -111,6 +112,10 @@ func MustRat(s string) *big.Rat { return rational.MustParse(s) }
 // randomness through one seedable source keeps every experiment
 // reproducible from its -seed flag and leaves one swap point should
 // release builds ever move to crypto/rand.
+//
+// The returned PRNG is NOT goroutine-safe. Concurrent samplers must
+// use one PRNG per goroutine or draw through an Engine's pooled
+// samplers (Engine.GeometricSampler / Engine.MechanismSampler).
 func NewRand(seed int64) *rand.Rand { return sample.NewRand(seed) }
 
 // Geometric returns the range-restricted α-geometric mechanism
@@ -255,3 +260,31 @@ func DerivableFrom(x, y *Mechanism) (*Matrix, error) { return derive.DerivableFr
 func OptimalDeterministicInteraction(c *Consumer, deployed *Mechanism) (*Interaction, error) {
 	return consumer.OptimalDeterministicInteraction(c, deployed)
 }
+
+// --- the serving engine ---------------------------------------------------
+
+// Engine is the concurrent mechanism-serving layer: a compute-once,
+// concurrency-safe front over every expensive exact artifact
+// (geometric mechanisms and inverses, Lemma 3 transitions, release
+// plans, and the §2.4.3/§2.5 LP optima), with keyed caches,
+// singleflight request coalescing, pooled alias-table samplers, and a
+// JSON-ready metrics surface. Construct one per process and share it;
+// see internal/engine for cache-key semantics.
+type Engine = engine.Engine
+
+// EngineConfig tunes an Engine's cache capacities and sampler-pool
+// seed; the zero value is ready to use.
+type EngineConfig = engine.Config
+
+// EngineMetrics is the engine's expvar-style counter snapshot
+// (requests, compute time, cache hit/miss/coalesced/eviction counts
+// per artifact class); it marshals directly to JSON.
+type EngineMetrics = engine.Metrics
+
+// Sampler draws from a fixed mechanism in O(1) per draw via
+// precompiled alias tables. Unlike Mechanism.Sample it is safe for
+// concurrent use: each draw borrows a PRNG from its engine's pool.
+type Sampler = engine.Sampler
+
+// NewEngine builds a serving engine from cfg (zero value fine).
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }

@@ -176,3 +176,43 @@ func TestPublicDerivableFromAndDeterministic(t *testing.T) {
 		t.Error("deterministic beat randomized")
 	}
 }
+
+func TestPublicEngine(t *testing.T) {
+	e := NewEngine(EngineConfig{Seed: 5})
+	alpha := MustRat("1/2")
+	g1, err := e.Geometric(6, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := e.Geometric(6, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("engine did not cache the mechanism")
+	}
+	c := &Consumer{Loss: AbsoluteLoss()}
+	tl, err := e.TailoredMechanism(c, 6, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := e.OptimalInteraction(c, 6, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 1 through the cached paths.
+	if tl.Loss.Cmp(inter.Loss) != 0 {
+		t.Errorf("tailored loss %s != interaction loss %s", tl.Loss.RatString(), inter.Loss.RatString())
+	}
+	s, err := e.GeometricSampler(6, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Sample(3); r < 0 || r > 6 {
+		t.Errorf("draw %d out of range", r)
+	}
+	var m EngineMetrics = e.Metrics()
+	if m.Mechanisms.Cache.Hits == 0 || m.SamplerDraws != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}

@@ -33,9 +33,13 @@ go run ./cmd/dpvet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> engine benchmarks (compile-and-smoke, 1 iteration each)"
+go test -run='^$' -bench=Engine -benchtime=1x ./internal/engine
+
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzPow$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzUnmarshalJSON$' -fuzztime="${FUZZTIME}" ./internal/mechanism
+go test -run='^$' -fuzz='^FuzzParseLevels$' -fuzztime="${FUZZTIME}" ./cmd/dpserver
 
 echo "==> all checks passed"
