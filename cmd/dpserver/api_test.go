@@ -1,0 +1,301 @@
+// Tests for the /v1 API contract: the typed error envelope, status
+// code mapping, deprecated legacy aliases, readiness, and the
+// cancellation/load-shedding behavior of the LP-backed routes.
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/engine"
+	"minimaxdp/internal/loss"
+)
+
+// decodeEnvelope asserts the response carries the uniform error
+// envelope and returns its code.
+func decodeEnvelope(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("response is not an error envelope: %v\n%s", err, rec.Body.String())
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", rec.Body.String())
+	}
+	return env.Error.Code
+}
+
+// TestV1ErrorEnvelopes drives every /v1 error path and asserts both
+// the HTTP status and the machine-readable code.
+func TestV1ErrorEnvelopes(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	cases := []struct {
+		method string
+		path   string
+		status int
+		code   string
+	}{
+		{http.MethodGet, "/v1/result?level=0", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/result?level=99", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/result?level=x", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/mechanism?level=0", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/tailored?loss=nope&n=4", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/tailored?n=0", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/tailored?n=9999", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/tailored?alpha=zzz&n=4", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/tailored?side=9-2&n=4", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/tailored?loss=deadband&width=x&n=4", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/sample?count=0", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/sample?input=-1", http.StatusBadRequest, "invalid_argument"},
+		{http.MethodGet, "/v1/nonexistent", http.StatusNotFound, "not_found"},
+		{http.MethodGet, "/v1/epoch", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{http.MethodPost, "/v1/result", http.StatusMethodNotAllowed, "method_not_allowed"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, nil))
+		if rec.Code != tc.status {
+			t.Errorf("%s %s: status %d, want %d (%s)", tc.method, tc.path, rec.Code, tc.status, rec.Body.String())
+			continue
+		}
+		if code := decodeEnvelope(t, rec); code != tc.code {
+			t.Errorf("%s %s: code %q, want %q", tc.method, tc.path, code, tc.code)
+		}
+	}
+}
+
+// TestV1RoutesServe sanity-checks that every /v1 success path works
+// and that the versioned responses carry no deprecation marker.
+func TestV1RoutesServe(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	for _, path := range []string{
+		"/v1/result?level=1",
+		"/v1/levels",
+		"/v1/mechanism?level=1",
+		"/v1/tailored?loss=absolute&n=6&level=1",
+		"/v1/sample?level=1&input=3&count=4",
+		"/v1/metrics",
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: status %d: %s", path, rec.Code, rec.Body.String())
+		}
+		if dep := rec.Header().Get("Deprecation"); dep != "" {
+			t.Errorf("%s: unexpected Deprecation header %q on versioned route", path, dep)
+		}
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/epoch", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("POST /v1/epoch: status %d", rec.Code)
+	}
+}
+
+// TestLegacyAliasesDeprecated: the unversioned paths still serve but
+// advertise their /v1 successor.
+func TestLegacyAliasesDeprecated(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	for legacy, successor := range map[string]string{
+		"/result?level=1": "/v1/result",
+		"/levels":         "/v1/levels",
+		"/metrics":        "/v1/metrics",
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, legacy, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: status %d", legacy, rec.Code)
+			continue
+		}
+		if dep := rec.Header().Get("Deprecation"); dep != "true" {
+			t.Errorf("%s: Deprecation header = %q, want \"true\"", legacy, dep)
+		}
+		if link := rec.Header().Get("Link"); !strings.Contains(link, successor) ||
+			!strings.Contains(link, "successor-version") {
+			t.Errorf("%s: Link header = %q, want successor %s", legacy, link, successor)
+		}
+	}
+}
+
+// TestTailoredClientDisconnect: a request whose context is already
+// canceled (the client hung up) gets 503/canceled, not a solve.
+func TestTailoredClientDisconnect(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/v1/tailored?loss=absolute&n=8&level=1", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%s)", rec.Code, rec.Body.String())
+	}
+	if code := decodeEnvelope(t, rec); code != "canceled" {
+		t.Errorf("code %q, want canceled", code)
+	}
+	if size := s.eng.Metrics().Tailored.Cache.Size; size != 0 {
+		t.Errorf("canceled request cached an artifact: size = %d", size)
+	}
+}
+
+// TestTailoredSolveTimeout: a server-side solve timeout that expires
+// maps to 504/deadline_exceeded.
+func TestTailoredSolveTimeout(t *testing.T) {
+	s, err := newServer(serverConfig{
+		N: 200, City: "San Diego", FluRate: 0.1, Levels: "1/2,2/3", Seed: 42,
+		SolveTimeout: time.Nanosecond, // expires before the solve can start
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := s.handler()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/tailored?loss=absolute&n=8&level=1", nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", rec.Code, rec.Body.String())
+	}
+	if code := decodeEnvelope(t, rec); code != "deadline_exceeded" {
+		t.Errorf("code %q, want deadline_exceeded", code)
+	}
+}
+
+// TestTailoredShedsUnderLoad: with a single solve slot occupied by a
+// long-running solve, a /v1/tailored request for a different key is
+// rejected fast with 429/shed and the shed shows up in /v1/metrics.
+func TestTailoredShedsUnderLoad(t *testing.T) {
+	solveStarted := make(chan struct{}, 1)
+	s, err := newServer(serverConfig{
+		N: 200, City: "San Diego", FluRate: 0.1, Levels: "1/2,2/3", Seed: 42,
+		MaxInFlightSolves: 1,
+		Trace: func(ev engine.TraceEvent) {
+			if ev.Kind == engine.TraceSolveStart && ev.Artifact == "tailored" {
+				select {
+				case solveStarted <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := s.handler()
+
+	// Occupy the slot with a large solve directly on the engine; abort
+	// it at the end of the test (the pivot checkpoint makes that fast).
+	occCtx, occCancel := context.WithCancel(context.Background())
+	occDone := make(chan error, 1)
+	go func() {
+		_, err := s.eng.TailoredCtx(occCtx, &consumer.Consumer{Loss: loss.Absolute{}}, 14, big.NewRat(1, 2))
+		occDone <- err
+	}()
+	select {
+	case <-solveStarted:
+	case <-time.After(30 * time.Second):
+		occCancel()
+		t.Fatal("occupying solve never started")
+	}
+	defer func() {
+		occCancel()
+		if err := <-occDone; !errors.Is(err, context.Canceled) {
+			t.Errorf("occupying solve err = %v, want context.Canceled", err)
+		}
+	}()
+
+	begin := time.Now()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/tailored?loss=squared&n=6&level=2", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", rec.Code, rec.Body.String())
+	}
+	if code := decodeEnvelope(t, rec); code != "shed" {
+		t.Errorf("code %q, want shed", code)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Errorf("shed response took %v, want fast-fail", elapsed)
+	}
+
+	// The shed is visible through /v1/metrics.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	var body struct {
+		Engine struct {
+			Tailored struct {
+				Shed uint64 `json:"shed"`
+			} `json:"tailored"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Engine.Tailored.Shed != 1 {
+		t.Errorf("metrics shed = %d, want 1", body.Engine.Tailored.Shed)
+	}
+}
+
+// TestReadyzDrains: ready until the drain flag flips, 503 after.
+func TestReadyzDrains(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Fatalf("readyz while serving: %d %q", rec.Code, rec.Body.String())
+	}
+	s.ready.Store(false)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable || rec.Body.String() != "draining\n" {
+		t.Errorf("readyz while draining: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestV1MetricsIncludesInFlight: the engine section exposes the
+// in-flight solve gauge and per-artifact latency histograms.
+func TestV1MetricsIncludesInFlight(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	// One real solve so the tailored histogram is non-empty.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/tailored?loss=absolute&n=6&level=1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tailored warmup: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	var body struct {
+		Engine struct {
+			InFlightSolves *int `json:"in_flight_solves"`
+			Tailored       struct {
+				ComputeLatency struct {
+					Counts []uint64 `json:"counts"`
+				} `json:"compute_latency"`
+			} `json:"tailored"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Engine.InFlightSolves == nil {
+		t.Error("metrics missing in_flight_solves gauge")
+	}
+	var total uint64
+	for _, c := range body.Engine.Tailored.ComputeLatency.Counts {
+		total += c
+	}
+	if total != 1 {
+		t.Errorf("tailored latency histogram total = %d, want 1", total)
+	}
+}

@@ -5,27 +5,38 @@
 //
 // On startup it generates a synthetic survey database, evaluates the
 // flu count query, and prepares an Algorithm 1 release plan via the
-// engine's artifact cache. Each request to /result?level=K returns
+// engine's artifact cache. Each request to /v1/result?level=K returns
 // the level-K released value for the *current epoch*; all levels
 // within an epoch come from one correlated cascade draw, so colluding
-// readers cannot cancel the noise (Lemma 4). POST /epoch advances to
-// a fresh draw. Handlers are lock-free: the epoch lives behind an
+// readers cannot cancel the noise (Lemma 4). POST /v1/epoch advances
+// to a fresh draw. Handlers are lock-free: the epoch lives behind an
 // atomic snapshot and exact artifacts come from the engine's caches.
 //
-// Endpoints:
+// The versioned surface (see README "Serving & operations" for the
+// full contract):
 //
-//	GET  /               service description (JSON)
-//	GET  /result?level=K released result at privacy level K (1-based)
-//	GET  /levels         the privacy levels and their α values
-//	POST /epoch          advance to a new correlated release
-//	GET  /mechanism      exact marginal mechanism of a level (public)
-//	GET  /tailored       engine-cached §2.5 tailored-optimum solve
-//	GET  /sample         draws of the public mechanism at a claimed input
-//	GET  /metrics        serving and engine-cache counters
-//	GET  /healthz        liveness probe
+//	GET  /v1/result?level=K released result at privacy level K (1-based)
+//	GET  /v1/levels         the privacy levels and their α values
+//	POST /v1/epoch          advance to a new correlated release
+//	GET  /v1/mechanism      exact marginal mechanism of a level (public)
+//	GET  /v1/tailored       engine-cached §2.5 tailored-optimum solve
+//	GET  /v1/sample         draws of the public mechanism at a claimed input
+//	GET  /v1/metrics        serving and engine-cache counters
+//	GET  /healthz           liveness probe
+//	GET  /readyz            readiness probe (503 while draining)
+//
+// The legacy unversioned paths (/result, /tailored, ...) remain as
+// deprecated aliases that set a Deprecation header and a Link to
+// their /v1 successor.
+//
+// LP-backed requests run under the request context: a client
+// disconnect cancels the solve at its next pivot, -solve-timeout
+// bounds any single solve (504 on expiry), and -max-inflight-solves
+// sheds excess concurrent solves with a fast 429.
 //
 // The process runs a configured http.Server (header/read/write
-// timeouts) and drains connections gracefully on SIGINT/SIGTERM.
+// timeouts) and drains connections gracefully on SIGINT/SIGTERM,
+// flipping /readyz to 503 for the duration of the drain.
 package main
 
 import (
@@ -33,37 +44,89 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"minimaxdp/internal/engine"
 )
 
 func main() {
-	addr := flag.String("addr", ":8990", "listen address")
+	addr := flag.String("addr", ":8990", "listen address (use :0 for an ephemeral port)")
 	n := flag.Int("n", 500, "synthetic population size")
 	city := flag.String("city", "San Diego", "survey city")
 	fluRate := flag.Float64("flurate", 0.08, "synthetic flu rate among adults")
 	levelsStr := flag.String("levels", "1/2,2/3,4/5", "increasing privacy levels")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	maxTailoredN := flag.Int("max-tailored-n", defaultMaxTailoredN,
-		"largest domain size accepted by /tailored (LP cost grows as n⁴)")
+		"largest domain size accepted by /v1/tailored (LP cost grows as n⁴)")
+	solveTimeout := flag.Duration("solve-timeout", 15*time.Second,
+		"server-side cap on one LP solve (0 disables; exceeding it returns 504)")
+	maxInFlight := flag.Int("max-inflight-solves", 0,
+		"bound on concurrent LP solves (0 = engine default, negative = unlimited; excess sheds with 429)")
+	traceEngine := flag.Bool("trace-engine", false,
+		"log engine span events (solve-start/solve-done/shed) to stderr")
+	debugAddr := flag.String("debug-addr", "",
+		"optional address for net/http/pprof (empty = disabled; keep it loopback-only)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
 		"how long to drain connections after SIGINT/SIGTERM")
 	flag.Parse()
 
-	s, err := newServer(*n, *city, *fluRate, *levelsStr, *seed)
+	cfg := serverConfig{
+		N:                 *n,
+		City:              *city,
+		FluRate:           *fluRate,
+		Levels:            *levelsStr,
+		Seed:              *seed,
+		MaxTailoredN:      *maxTailoredN,
+		MaxInFlightSolves: *maxInFlight,
+		SolveTimeout:      *solveTimeout,
+	}
+	if *traceEngine {
+		cfg.Trace = func(ev engine.TraceEvent) {
+			switch ev.Kind {
+			case engine.TraceSolveStart, engine.TraceShed:
+				log.Printf("engine %s artifact=%s key=%q", ev.Kind, ev.Artifact, ev.Key)
+			case engine.TraceSolveDone:
+				log.Printf("engine %s artifact=%s key=%q dur=%s err=%v",
+					ev.Kind, ev.Artifact, ev.Key, ev.Duration, ev.Err)
+			}
+		}
+	}
+
+	s, err := newServer(cfg)
 	if err != nil {
 		log.Fatal("dpserver: ", err)
 	}
 	s.logRequests = true
-	if *maxTailoredN > 0 {
-		s.maxTailoredN = *maxTailoredN
+
+	// Listen before logging so -addr :0 reports the real port — the
+	// CI smoke test and local scripting both parse this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("dpserver: ", err)
+	}
+
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("dpserver: pprof on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("dpserver: pprof server: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -75,8 +138,8 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("dpserver: listening on %s (levels %s)", *addr, *levelsStr)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("dpserver: listening on %s (levels %s)", ln.Addr(), *levelsStr)
 
 	select {
 	case err := <-errc:
@@ -85,6 +148,7 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
+		s.ready.Store(false) // /readyz → 503 while draining
 		log.Printf("dpserver: shutdown signal received; draining for up to %s", *shutdownGrace)
 		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()

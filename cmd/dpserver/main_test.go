@@ -15,7 +15,7 @@ import (
 
 func newTestServer(t *testing.T) *server {
 	t.Helper()
-	s, err := newServer(200, "San Diego", 0.1, "1/2,2/3", 42)
+	s, err := newServer(serverConfig{N: 200, City: "San Diego", FluRate: 0.1, Levels: "1/2,2/3", Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,10 +37,10 @@ func get(t *testing.T, mux http.Handler, path string) (*httptest.ResponseRecorde
 }
 
 func TestNewServerValidation(t *testing.T) {
-	if _, err := newServer(100, "X", 0.1, "zzz", 1); err == nil {
+	if _, err := newServer(serverConfig{N: 100, City: "X", FluRate: 0.1, Levels: "zzz", Seed: 1}); err == nil {
 		t.Error("bad levels accepted")
 	}
-	if _, err := newServer(100, "X", 0.1, "1/2,1/4", 1); err == nil {
+	if _, err := newServer(serverConfig{N: 100, City: "X", FluRate: 0.1, Levels: "1/2,1/4", Seed: 1}); err == nil {
 		t.Error("decreasing levels accepted")
 	}
 }
@@ -339,7 +339,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // engine's coalescer collapsed the duplicate concurrent tailored
 // solves into a single LP run (miss counter = 1).
 func TestConcurrentServing(t *testing.T) {
-	s, err := newServer(120, "San Diego", 0.1, "1/2,2/3,4/5", 11)
+	s, err := newServer(serverConfig{N: 120, City: "San Diego", FluRate: 0.1, Levels: "1/2,2/3,4/5", Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

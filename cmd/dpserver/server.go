@@ -4,7 +4,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"math/big"
@@ -25,12 +27,12 @@ import (
 	"minimaxdp/internal/sample"
 )
 
-// defaultMaxTailoredN caps the domain size accepted by /tailored: the
-// §2.5 LP has (n+1)²+1 variables and is meant here as an interactive
-// demonstration, not a bulk workload.
+// defaultMaxTailoredN caps the domain size accepted by /v1/tailored:
+// the §2.5 LP has (n+1)²+1 variables and is meant here as an
+// interactive demonstration, not a bulk workload.
 const defaultMaxTailoredN = 24
 
-// maxSampleCount caps one /sample batch.
+// maxSampleCount caps one /v1/sample batch.
 const maxSampleCount = 4096
 
 // epochState is one epoch's correlated release: every level's result
@@ -50,6 +52,26 @@ type routeStat struct {
 	nanos  atomic.Uint64
 }
 
+// serverConfig collects everything newServer needs; main fills it
+// from flags, tests construct it literally.
+type serverConfig struct {
+	N            int     // synthetic population size
+	City         string  // survey city
+	FluRate      float64 // synthetic flu rate among adults
+	Levels       string  // increasing privacy levels, comma-separated
+	Seed         int64   // PRNG seed
+	MaxTailoredN int     // largest n accepted by /v1/tailored (0 = default)
+	// MaxInFlightSolves bounds concurrent LP solves (engine semantics:
+	// 0 = engine default, negative = unlimited).
+	MaxInFlightSolves int
+	// SolveTimeout caps one LP-backed request's solve time; exceeding
+	// it returns 504. Zero disables the server-side deadline (client
+	// disconnects still cancel).
+	SolveTimeout time.Duration
+	// Trace, when non-nil, receives the engine's span events.
+	Trace engine.TraceFunc
+}
+
 // server wires the engine, the release plan, and the epoch state.
 // Request handling is lock-free: the current epoch lives behind an
 // atomic snapshot pointer, exact artifacts come from the engine's
@@ -62,8 +84,13 @@ type server struct {
 	city         string
 	alphas       []*big.Rat
 	maxTailoredN int
+	solveTimeout time.Duration
 	logRequests  bool
 	start        time.Time
+
+	// ready gates /readyz: true once serving, false when draining so
+	// load balancers stop routing before in-flight requests finish.
+	ready atomic.Bool
 
 	mu  sync.Mutex // guards rng (sample.NewRand PRNGs are not goroutine-safe)
 	rng *rand.Rand
@@ -96,8 +123,8 @@ func parseLevels(s string) ([]*big.Rat, error) {
 	return out, nil
 }
 
-// parseLoss resolves the /tailored loss parameter. width applies only
-// to the deadband family.
+// parseLoss resolves the /v1/tailored loss parameter. width applies
+// only to the deadband family.
 func parseLoss(name, width string) (loss.Function, error) {
 	switch name {
 	case "", "absolute", "abs":
@@ -145,26 +172,35 @@ func parseSide(s string) ([]int, error) {
 	return consumer.Interval(l, h), nil
 }
 
-func newServer(n int, city string, fluRate float64, levelsStr string, seed int64) (*server, error) {
-	alphas, err := parseLevels(levelsStr)
+func newServer(cfg serverConfig) (*server, error) {
+	alphas, err := parseLevels(cfg.Levels)
 	if err != nil {
 		return nil, fmt.Errorf("bad levels: %w", err)
 	}
-	eng := engine.New(engine.Config{Seed: seed})
-	rng := sample.NewRand(seed)
-	db := database.Synthetic(n, city, fluRate, rng)
-	truth := database.FluQuery(city).Eval(db)
-	plan, err := eng.ReleasePlan(n, alphas)
+	eng := engine.New(engine.Config{
+		Seed:              cfg.Seed,
+		MaxInFlightSolves: cfg.MaxInFlightSolves,
+		Trace:             cfg.Trace,
+	})
+	rng := sample.NewRand(cfg.Seed)
+	db := database.Synthetic(cfg.N, cfg.City, cfg.FluRate, rng)
+	truth := database.FluQuery(cfg.City).Eval(db)
+	plan, err := eng.ReleasePlan(cfg.N, alphas)
 	if err != nil {
 		return nil, err
+	}
+	maxN := cfg.MaxTailoredN
+	if maxN <= 0 {
+		maxN = defaultMaxTailoredN
 	}
 	s := &server{
 		eng:          eng,
 		plan:         plan,
 		truth:        truth,
-		city:         city,
+		city:         cfg.City,
 		alphas:       alphas,
-		maxTailoredN: defaultMaxTailoredN,
+		maxTailoredN: maxN,
+		solveTimeout: cfg.SolveTimeout,
 		start:        time.Now(),
 		rng:          rng,
 		routes:       make(map[string]*routeStat),
@@ -173,6 +209,7 @@ func newServer(n int, city string, fluRate float64, levelsStr string, seed int64
 	if _, err := s.advance(); err != nil {
 		return nil, err
 	}
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -190,25 +227,127 @@ func (s *server) advance() (int, error) {
 	return next.epoch, nil
 }
 
-// handler builds the instrumented route table.
+// --- error envelope -------------------------------------------------------
+
+// apiError is the uniform error payload of the /v1 surface: a stable
+// machine-readable code plus a human-readable message, wrapped as
+// {"error": {"code": ..., "message": ...}}.
+//
+// Codes and their statuses:
+//
+//	invalid_argument   400  a query parameter failed validation
+//	method_not_allowed 405  wrong HTTP method for the route
+//	not_found          404  unknown /v1 route
+//	shed               429  solve rejected: in-flight solve bound hit
+//	canceled           503  client went away before the solve finished
+//	deadline_exceeded  504  solve exceeded the server's -solve-timeout
+//	internal           500  unexpected server-side failure
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dpserver: encode: %v", err)
+	}
+}
+
+func writeAPIError(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeSolveError maps an engine/context error from an LP-backed
+// handler to its /v1 status: load shedding is retryable-after-backoff
+// (429), a client that hung up gets 503 (nobody is listening, but
+// proxies may log it), and a solve that outlived the server's own
+// deadline is a gateway-style timeout (504). Anything else is a
+// parameter the engine rejected (400).
+func writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrSaturated):
+		writeAPIError(w, http.StatusTooManyRequests, "shed", "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeAPIError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			"solve exceeded the server's solve timeout")
+	case errors.Is(err, context.Canceled):
+		writeAPIError(w, http.StatusServiceUnavailable, "canceled",
+			"request canceled before the solve finished")
+	default:
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
+	}
+}
+
+// --- routing --------------------------------------------------------------
+
+// handler builds the instrumented route table: the versioned /v1
+// surface, thin deprecated aliases at the legacy unversioned paths,
+// and the unversioned operational probes (/healthz, /readyz).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	for route, h := range map[string]http.HandlerFunc{
-		"/":          s.handleRoot,
-		"/result":    s.handleResult,
-		"/levels":    s.handleLevels,
-		"/epoch":     s.handleEpoch,
-		"/mechanism": s.handleMechanism,
-		"/tailored":  s.handleTailored,
-		"/sample":    s.handleSample,
-		"/metrics":   s.handleMetrics,
-		"/healthz": func(w http.ResponseWriter, _ *http.Request) {
-			fmt.Fprintln(w, "ok")
-		},
+	for _, rt := range []struct {
+		path   string
+		method string
+		h      http.HandlerFunc
+	}{
+		{"/v1/result", http.MethodGet, s.handleResult},
+		{"/v1/levels", http.MethodGet, s.handleLevels},
+		{"/v1/epoch", http.MethodPost, s.handleEpoch},
+		{"/v1/mechanism", http.MethodGet, s.handleMechanism},
+		{"/v1/tailored", http.MethodGet, s.handleTailored},
+		{"/v1/sample", http.MethodGet, s.handleSample},
+		{"/v1/metrics", http.MethodGet, s.handleMetrics},
 	} {
-		mux.HandleFunc(route, s.instrument(route, h))
+		h := requireMethod(rt.method, rt.h)
+		mux.HandleFunc(rt.path, s.instrument(rt.path, h))
+		legacy := strings.TrimPrefix(rt.path, "/v1")
+		mux.HandleFunc(legacy, s.instrument(legacy, deprecatedAlias(rt.path, h)))
 	}
+	// Unknown /v1 routes get the typed envelope, not the stdlib 404
+	// page, so clients can rely on the error shape across the surface.
+	mux.HandleFunc("/v1/", s.instrument("/v1/*", func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, http.StatusNotFound, "not_found", "unknown route %s", r.URL.Path)
+	}))
+	mux.HandleFunc("/", s.instrument("/", s.handleRoot))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReadyz))
 	return mux
+}
+
+// requireMethod rejects other methods with the typed 405 envelope.
+func requireMethod(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				"%s requires %s", r.URL.Path, method)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// deprecatedAlias serves the handler unchanged but marks the response
+// deprecated (draft-ietf-httpapi-deprecation-header) and points at
+// the /v1 successor, so existing clients keep working while new ones
+// can discover the versioned path.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 // statusWriter records the status code written by a handler.
@@ -244,21 +383,11 @@ func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("dpserver: encode: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
+// --- handlers -------------------------------------------------------------
 
 func (s *server) handleRoot(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
-		http.NotFound(w, r)
+		writeAPIError(w, http.StatusNotFound, "not_found", "unknown route %s", r.URL.Path)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -267,16 +396,26 @@ func (s *server) handleRoot(w http.ResponseWriter, r *http.Request) {
 		"levels":  len(s.alphas),
 		"epoch":   s.state.Load().epoch,
 		"endpoints": map[string]string{
-			"GET /result?level=K":                 "released result at privacy level K (1 = least private)",
-			"GET /levels":                         "privacy levels and their α values",
-			"POST /epoch":                         "advance to a fresh correlated draw",
-			"GET /mechanism?level=K":              "exact marginal mechanism G_{n,α_K} (public knowledge)",
-			"GET /tailored?loss=L&side=lo-hi&n=N": "engine-cached §2.5 tailored-optimum solve",
-			"GET /sample?level=K&input=i&count=M": "fresh draws of the public mechanism at a claimed input",
-			"GET /metrics":                        "serving and engine-cache counters",
-			"GET /healthz":                        "liveness probe",
+			"GET /v1/result?level=K":                 "released result at privacy level K (1 = least private)",
+			"GET /v1/levels":                         "privacy levels and their α values",
+			"POST /v1/epoch":                         "advance to a fresh correlated draw",
+			"GET /v1/mechanism?level=K":              "exact marginal mechanism G_{n,α_K} (public knowledge)",
+			"GET /v1/tailored?loss=L&side=lo-hi&n=N": "engine-cached §2.5 tailored-optimum solve",
+			"GET /v1/sample?level=K&input=i&count=M": "fresh draws of the public mechanism at a claimed input",
+			"GET /v1/metrics":                        "serving and engine-cache counters",
+			"GET /healthz":                           "liveness probe",
+			"GET /readyz":                            "readiness probe (503 while draining)",
 		},
 	})
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 func (s *server) handleLevels(w http.ResponseWriter, _ *http.Request) {
@@ -310,7 +449,7 @@ func (s *server) parseLevel(r *http.Request) (int, error) {
 func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	lvl, err := s.parseLevel(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return
 	}
 	st := s.state.Load()
@@ -329,45 +468,54 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMechanism(w http.ResponseWriter, r *http.Request) {
 	lvl, err := s.parseLevel(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return
 	}
 	m, err := s.plan.Marginal(lvl)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, m)
 }
 
-func (s *server) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
+func (s *server) handleEpoch(w http.ResponseWriter, _ *http.Request) {
 	epoch, err := s.advance()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeAPIError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"epoch": epoch})
+}
+
+// solveContext derives the context for one LP-backed request: the
+// request context (canceled when the client disconnects) bounded by
+// the server's solve timeout, if configured.
+func (s *server) solveContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.solveTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.solveTimeout)
 }
 
 // handleTailored answers "what is the optimal α-DP mechanism for this
 // consumer?" via the engine-cached §2.5 LP. The solve is keyed by
 // (n, α, loss, side), so repeat queries — the common case for a
 // public dashboard — are cache lookups, and concurrent identical
-// first-time queries are coalesced into one solve.
+// first-time queries are coalesced into one solve. The solve runs
+// under the request context: client disconnects cancel it (503), the
+// server's solve timeout bounds it (504), and the engine's in-flight
+// bound sheds excess load (429).
 func (s *server) handleTailored(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	lf, err := parseLoss(q.Get("loss"), q.Get("width"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return
 	}
 	side, err := parseSide(q.Get("side"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return
 	}
 	n := s.plan.N()
@@ -377,11 +525,12 @@ func (s *server) handleTailored(w http.ResponseWriter, r *http.Request) {
 	if nStr := q.Get("n"); nStr != "" {
 		n, err = strconv.Atoi(nStr)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			writeAPIError(w, http.StatusBadRequest, "invalid_argument", "n must be a positive integer")
 			return
 		}
 		if n > s.maxTailoredN {
-			writeError(w, http.StatusBadRequest, "n %d exceeds the LP cap %d", n, s.maxTailoredN)
+			writeAPIError(w, http.StatusBadRequest, "invalid_argument",
+				"n %d exceeds the LP cap %d", n, s.maxTailoredN)
 			return
 		}
 	}
@@ -389,21 +538,23 @@ func (s *server) handleTailored(w http.ResponseWriter, r *http.Request) {
 	if aStr := q.Get("alpha"); aStr != "" {
 		alpha, err = rational.Parse(aStr)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad alpha: %v", err)
+			writeAPIError(w, http.StatusBadRequest, "invalid_argument", "bad alpha: %v", err)
 			return
 		}
 	} else {
 		lvl, err := s.parseLevel(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 			return
 		}
 		alpha = s.alphas[lvl-1]
 	}
+	ctx, cancel := s.solveContext(r)
+	defer cancel()
 	c := &consumer.Consumer{Loss: lf, Side: side}
-	tl, err := s.eng.TailoredMechanism(c, n, alpha)
+	tl, err := s.eng.TailoredCtx(ctx, c, n, alpha)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeSolveError(w, err)
 		return
 	}
 	resp := map[string]interface{}{
@@ -429,7 +580,7 @@ func (s *server) handleTailored(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
 	lvl, err := s.parseLevel(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return
 	}
 	q := r.URL.Query()
@@ -437,7 +588,8 @@ func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if inStr := q.Get("input"); inStr != "" {
 		input, err = strconv.Atoi(inStr)
 		if err != nil || input < 0 || input > s.plan.N() {
-			writeError(w, http.StatusBadRequest, "input must lie in [0,%d]", s.plan.N())
+			writeAPIError(w, http.StatusBadRequest, "invalid_argument",
+				"input must lie in [0,%d]", s.plan.N())
 			return
 		}
 	}
@@ -445,13 +597,14 @@ func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if cStr := q.Get("count"); cStr != "" {
 		count, err = strconv.Atoi(cStr)
 		if err != nil || count < 1 || count > maxSampleCount {
-			writeError(w, http.StatusBadRequest, "count must lie in [1,%d]", maxSampleCount)
+			writeAPIError(w, http.StatusBadRequest, "invalid_argument",
+				"count must lie in [1,%d]", maxSampleCount)
 			return
 		}
 	}
-	smp, err := s.eng.GeometricSampler(s.plan.N(), s.alphas[lvl-1])
+	smp, err := s.eng.Sampler(r.Context(), engine.SamplerSpec{N: s.plan.N(), Alpha: s.alphas[lvl-1]})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeSolveError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -482,6 +635,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"levels":         len(s.alphas),
 			"n":              s.plan.N(),
 			"uptime_seconds": time.Since(s.start).Seconds(),
+			"ready":          s.ready.Load(),
 			"routes":         routes,
 		},
 		"engine": s.eng.Metrics(),

@@ -1,0 +1,85 @@
+// Package ctxfirst implements the dpvet analyzer that keeps
+// context.Context in the conventional first-parameter position on
+// exported functions and methods.
+//
+// The serving pipeline threads cancellation from the HTTP layer down
+// into the LP pivot loop, which only works if every layer passes the
+// context along. The Go convention — ctx is always the first
+// parameter — is what makes that chain auditable at a glance and is
+// assumed by every reviewer and linter in the ecosystem. A context
+// buried later in the signature still compiles, but it signals an API
+// designed around an afterthought and invites call sites that drop or
+// duplicate the context. Exported signatures are the contract; this
+// analyzer pins the convention there (unexported helpers and test
+// files are out of scope — tests are outside dpvet's loading
+// universe).
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"minimaxdp/internal/analysis"
+)
+
+// DefaultAllow lists packages (by import path or "/"-suffix) exempt
+// from the check. Empty: the convention has no sanctioned exceptions.
+var DefaultAllow = []string{}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultAllow)
+
+// New builds a ctxfirst analyzer with a custom allow list.
+func New(allow []string) *analysis.Analyzer {
+	a := &analyzer{allow: allow}
+	return &analysis.Analyzer{
+		Name: "ctxfirst",
+		Doc: "require context.Context to be the first parameter of exported functions " +
+			"and methods, keeping cancellation chains auditable",
+		Run: a.run,
+	}
+}
+
+type analyzer struct {
+	allow []string
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func (a *analyzer) run(pass *analysis.Pass) {
+	if analysis.PathMatches(pass.Pkg.Path(), a.allow) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			params := sig.Params()
+			for i := 1; i < params.Len(); i++ {
+				if isContext(params.At(i).Type()) {
+					pass.Reportf(params.At(i).Pos(),
+						"context.Context is parameter %d of exported %s; make it the first parameter",
+						i+1, fd.Name.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"minimaxdp/internal/analysis/analysistest"
+	"minimaxdp/internal/analysis/ctxfirst"
+)
+
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, ".", ctxfirst.Analyzer, "./testdata/src/ctxfirst")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; analyzer is inert")
+	}
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises the ctxfirst analyzer: exported
+// functions and methods with a context.Context anywhere but first are
+// flagged; first-position contexts, context-free signatures, and
+// unexported helpers are not.
+package fixture
+
+import "context"
+
+// GoodFunc follows the convention.
+func GoodFunc(ctx context.Context, n int) error { _ = ctx; _ = n; return nil }
+
+// BadFunc buries the context.
+func BadFunc(n int, ctx context.Context) error { _ = ctx; _ = n; return nil } // want `context.Context is parameter 2`
+
+// BadLast puts it at the end of a longer signature.
+func BadLast(a, b string, ctx context.Context) { _, _, _ = a, b, ctx } // want `context.Context is parameter 3`
+
+type widget struct{}
+
+// GoodMethod follows the convention (the receiver does not count).
+func (widget) GoodMethod(ctx context.Context) { _ = ctx }
+
+// BadMethod buries the context after a value parameter.
+func (widget) BadMethod(name string, ctx context.Context) { _, _ = name, ctx } // want `context.Context is parameter 2`
+
+// NoCtx has no context at all.
+func NoCtx(a, b int) int { return a + b }
+
+// quiet is unexported; dpvet leaves internal helpers alone.
+func quiet(n int, ctx context.Context) { _, _ = n, ctx }
+
+// GoodVariadic keeps ctx first ahead of a variadic tail.
+func GoodVariadic(ctx context.Context, xs ...int) { _, _ = ctx, xs }

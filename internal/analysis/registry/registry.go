@@ -6,6 +6,7 @@ package registry
 
 import (
 	"minimaxdp/internal/analysis"
+	"minimaxdp/internal/analysis/ctxfirst"
 	"minimaxdp/internal/analysis/errdiscard"
 	"minimaxdp/internal/analysis/floatexact"
 	"minimaxdp/internal/analysis/load"
@@ -16,6 +17,7 @@ import (
 // All returns the full analyzer suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxfirst.Analyzer,
 		errdiscard.Analyzer,
 		floatexact.Analyzer,
 		randsource.Analyzer,

@@ -32,7 +32,7 @@ func TestRepoTreeClean(t *testing.T) {
 // silently drop a check from the CI gate.
 func TestSuiteComposition(t *testing.T) {
 	want := map[string]bool{
-		"errdiscard": true, "floatexact": true,
+		"ctxfirst": true, "errdiscard": true, "floatexact": true,
 		"randsource": true, "ratmutate": true,
 	}
 	got := registry.All()

@@ -8,6 +8,7 @@
 package consumer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -114,12 +115,23 @@ type Interaction struct {
 }
 
 // OptimalInteraction solves the consumer's post-processing LP against
-// the deployed mechanism y (Section 2.4.3):
+// the deployed mechanism y (Section 2.4.3). It is
+// OptimalInteractionCtx with a background context.
+func OptimalInteraction(c *Consumer, deployed *mechanism.Mechanism) (*Interaction, error) {
+	return OptimalInteractionCtx(context.Background(), c, deployed)
+}
+
+// OptimalInteractionCtx solves the consumer's post-processing LP
+// against the deployed mechanism y (Section 2.4.3):
 //
 //	minimize  max_{i∈S} Σ_{r'} x[i][r']·l(i,r')
 //	where     x[i][r'] = Σ_r y[i][r]·T[r][r']
 //	s.t.      each row of T is a probability distribution.
-func OptimalInteraction(c *Consumer, deployed *mechanism.Mechanism) (*Interaction, error) {
+//
+// The solve is the hot serving path behind Theorem 1 and can run for
+// seconds at realistic n; ctx cancellation aborts it between simplex
+// pivots and returns ctx.Err().
+func OptimalInteractionCtx(ctx context.Context, c *Consumer, deployed *mechanism.Mechanism) (*Interaction, error) {
 	n := deployed.N()
 	s, err := c.side(n)
 	if err != nil {
@@ -161,7 +173,7 @@ func OptimalInteraction(c *Consumer, deployed *mechanism.Mechanism) (*Interactio
 		}
 		p.AddConstraint(terms, lp.EQ, rational.One())
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +202,14 @@ type Tailored struct {
 }
 
 // OptimalMechanism solves the Section 2.5 LP over all oblivious α-DP
-// mechanisms on {0..n}:
+// mechanisms on {0..n}. It is OptimalMechanismCtx with a background
+// context.
+func OptimalMechanism(c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
+	return OptimalMechanismCtx(context.Background(), c, n, alpha)
+}
+
+// OptimalMechanismCtx solves the Section 2.5 LP over all oblivious
+// α-DP mechanisms on {0..n}:
 //
 //	minimize  d
 //	s.t.      d − Σ_r x[i][r]·l(i,r) ≥ 0            ∀ i ∈ S
@@ -198,7 +217,11 @@ type Tailored struct {
 //	          x[i+1][r] − α·x[i][r] ≥ 0             ∀ i < n, r
 //	          Σ_r x[i][r] = 1                        ∀ i
 //	          x ≥ 0.
-func OptimalMechanism(c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
+//
+// The LP has (n+1)²+1 variables and its solve time grows roughly as
+// n⁴; ctx cancellation aborts it between simplex pivots and returns
+// ctx.Err().
+func OptimalMechanismCtx(ctx context.Context, c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("consumer: n must be ≥ 1, got %d", n)
 	}
@@ -244,7 +267,7 @@ func OptimalMechanism(c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
 		}
 		p.AddConstraint(terms, lp.EQ, rational.One())
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -18,10 +18,27 @@
 //   - singleflight-style request coalescing, so N concurrent requests
 //     for the same not-yet-cached artifact run the computation once
 //     and share the result (critical for the LP solves, which cost
-//     milliseconds to seconds while a cache hit costs nanoseconds);
+//     milliseconds to minutes while a cache hit costs nanoseconds);
 //   - a pool of precompiled alias-table samplers with per-goroutine
 //     PRNGs (sample.NewRand returns a *rand.Rand that is NOT
 //     goroutine-safe; the pool hands each goroutine its own).
+//
+// # Cancellation and admission control
+//
+// Every artifact method has a context-taking form (GeometricCtx,
+// TailoredCtx, ...). Cancellation propagates into the LP pivot loop,
+// so abandoning a multi-second solve frees its CPU within one pivot.
+// Coalesced requests cancel independently: a waiter that gives up
+// detaches without disturbing the shared solve, which is itself
+// canceled only once every waiter has gone. Canceled or errored
+// computations never enter a cache.
+//
+// The LP-backed classes (tailored, interactions) additionally pass
+// through a bounded in-flight-solve semaphore
+// (Config.MaxInFlightSolves). Admission is non-blocking: when the
+// bound is reached, new solves fail immediately with ErrSaturated
+// rather than queueing, so overload surfaces as a fast, retryable
+// rejection. Cache hits and coalesced joins are never shed.
 //
 // Cached artifacts are shared between callers and must be treated as
 // read-only. Immutable types (*mechanism.Mechanism, *release.Plan,
@@ -37,6 +54,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"sort"
@@ -60,6 +79,17 @@ const (
 	DefaultSamplerCacheSize = 64
 )
 
+// DefaultMaxInFlightSolves bounds concurrent LP solves when
+// Config.MaxInFlightSolves is zero. LP solves are single-threaded and
+// CPU-bound, so a bound in the low tens keeps a loaded server
+// responsive without starving throughput on typical hardware.
+const DefaultMaxInFlightSolves = 16
+
+// ErrSaturated is returned (wrapped) by the LP-backed artifact methods
+// when the engine's in-flight solve bound is reached. The request was
+// rejected before any work started; it is safe to retry after backoff.
+var ErrSaturated = errors.New("engine: too many LP solves in flight")
+
 // Config tunes an Engine. The zero value is ready to use: every
 // capacity defaults to the package constants and the sampler pool
 // seeds from Seed (default 1).
@@ -72,11 +102,19 @@ type Config struct {
 	LPCacheSize int
 	// SamplerCacheSize bounds the precompiled sampler cache.
 	SamplerCacheSize int
+	// MaxInFlightSolves bounds concurrently running LP solves across
+	// the tailored and interaction classes combined. Zero means
+	// DefaultMaxInFlightSolves; negative disables shedding entirely.
+	MaxInFlightSolves int
 	// Seed is the base seed for the sampler pool's PRNGs. Pool PRNG
 	// k is seeded with Seed+k, so a fixed seed gives a reproducible
 	// *set* of streams (though goroutine scheduling still decides
 	// which goroutine draws from which stream).
 	Seed int64
+	// Trace, when non-nil, receives a span event for every cache hit,
+	// miss, coalesced join, solve start/finish, and shed rejection.
+	// See TraceFunc for the contract.
+	Trace TraceFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +145,7 @@ type Engine struct {
 	interactions *store
 	samplers     *store
 
+	solves       *solveSem // nil when shedding is disabled
 	rngs         *rngPool
 	samplerDraws atomic.Uint64
 }
@@ -114,21 +153,53 @@ type Engine struct {
 // New builds an Engine from cfg (zero value fine; see Config).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
-		mechanisms:   newStore(cfg.MatrixCacheSize),
-		inverses:     newStore(cfg.MatrixCacheSize),
-		transitions:  newStore(cfg.MatrixCacheSize),
-		plans:        newStore(cfg.MatrixCacheSize),
-		tailored:     newStore(cfg.LPCacheSize),
-		interactions: newStore(cfg.LPCacheSize),
-		samplers:     newStore(cfg.SamplerCacheSize),
+	e := &Engine{
+		mechanisms:   newStore("mechanisms", cfg.MatrixCacheSize),
+		inverses:     newStore("inverses", cfg.MatrixCacheSize),
+		transitions:  newStore("transitions", cfg.MatrixCacheSize),
+		plans:        newStore("plans", cfg.MatrixCacheSize),
+		tailored:     newStore("tailored", cfg.LPCacheSize),
+		interactions: newStore("interactions", cfg.LPCacheSize),
+		samplers:     newStore("samplers", cfg.SamplerCacheSize),
 		rngs:         newRNGPool(cfg.Seed),
 	}
+	if cfg.MaxInFlightSolves >= 0 {
+		bound := cfg.MaxInFlightSolves
+		if bound == 0 {
+			bound = DefaultMaxInFlightSolves
+		}
+		e.solves = newSolveSem(bound)
+		// Only the LP-backed classes are expensive enough to shed;
+		// matrix artifacts compute in microseconds.
+		e.tailored.sem = e.solves
+		e.interactions.sem = e.solves
+	}
+	for _, s := range []*store{
+		e.mechanisms, e.inverses, e.transitions, e.plans,
+		e.tailored, e.interactions, e.samplers,
+	} {
+		s.trace = cfg.Trace
+	}
+	return e
 }
 
-// getTyped adapts the any-typed store to a concrete artifact type.
-func getTyped[T any](s *store, key string, fn func() (T, error)) (T, error) {
-	v, err := s.getOrCompute(key, func() (any, error) { return fn() })
+// getCached probes s for key on the allocation-free hit path; ok
+// reports whether the artifact was served. Engine methods call this
+// before building their compute closure — see store.lookup for why
+// the probe and the compute must be separate statements.
+func getCached[T any](ctx context.Context, s *store, key string) (T, bool, error) {
+	v, ok, err := s.lookup(ctx, key)
+	if err != nil || !ok {
+		var zero T
+		return zero, false, err
+	}
+	return v.(T), true, nil
+}
+
+// getTyped adapts the any-typed store's miss path to a concrete
+// artifact type. Call only after getCached missed on the same key.
+func getTyped[T any](ctx context.Context, s *store, key string, fn func(context.Context) (T, error)) (T, error) {
+	v, err := s.compute(ctx, key, func(solveCtx context.Context) (any, error) { return fn(solveCtx) })
 	if err != nil {
 		var zero T
 		return zero, err
@@ -189,37 +260,66 @@ func consumerKey(c *consumer.Consumer, n int) (string, error) {
 // --- exact artifacts ------------------------------------------------------
 
 // Geometric returns the (shared, immutable) geometric mechanism
-// G_{n,α}, computing it at most once per (n, α).
+// G_{n,α}, computing it at most once per (n, α). It is
+// GeometricCtx(context.Background(), ...).
 func (e *Engine) Geometric(n int, alpha *big.Rat) (*mechanism.Mechanism, error) {
+	return e.GeometricCtx(context.Background(), n, alpha)
+}
+
+// GeometricCtx is Geometric under a context. Matrix construction is
+// fast (no LP), so ctx is checked at entry and between coalesced
+// waits but not inside the arithmetic.
+func (e *Engine) GeometricCtx(ctx context.Context, n int, alpha *big.Rat) (*mechanism.Mechanism, error) {
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
 	key := fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
-	return getTyped(e.mechanisms, key, func() (*mechanism.Mechanism, error) {
+	if m, ok, err := getCached[*mechanism.Mechanism](ctx, e.mechanisms, key); ok || err != nil {
+		return m, err
+	}
+	return getTyped(ctx, e.mechanisms, key, func(context.Context) (*mechanism.Mechanism, error) {
 		return mechanism.Geometric(n, alpha)
 	})
 }
 
 // GeometricInverse returns the Lemma 1/2 inverse of G_{n,α} as a
 // fresh clone of the cached matrix (matrices are mutable, so callers
-// never see the cache's copy).
+// never see the cache's copy). It is
+// GeometricInverseCtx(context.Background(), ...).
 func (e *Engine) GeometricInverse(n int, alpha *big.Rat) (*matrix.Matrix, error) {
+	return e.GeometricInverseCtx(context.Background(), n, alpha)
+}
+
+// GeometricInverseCtx is GeometricInverse under a context.
+func (e *Engine) GeometricInverseCtx(ctx context.Context, n int, alpha *big.Rat) (*matrix.Matrix, error) {
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
 	key := fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
-	m, err := getTyped(e.inverses, key, func() (*matrix.Matrix, error) {
-		return mechanism.GeometricInverse(n, alpha)
-	})
+	m, ok, err := getCached[*matrix.Matrix](ctx, e.inverses, key)
 	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		m, err = getTyped(ctx, e.inverses, key, func(context.Context) (*matrix.Matrix, error) {
+			return mechanism.GeometricInverse(n, alpha)
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return m.Clone(), nil
 }
 
 // Transition returns the Lemma 3 stochastic matrix T_{α,β} with
 // G_{n,β} = G_{n,α}·T_{α,β} as a fresh clone of the cached matrix.
+// It is TransitionCtx(context.Background(), ...).
 func (e *Engine) Transition(n int, alpha, beta *big.Rat) (*matrix.Matrix, error) {
+	return e.TransitionCtx(context.Background(), n, alpha, beta)
+}
+
+// TransitionCtx is Transition under a context.
+func (e *Engine) TransitionCtx(ctx context.Context, n int, alpha, beta *big.Rat) (*matrix.Matrix, error) {
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
@@ -227,11 +327,17 @@ func (e *Engine) Transition(n int, alpha, beta *big.Rat) (*matrix.Matrix, error)
 		return nil, err
 	}
 	key := fmt.Sprintf("n=%d|a=%s|b=%s", n, ratKey(alpha), ratKey(beta))
-	m, err := getTyped(e.transitions, key, func() (*matrix.Matrix, error) {
-		return derive.Transition(n, alpha, beta)
-	})
+	m, ok, err := getCached[*matrix.Matrix](ctx, e.transitions, key)
 	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		m, err = getTyped(ctx, e.transitions, key, func(context.Context) (*matrix.Matrix, error) {
+			return derive.Transition(n, alpha, beta)
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return m.Clone(), nil
 }
@@ -240,8 +346,13 @@ func (e *Engine) Transition(n int, alpha, beta *big.Rat) (*matrix.Matrix, error)
 // privacy levels α₁ < … < α_k, computing the cascade chain at most
 // once per (n, levels). Plans expose no mutators and are safe to
 // share between goroutines; sampling from a plan still requires a
-// caller-owned PRNG.
+// caller-owned PRNG. It is ReleasePlanCtx(context.Background(), ...).
 func (e *Engine) ReleasePlan(n int, alphas []*big.Rat) (*release.Plan, error) {
+	return e.ReleasePlanCtx(context.Background(), n, alphas)
+}
+
+// ReleasePlanCtx is ReleasePlan under a context.
+func (e *Engine) ReleasePlanCtx(ctx context.Context, n int, alphas []*big.Rat) (*release.Plan, error) {
 	parts := make([]string, len(alphas))
 	for i, a := range alphas {
 		if err := checkRat(fmt.Sprintf("level %d", i+1), a); err != nil {
@@ -250,15 +361,29 @@ func (e *Engine) ReleasePlan(n int, alphas []*big.Rat) (*release.Plan, error) {
 		parts[i] = ratKey(a)
 	}
 	key := fmt.Sprintf("n=%d|a=%s", n, strings.Join(parts, ","))
-	return getTyped(e.plans, key, func() (*release.Plan, error) {
+	if p, ok, err := getCached[*release.Plan](ctx, e.plans, key); ok || err != nil {
+		return p, err
+	}
+	return getTyped(ctx, e.plans, key, func(context.Context) (*release.Plan, error) {
 		return release.NewPlan(n, alphas)
 	})
 }
 
 // TailoredMechanism solves (once per key) the §2.5 LP: the optimal
 // α-DP mechanism for consumer c on {0..n}. The returned Tailored is
-// shared between callers and must be treated as read-only.
+// shared between callers and must be treated as read-only. It is
+// TailoredCtx(context.Background(), ...).
 func (e *Engine) TailoredMechanism(c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Tailored, error) {
+	return e.TailoredCtx(context.Background(), c, n, alpha)
+}
+
+// TailoredCtx is TailoredMechanism under a context. The context
+// reaches the LP pivot loop: canceling it aborts the solve at the
+// next pivot (unless other coalesced callers still want the result —
+// then only this caller detaches). A canceled solve is never cached;
+// the next request recomputes from scratch. When the engine's
+// in-flight solve bound is hit, the error wraps ErrSaturated.
+func (e *Engine) TailoredCtx(ctx context.Context, c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Tailored, error) {
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
@@ -267,8 +392,11 @@ func (e *Engine) TailoredMechanism(c *consumer.Consumer, n int, alpha *big.Rat) 
 		return nil, err
 	}
 	key := fmt.Sprintf("n=%d|a=%s|%s", n, ratKey(alpha), ck)
-	return getTyped(e.tailored, key, func() (*consumer.Tailored, error) {
-		return consumer.OptimalMechanism(c, n, alpha)
+	if t, ok, err := getCached[*consumer.Tailored](ctx, e.tailored, key); ok || err != nil {
+		return t, err
+	}
+	return getTyped(ctx, e.tailored, key, func(solveCtx context.Context) (*consumer.Tailored, error) {
+		return consumer.OptimalMechanismCtx(solveCtx, c, n, alpha)
 	})
 }
 
@@ -277,8 +405,15 @@ func (e *Engine) TailoredMechanism(c *consumer.Consumer, n int, alpha *big.Rat) 
 // G_{n,α}. By Theorem 1 its Loss equals the tailored optimum, so a
 // warm engine can answer "what does consumer c lose at level α?"
 // from cache along either route. The returned Interaction is shared
-// and must be treated as read-only.
+// and must be treated as read-only. It is
+// InteractionCtx(context.Background(), ...).
 func (e *Engine) OptimalInteraction(c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Interaction, error) {
+	return e.InteractionCtx(context.Background(), c, n, alpha)
+}
+
+// InteractionCtx is OptimalInteraction under a context, with the same
+// cancellation and load-shedding behavior as TailoredCtx.
+func (e *Engine) InteractionCtx(ctx context.Context, c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Interaction, error) {
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
@@ -287,12 +422,15 @@ func (e *Engine) OptimalInteraction(c *consumer.Consumer, n int, alpha *big.Rat)
 		return nil, err
 	}
 	key := fmt.Sprintf("n=%d|a=%s|%s", n, ratKey(alpha), ck)
-	return getTyped(e.interactions, key, func() (*consumer.Interaction, error) {
-		deployed, err := e.Geometric(n, alpha)
+	if in, ok, err := getCached[*consumer.Interaction](ctx, e.interactions, key); ok || err != nil {
+		return in, err
+	}
+	return getTyped(ctx, e.interactions, key, func(solveCtx context.Context) (*consumer.Interaction, error) {
+		deployed, err := e.GeometricCtx(solveCtx, n, alpha)
 		if err != nil {
 			return nil, err
 		}
-		return consumer.OptimalInteraction(c, deployed)
+		return consumer.OptimalInteractionCtx(solveCtx, c, deployed)
 	})
 }
 
@@ -300,13 +438,14 @@ func (e *Engine) OptimalInteraction(c *consumer.Consumer, n int, alpha *big.Rat)
 // shape).
 func (e *Engine) Metrics() Metrics {
 	return Metrics{
-		Mechanisms:   e.mechanisms.stats(),
-		Inverses:     e.inverses.stats(),
-		Transitions:  e.transitions.stats(),
-		Plans:        e.plans.stats(),
-		Tailored:     e.tailored.stats(),
-		Interactions: e.interactions.stats(),
-		Samplers:     e.samplers.stats(),
-		SamplerDraws: e.samplerDraws.Load(),
+		Mechanisms:     e.mechanisms.stats(),
+		Inverses:       e.inverses.stats(),
+		Transitions:    e.transitions.stats(),
+		Plans:          e.plans.stats(),
+		Tailored:       e.tailored.stats(),
+		Interactions:   e.interactions.stats(),
+		Samplers:       e.samplers.stats(),
+		SamplerDraws:   e.samplerDraws.Load(),
+		InFlightSolves: e.solves.inFlight(),
 	}
 }

@@ -1,15 +1,33 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup coalesces concurrent computations of the same key:
-// while one goroutine (the leader) runs the compute function, every
-// other goroutine asking for the same key blocks until the leader
-// finishes and then shares its result. This is the classic
+// while one computation runs, every goroutine asking for the same key
+// waits for it and shares its result. This is the classic
 // "singleflight" pattern, implemented in-package because the module
-// is stdlib-only.
+// is stdlib-only — with one serving-grade refinement: the computation
+// runs on its own goroutine under a context that is canceled only
+// when *every* waiter has gone away.
 //
-// Results are not retained after the leader returns — long-term
+// That detachment gives the cancellation semantics the serving layer
+// needs:
+//
+//   - a waiter whose own ctx is canceled returns ctx.Err()
+//     immediately, without killing the shared computation for the
+//     waiters that remain;
+//   - when the last waiter detaches, the computation's context is
+//     canceled, so a solve nobody wants anymore aborts at its next
+//     cancellation checkpoint instead of burning CPU to fill a cache
+//     entry nobody asked to keep;
+//   - an abandoned call is retired from the group immediately, so the
+//     next request for the key starts a fresh computation rather than
+//     joining a dying one.
+//
+// Results are not retained after the call completes — long-term
 // storage is the cache's job; the flight group only spans the window
 // in which duplicate work could start.
 type flightGroup struct {
@@ -18,33 +36,66 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	done chan struct{}
-	val  any
-	err  error
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int                // guarded by flightGroup.mu
+	cancel  context.CancelFunc // cancels the computation's context
 }
 
-// do runs fn once per key per in-flight window. The returned leader
-// flag reports whether this goroutine ran fn itself (true) or was
-// coalesced onto another goroutine's call (false).
-func (g *flightGroup) do(key string, fn func() (any, error)) (val any, leader bool, err error) {
+// do returns the shared result for key, running fn at most once per
+// in-flight window. fn receives the detached computation context
+// described on flightGroup. The returned started flag reports whether
+// this call began the computation (true) or was coalesced onto one
+// already in flight (false).
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, started bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
 	}
 	if c, ok := g.calls[key]; ok {
+		c.waiters++
 		g.mu.Unlock()
-		<-c.done
-		return c.val, false, c.err
+		return g.wait(ctx, key, c, false)
 	}
-	c := &flightCall{done: make(chan struct{})}
+	solveCtx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-	close(c.done)
+	go func() {
+		c.val, c.err = fn(solveCtx)
+		close(c.done)
+		cancel()
+		g.mu.Lock()
+		// The call may already have been retired by the last waiter
+		// detaching (and a fresh call registered since); only remove
+		// our own entry.
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+	}()
+	return g.wait(ctx, key, c, true)
+}
 
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	return c.val, true, c.err
+// wait blocks until the call completes or ctx is canceled. The last
+// waiter to detach cancels the computation and retires the call so a
+// later request for the key starts fresh.
+func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall, started bool) (any, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, started, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			c.cancel()
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+		}
+		g.mu.Unlock()
+		return nil, started, ctx.Err()
+	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
@@ -15,85 +16,239 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// Latency histogram buckets: inclusive upper bounds in nanoseconds,
+// one decade apart from 100µs to 10s, with a final unbounded bucket.
+// The exact artifacts span nanosecond cache hits to minute-long LP
+// solves, so decades resolve the shape without per-request cost.
+const histBuckets = 7
+
+var histBoundsNanos = [histBuckets - 1]uint64{
+	100_000,        // 100µs
+	1_000_000,      // 1ms
+	10_000_000,     // 10ms
+	100_000_000,    // 100ms
+	1_000_000_000,  // 1s
+	10_000_000_000, // 10s
+}
+
+// histogram is the live, atomically-updated bucket array.
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	for i, bound := range histBoundsNanos {
+		if ns <= bound {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[histBuckets-1].Add(1)
+}
+
+// LatencyHistogram is the JSON-marshalable snapshot of a histogram:
+// Counts[i] observations fell at or below BoundsNanos[i]; the final
+// count (len(BoundsNanos) == len(Counts)−1) is the unbounded
+// overflow bucket.
+type LatencyHistogram struct {
+	BoundsNanos []uint64 `json:"bounds_nanos"`
+	Counts      []uint64 `json:"counts"`
+}
+
+func (h *histogram) snapshot() LatencyHistogram {
+	out := LatencyHistogram{
+		BoundsNanos: histBoundsNanos[:],
+		Counts:      make([]uint64, histBuckets),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
 // ArtifactStats aggregates the serving counters for one artifact
 // class: how many times it was requested, how long the cache-miss
-// computations took in total, and the cache behavior. Misses count
-// actual computations, so under request coalescing N concurrent
-// identical requests contribute N to Requests, 1 to Misses, and N−1
-// to Coalesced.
+// computations took (total and as a latency histogram), how many
+// requests were shed by the solve semaphore, and the cache behavior.
+// Misses count actual computations, so under request coalescing N
+// concurrent identical requests contribute N to Requests, 1 to
+// Misses, and N−1 to Coalesced.
 type ArtifactStats struct {
-	Requests     uint64     `json:"requests"`
-	ComputeNanos uint64     `json:"compute_nanos"`
-	Cache        CacheStats `json:"cache"`
+	Requests       uint64           `json:"requests"`
+	ComputeNanos   uint64           `json:"compute_nanos"`
+	Shed           uint64           `json:"shed"`
+	ComputeLatency LatencyHistogram `json:"compute_latency"`
+	Cache          CacheStats       `json:"cache"`
 }
 
 // Metrics is the engine's expvar-style metrics surface: a plain
 // struct that marshals directly to JSON. Counters are monotone over
-// the engine's lifetime; snapshots are internally consistent per
-// counter but not across counters (each is read atomically, the
-// struct is not a transaction).
+// the engine's lifetime (InFlightSolves is the one gauge); snapshots
+// are internally consistent per counter but not across counters (each
+// is read atomically, the struct is not a transaction).
 type Metrics struct {
-	Mechanisms   ArtifactStats `json:"mechanisms"`
-	Inverses     ArtifactStats `json:"inverses"`
-	Transitions  ArtifactStats `json:"transitions"`
-	Plans        ArtifactStats `json:"plans"`
-	Tailored     ArtifactStats `json:"tailored"`
-	Interactions ArtifactStats `json:"interactions"`
-	Samplers     ArtifactStats `json:"samplers"`
-	SamplerDraws uint64        `json:"sampler_draws"`
+	Mechanisms     ArtifactStats `json:"mechanisms"`
+	Inverses       ArtifactStats `json:"inverses"`
+	Transitions    ArtifactStats `json:"transitions"`
+	Plans          ArtifactStats `json:"plans"`
+	Tailored       ArtifactStats `json:"tailored"`
+	Interactions   ArtifactStats `json:"interactions"`
+	Samplers       ArtifactStats `json:"samplers"`
+	SamplerDraws   uint64        `json:"sampler_draws"`
+	InFlightSolves int           `json:"in_flight_solves"`
+}
+
+// solveSem is the engine-wide bound on concurrently running LP
+// solves. Admission is non-blocking by design: a request that cannot
+// get a slot is shed immediately (ErrSaturated) rather than queued,
+// so overload surfaces as fast 429s at the HTTP layer instead of a
+// growing convoy of multi-second solves.
+type solveSem struct {
+	slots chan struct{}
+}
+
+func newSolveSem(capacity int) *solveSem {
+	return &solveSem{slots: make(chan struct{}, capacity)}
+}
+
+func (s *solveSem) tryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *solveSem) release() { <-s.slots }
+
+func (s *solveSem) inFlight() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.slots)
 }
 
 // store couples one artifact cache with a flight group and its
-// counters. All engine artifact lookups go through getOrCompute.
+// counters. All engine artifact access goes through the lookup
+// (hit) / compute (miss) pair.
 type store struct {
+	name   string // artifact class, used in trace events
 	cache  *cache
 	flight flightGroup
+	trace  TraceFunc // nil = tracing off
+	sem    *solveSem // nil = this class is never shed
 
 	requests     atomic.Uint64
 	hits         atomic.Uint64
 	misses       atomic.Uint64
 	coalesced    atomic.Uint64
 	evictions    atomic.Uint64
+	shed         atomic.Uint64
 	computeNanos atomic.Uint64
+	hist         histogram
 }
 
-func newStore(capacity int) *store {
-	return &store{cache: newCache(capacity)}
+func newStore(name string, capacity int) *store {
+	return &store{name: name, cache: newCache(capacity)}
 }
 
-// getOrCompute is the engine's core serving primitive: cache lookup,
-// then coalesced compute-and-fill on miss. Errors are returned to
-// every coalesced caller and never cached (the artifacts here are
-// deterministic, so an error is a caller mistake — bad parameters —
-// and retrying with the same key would fail identically anyway).
-func (s *store) getOrCompute(key string, fn func() (any, error)) (any, error) {
+// emit sends a bare span event to the trace hook, if any. The nil
+// check keeps the traced-off fast path to a single branch.
+func (s *store) emit(kind TraceKind, key string) {
+	if s.trace != nil {
+		s.trace(TraceEvent{Artifact: s.name, Key: key, Kind: kind})
+	}
+}
+
+func (s *store) emitDone(key string, d time.Duration, err error) {
+	if s.trace != nil {
+		s.trace(TraceEvent{Artifact: s.name, Key: key, Kind: TraceSolveDone, Duration: d, Err: err})
+	}
+}
+
+// lookup is the hit path of the lookup/compute pair: a
+// counter-counted cache probe under ctx. It owns the requests
+// counter, so every compute call must be preceded by a lookup miss.
+// It exists separately from compute so engine methods can probe
+// before constructing their compute closures: the miss path's
+// closures escape to the solve goroutine and are therefore
+// heap-allocated at the point they are built, and building them
+// eagerly would charge two allocations to every nanosecond cache hit.
+func (s *store) lookup(ctx context.Context, key string) (any, bool, error) {
 	s.requests.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	if v, ok := s.cache.get(key); ok {
 		s.hits.Add(1)
-		return v, nil
+		s.emit(TraceHit, key)
+		return v, true, nil
 	}
-	v, leader, err := s.flight.do(key, func() (any, error) {
-		// Re-check under the flight: a previous leader may have
-		// filled the cache between our lookup and joining the group.
+	return nil, false, nil
+}
+
+// compute is the miss path of the lookup/compute pair: coalesced
+// compute-and-fill under ctx. The caller must have just missed in
+// lookup (which counted the request).
+//
+// Cancellation semantics: a caller whose ctx is canceled gets
+// ctx.Err() back promptly — before any work if already canceled, or
+// by detaching from the in-flight computation otherwise (see
+// flightGroup). The computation itself is canceled only when every
+// caller has detached.
+//
+// Nothing canceled or errored ever enters the cache: fn errors
+// (including ctx.Err() from an abandoned solve) skip the cache fill,
+// and a computation that completes after all its waiters left is
+// discarded by the explicit computation-context check. Errors are
+// returned to every coalesced caller (deterministic artifacts mean a
+// parameter error would fail identically on retry anyway).
+func (s *store) compute(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+	v, started, err := s.flight.do(ctx, key, func(solveCtx context.Context) (any, error) {
+		// Re-check under the flight: a previous computation may have
+		// filled the cache between our lookup and registering.
 		if v, ok := s.cache.get(key); ok {
 			s.hits.Add(1)
+			s.emit(TraceHit, key)
 			return v, nil
 		}
 		s.misses.Add(1)
+		s.emit(TraceMiss, key)
+		if s.sem != nil {
+			if !s.sem.tryAcquire() {
+				s.shed.Add(1)
+				s.emit(TraceShed, key)
+				return nil, ErrSaturated
+			}
+			defer s.sem.release()
+		}
+		s.emit(TraceSolveStart, key)
 		start := time.Now()
-		v, err := fn()
+		v, err := fn(solveCtx)
+		elapsed := time.Since(start)
+		if err == nil {
+			// A solve abandoned by every waiter may still race to a
+			// result; the computation context is canceled in that case,
+			// and its result must not enter the cache.
+			err = solveCtx.Err()
+		}
+		s.emitDone(key, elapsed, err)
 		if err != nil {
 			return nil, err
 		}
-		s.computeNanos.Add(uint64(time.Since(start).Nanoseconds()))
+		s.computeNanos.Add(uint64(elapsed.Nanoseconds()))
+		s.hist.observe(elapsed)
 		s.evictions.Add(uint64(s.cache.put(key, v)))
 		return v, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if !leader {
+	if !started {
 		s.coalesced.Add(1)
+		s.emit(TraceCoalesced, key)
 	}
 	return v, nil
 }
@@ -101,8 +256,10 @@ func (s *store) getOrCompute(key string, fn func() (any, error)) (any, error) {
 // stats snapshots the store's counters.
 func (s *store) stats() ArtifactStats {
 	return ArtifactStats{
-		Requests:     s.requests.Load(),
-		ComputeNanos: s.computeNanos.Load(),
+		Requests:       s.requests.Load(),
+		ComputeNanos:   s.computeNanos.Load(),
+		Shed:           s.shed.Load(),
+		ComputeLatency: s.hist.snapshot(),
 		Cache: CacheStats{
 			Size:      s.cache.size(),
 			Capacity:  s.cache.capacity,

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -108,16 +109,45 @@ func (s *Sampler) check(i int) {
 	}
 }
 
-// GeometricSampler returns the (shared, concurrency-safe) precompiled
-// sampler for G_{n,α}, building the alias tables at most once per
-// (n, α).
-func (e *Engine) GeometricSampler(n int, alpha *big.Rat) (*Sampler, error) {
-	if err := checkRat("alpha", alpha); err != nil {
+// SamplerSpec selects which mechanism Engine.Sampler compiles. Set
+// exactly one of:
+//
+//   - N and Alpha: the geometric mechanism G_{n,α}. The compiled
+//     sampler is cached and shared (the engine can key it).
+//   - Mechanism: an arbitrary mechanism. The compiled sampler is NOT
+//     cached (arbitrary mechanisms have no sound cache key); retain
+//     the returned Sampler for reuse.
+//
+// Setting both (or neither) is an error.
+type SamplerSpec struct {
+	N         int
+	Alpha     *big.Rat
+	Mechanism *mechanism.Mechanism
+}
+
+// Sampler returns a concurrency-safe precompiled alias-table sampler
+// for the mechanism selected by spec (see SamplerSpec for the
+// caching contract). Compilation is cheap relative to LP solves but
+// ctx is still honored at entry and across coalesced waits.
+func (e *Engine) Sampler(ctx context.Context, spec SamplerSpec) (*Sampler, error) {
+	if spec.Mechanism != nil {
+		if spec.Alpha != nil {
+			return nil, fmt.Errorf("engine: SamplerSpec sets both Mechanism and Alpha")
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return newSampler(spec.Mechanism, e.rngs, &e.samplerDraws)
+	}
+	if err := checkRat("alpha", spec.Alpha); err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
-	return getTyped(e.samplers, key, func() (*Sampler, error) {
-		g, err := e.Geometric(n, alpha)
+	key := fmt.Sprintf("n=%d|a=%s", spec.N, ratKey(spec.Alpha))
+	if s, ok, err := getCached[*Sampler](ctx, e.samplers, key); ok || err != nil {
+		return s, err
+	}
+	return getTyped(ctx, e.samplers, key, func(solveCtx context.Context) (*Sampler, error) {
+		g, err := e.GeometricCtx(solveCtx, spec.N, spec.Alpha)
 		if err != nil {
 			return nil, err
 		}
@@ -125,9 +155,22 @@ func (e *Engine) GeometricSampler(n int, alpha *big.Rat) (*Sampler, error) {
 	})
 }
 
+// GeometricSampler returns the (shared, concurrency-safe) precompiled
+// sampler for G_{n,α}, building the alias tables at most once per
+// (n, α).
+//
+// Deprecated: use Sampler with SamplerSpec{N: n, Alpha: alpha}. Kept
+// as a thin wrapper for callers of the pre-/v1 API.
+func (e *Engine) GeometricSampler(n int, alpha *big.Rat) (*Sampler, error) {
+	return e.Sampler(context.Background(), SamplerSpec{N: n, Alpha: alpha})
+}
+
 // MechanismSampler precompiles a concurrency-safe sampler for an
 // arbitrary mechanism. The result is not cached (the engine cannot
 // key arbitrary mechanisms); callers should retain it.
+//
+// Deprecated: use Sampler with SamplerSpec{Mechanism: m}. Kept as a
+// thin wrapper for callers of the pre-/v1 API.
 func (e *Engine) MechanismSampler(m *mechanism.Mechanism) (*Sampler, error) {
-	return newSampler(m, e.rngs, &e.samplerDraws)
+	return e.Sampler(context.Background(), SamplerSpec{Mechanism: m})
 }

@@ -1,0 +1,39 @@
+package engine
+
+import "time"
+
+// TraceKind labels one span event on the engine's serving path.
+type TraceKind string
+
+// Span events emitted per request and per computation. A fully
+// cache-warm request emits a single TraceHit; a cold request emits
+// TraceMiss, TraceSolveStart, and TraceSolveDone on the computing
+// goroutine, plus TraceCoalesced on every request that shared the
+// computation without starting it.
+const (
+	TraceHit        TraceKind = "hit"         // served from cache
+	TraceMiss       TraceKind = "miss"        // not cached; a computation will run
+	TraceCoalesced  TraceKind = "coalesce"    // shared another request's computation
+	TraceSolveStart TraceKind = "solve-start" // computation begins (after admission)
+	TraceSolveDone  TraceKind = "solve-done"  // computation finished; Duration/Err set
+	TraceShed       TraceKind = "shed"        // rejected: solve semaphore saturated
+)
+
+// TraceEvent is one span event. Events carry the artifact class
+// ("tailored", "mechanisms", ...), the cache key, and — for
+// TraceSolveDone — the compute duration and the error (nil on
+// success; context.Canceled when the solve was abandoned by every
+// waiter).
+type TraceEvent struct {
+	Artifact string
+	Key      string
+	Kind     TraceKind
+	Duration time.Duration
+	Err      error
+}
+
+// TraceFunc receives every span event of an Engine. Hooks are invoked
+// synchronously on the serving goroutine — including the cache-hit
+// fast path — so they must be cheap and safe for concurrent use;
+// forward to a channel or an append-only buffer for anything heavier.
+type TraceFunc func(TraceEvent)

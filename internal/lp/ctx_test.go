@@ -1,0 +1,60 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"minimaxdp/internal/rational"
+)
+
+// smallLP builds a tiny feasible problem: max x+y s.t. x+y ≤ 4,
+// x ≤ 3, with optimum 4.
+func smallLP() *Problem {
+	p := NewProblem(Maximize)
+	x := p.NewVariable("x")
+	y := p.NewVariable("y")
+	p.SetObjective(TInt(x, 1), TInt(y, 1))
+	p.AddConstraint([]Term{TInt(x, 1), TInt(y, 1)}, LE, rational.Int(4))
+	p.AddConstraint([]Term{TInt(x, 1)}, LE, rational.Int(3))
+	return p
+}
+
+func TestSolveCtxBackgroundMatchesSolve(t *testing.T) {
+	want, err := smallLP().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := smallLP().SolveCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || got.Objective.Cmp(want.Objective) != 0 {
+		t.Errorf("SolveCtx = (%v, %s), Solve = (%v, %s)",
+			got.Status, got.Objective.RatString(), want.Status, want.Objective.RatString())
+	}
+}
+
+// TestSolveCtxCanceled asserts the pivot-loop checkpoint: a context
+// canceled before the solve starts surfaces as ctx.Err() from the
+// very first iterate check, with no solution fabricated.
+func TestSolveCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := smallLP().SolveCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx(canceled) err = %v, want context.Canceled", err)
+	}
+	if sol != nil {
+		t.Errorf("SolveCtx(canceled) returned a solution: %+v", sol)
+	}
+}
+
+func TestSolveCtxDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	if _, err := smallLP().SolveCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveCtx(expired deadline) err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -17,6 +17,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -177,17 +178,34 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs *big.Rat) {
 	p.cons = append(p.cons, constraint{terms: cp, op: op, rhs: rational.Clone(rhs)})
 }
 
-// Solve runs two-phase exact simplex and returns the solution.
+// Solve runs two-phase exact simplex and returns the solution. It is
+// SolveCtx with a background (never-canceled) context.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveCtx(context.Background())
+}
+
+// SolveCtx runs two-phase exact simplex under ctx. The pivot loop
+// checks ctx between pivots, so a canceled or deadline-expired
+// context aborts the solve within one pivot's worth of work and
+// returns ctx.Err(). The paper's LPs cost seconds-to-minutes of
+// rational arithmetic at serving sizes; this checkpoint is what makes
+// them deadline-bounded behind a serving surface.
+func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	if len(p.vars) == 0 {
 		return nil, errors.New("lp: no variables")
 	}
 	s := newStandardForm(p)
-	tab, status := s.phase1()
+	tab, status, err := s.phase1(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if status == Infeasible {
 		return &Solution{Status: Infeasible}, nil
 	}
-	status = s.phase2(tab)
+	status, err = s.phase2(ctx, tab)
+	if err != nil {
+		return nil, err
+	}
 	if status == Unbounded {
 		return &Solution{Status: Unbounded}, nil
 	}
@@ -325,7 +343,7 @@ type tableau struct {
 // phase1 builds the initial tableau with artificial variables where
 // needed, minimizes their sum, and reports Infeasible if it cannot be
 // driven to zero.
-func (s *standardForm) phase1() (*tableau, Status) {
+func (s *standardForm) phase1(ctx context.Context) (*tableau, Status, error) {
 	// Decide per-row whether a slack can serve as the initial basic
 	// variable (only for LE rows after sign normalisation, where the
 	// slack has +1 coefficient).
@@ -382,14 +400,18 @@ func (s *standardForm) phase1() (*tableau, Status) {
 			t.obj.Sub(t.obj, t.rows[r][t.ncols])
 		}
 	}
-	if status := t.iterate(nil); status == Unbounded {
+	status, err := t.iterate(ctx, nil)
+	if err != nil {
+		return nil, Infeasible, err
+	}
+	if status == Unbounded {
 		// Phase 1 is bounded below by 0; unbounded cannot happen, but
 		// guard anyway.
-		return nil, Infeasible
+		return nil, Infeasible, nil
 	}
 	// Feasible iff artificial sum is zero. obj holds −(current value).
 	if t.obj.Sign() != 0 {
-		return nil, Infeasible
+		return nil, Infeasible, nil
 	}
 	// Drive any artificial variables remaining in the basis out.
 	for r := 0; r < s.nrows; r++ {
@@ -411,7 +433,7 @@ func (s *standardForm) phase1() (*tableau, Status) {
 			continue
 		}
 	}
-	return t, Optimal
+	return t, Optimal, nil
 }
 
 func (s *standardForm) isSlackColumn(j int) bool {
@@ -437,7 +459,7 @@ func (s *standardForm) slackOnlyInRow(j, r int) bool {
 
 // phase2 swaps in the real cost vector and re-optimizes, forbidding
 // artificial columns from entering.
-func (s *standardForm) phase2(t *tableau) Status {
+func (s *standardForm) phase2(ctx context.Context, t *tableau) (Status, error) {
 	// Rebuild reduced costs for the real objective:
 	// z_j = c_j − Σ_r c_{B(r)} a_{rj};  obj = −Σ_r c_{B(r)} b_r.
 	t.z = rational.Vector(t.ncols)
@@ -468,11 +490,14 @@ func (s *standardForm) phase2(t *tableau) Status {
 	for j := s.ncols; j < t.ncols; j++ {
 		banned[j] = true
 	}
-	return t.iterate(banned)
+	return t.iterate(ctx, banned)
 }
 
-// iterate runs simplex pivots until optimal or unbounded. banned
-// marks columns that may not enter (nil = none).
+// iterate runs simplex pivots until optimal, unbounded, or ctx
+// cancellation (the solver's cancellation checkpoint: one ctx.Err()
+// read per pivot, negligible next to the rational arithmetic of the
+// pivot itself). banned marks columns that may not enter (nil =
+// none).
 //
 // Pivot rule: Dantzig (most negative reduced cost) by default — it
 // needs far fewer pivots, which matters doubly here because every
@@ -480,11 +505,14 @@ func (s *standardForm) phase2(t *tableau) Status {
 // whenever the objective has stalled for a while. Bland's rule cannot
 // cycle, so the hybrid terminates; degenerate stretches are exactly
 // where Dantzig could loop.
-func (t *tableau) iterate(banned []bool) Status {
+func (t *tableau) iterate(ctx context.Context, banned []bool) (Status, error) {
 	const stallLimit = 12 // degenerate pivots tolerated before engaging Bland
 	stalled := 0
 	lastObj := rational.Clone(t.obj)
 	for {
+		if err := ctx.Err(); err != nil {
+			return Optimal, err
+		}
 		useBland := stalled >= stallLimit
 		enter := -1
 		var best *big.Rat
@@ -505,7 +533,7 @@ func (t *tableau) iterate(banned []bool) Status {
 			}
 		}
 		if enter < 0 {
-			return Optimal
+			return Optimal, nil
 		}
 		leave := -1
 		var bestRatio *big.Rat
@@ -522,7 +550,7 @@ func (t *tableau) iterate(banned []bool) Status {
 			}
 		}
 		if leave < 0 {
-			return Unbounded
+			return Unbounded, nil
 		}
 		t.pivot(leave, enter)
 		if t.obj.Cmp(lastObj) == 0 {

@@ -47,6 +47,7 @@
 package minimaxdp
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 
@@ -115,7 +116,7 @@ func MustRat(s string) *big.Rat { return rational.MustParse(s) }
 //
 // The returned PRNG is NOT goroutine-safe. Concurrent samplers must
 // use one PRNG per goroutine or draw through an Engine's pooled
-// samplers (Engine.GeometricSampler / Engine.MechanismSampler).
+// samplers (Engine.Sampler with a SamplerSpec).
 func NewRand(seed int64) *rand.Rand { return sample.NewRand(seed) }
 
 // Geometric returns the range-restricted α-geometric mechanism
@@ -180,10 +181,23 @@ func OptimalInteraction(c *Consumer, deployed *Mechanism) (*Interaction, error) 
 	return consumer.OptimalInteraction(c, deployed)
 }
 
+// OptimalInteractionCtx is OptimalInteraction under a context: the
+// simplex pivot loop checks ctx between pivots, so canceling aborts a
+// long solve promptly with ctx.Err().
+func OptimalInteractionCtx(ctx context.Context, c *Consumer, deployed *Mechanism) (*Interaction, error) {
+	return consumer.OptimalInteractionCtx(ctx, c, deployed)
+}
+
 // OptimalMechanism solves the Section 2.5 LP: the α-DP mechanism
 // minimizing the consumer's minimax loss.
 func OptimalMechanism(c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
 	return consumer.OptimalMechanism(c, n, alpha)
+}
+
+// OptimalMechanismCtx is OptimalMechanism under a context; see
+// OptimalInteractionCtx for the cancellation contract.
+func OptimalMechanismCtx(ctx context.Context, c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
+	return consumer.OptimalMechanismCtx(ctx, c, n, alpha)
 }
 
 // OptimalBayesianInteraction computes the Bayes-optimal deterministic
@@ -270,21 +284,53 @@ func OptimalDeterministicInteraction(c *Consumer, deployed *Mechanism) (*Interac
 // singleflight request coalescing, pooled alias-table samplers, and a
 // JSON-ready metrics surface. Construct one per process and share it;
 // see internal/engine for cache-key semantics.
+//
+// Every artifact method has a context-taking form (Engine.TailoredCtx,
+// Engine.InteractionCtx, Engine.GeometricCtx, ...): cancellation
+// reaches the LP pivot loop, coalesced callers cancel independently,
+// and canceled solves are never cached. The LP-backed methods shed
+// load with ErrEngineSaturated once EngineConfig.MaxInFlightSolves
+// concurrent solves are running.
 type Engine = engine.Engine
 
-// EngineConfig tunes an Engine's cache capacities and sampler-pool
-// seed; the zero value is ready to use.
+// EngineConfig tunes an Engine's cache capacities, sampler-pool seed,
+// in-flight solve bound, and trace hook; the zero value is ready to
+// use.
 type EngineConfig = engine.Config
 
 // EngineMetrics is the engine's expvar-style counter snapshot
-// (requests, compute time, cache hit/miss/coalesced/eviction counts
-// per artifact class); it marshals directly to JSON.
+// (requests, compute time and latency histograms, shed counts, cache
+// hit/miss/coalesced/eviction counts per artifact class, and the
+// in-flight solve gauge); it marshals directly to JSON.
 type EngineMetrics = engine.Metrics
 
 // Sampler draws from a fixed mechanism in O(1) per draw via
 // precompiled alias tables. Unlike Mechanism.Sample it is safe for
 // concurrent use: each draw borrows a PRNG from its engine's pool.
+// Obtain one from Engine.Sampler with a SamplerSpec.
 type Sampler = engine.Sampler
+
+// SamplerSpec selects the mechanism Engine.Sampler compiles: set N
+// and Alpha for the cached geometric sampler, or Mechanism for an
+// uncached arbitrary one.
+type SamplerSpec = engine.SamplerSpec
+
+// TraceEvent is one span event on an Engine's serving path (cache
+// hit/miss, coalesced join, solve start/finish with duration, shed).
+type TraceEvent = engine.TraceEvent
+
+// TraceKind labels a TraceEvent; see the engine.Trace* constants.
+type TraceKind = engine.TraceKind
+
+// TraceFunc receives every span event of an Engine when installed via
+// EngineConfig.Trace. Hooks run synchronously on the serving
+// goroutine and must be cheap and concurrency-safe.
+type TraceFunc = engine.TraceFunc
+
+// ErrEngineSaturated is returned by the engine's LP-backed methods
+// when the in-flight solve bound is reached: the request was rejected
+// before any work started and is safe to retry after backoff.
+var ErrEngineSaturated = engine.ErrSaturated
 
 // NewEngine builds a serving engine from cfg (zero value fine).
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }

@@ -42,4 +42,35 @@ go test -run='^$' -fuzz='^FuzzPow$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzUnmarshalJSON$' -fuzztime="${FUZZTIME}" ./internal/mechanism
 go test -run='^$' -fuzz='^FuzzParseLevels$' -fuzztime="${FUZZTIME}" ./cmd/dpserver
 
+echo "==> dpserver end-to-end smoke (ephemeral port, /healthz + /v1/tailored, graceful stop)"
+smokedir="$(mktemp -d)"
+trap 'rm -rf "${smokedir}"' EXIT
+go build -o "${smokedir}/dpserver" ./cmd/dpserver
+"${smokedir}/dpserver" -addr 127.0.0.1:0 -n 60 -max-tailored-n 8 \
+    >"${smokedir}/dpserver.log" 2>&1 &
+srv_pid=$!
+# The server logs its real address once the listener is up.
+base=""
+for _ in $(seq 1 50); do
+    base="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "${smokedir}/dpserver.log" | head -1)"
+    [ -n "${base}" ] && break
+    sleep 0.1
+done
+if [ -z "${base}" ]; then
+    echo "dpserver smoke: server never reported its address" >&2
+    cat "${smokedir}/dpserver.log" >&2
+    kill "${srv_pid}" 2>/dev/null || true
+    exit 1
+fi
+curl -fsS "http://${base}/healthz" | grep -q ok
+curl -fsS "http://${base}/readyz" | grep -q ok
+curl -fsS "http://${base}/v1/tailored?loss=absolute&n=6&level=1" | grep -q minimax_loss
+kill -TERM "${srv_pid}"
+if ! wait "${srv_pid}"; then
+    echo "dpserver smoke: server exited non-zero after SIGTERM" >&2
+    cat "${smokedir}/dpserver.log" >&2
+    exit 1
+fi
+grep -q "dpserver: stopped" "${smokedir}/dpserver.log"
+
 echo "==> all checks passed"
