@@ -1,7 +1,7 @@
 # Development entry points for minimaxdp. `make check` is the same
 # gate CI runs (.github/workflows/ci.yml -> scripts/check.sh).
 
-.PHONY: check build test race vet dpvet fuzz-smoke bench
+.PHONY: check build test race vet dpvet fuzz-smoke bench bench-json
 
 ## check: full CI gate (fmt, build, vet, dpvet, race tests, fuzz smoke)
 check:
@@ -33,9 +33,16 @@ dpvet:
 bench:
 	go test -run='^$$' -bench=Engine -benchtime=1x ./internal/engine
 
+## bench-json: run the LP + engine benchmarks and write BENCH_lp.json
+## (op, ns/op, allocs/op per benchmark). BENCHTIME=1x default; use
+## `BENCHTIME=2s make bench-json` for numbers worth comparing.
+bench-json:
+	./scripts/bench_json.sh
+
 ## fuzz-smoke: short run of every fuzz target (FUZZTIME=10s default)
 fuzz-smoke:
 	go test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$${FUZZTIME:-10s} ./internal/rational
 	go test -run='^$$' -fuzz='^FuzzPow$$' -fuzztime=$${FUZZTIME:-10s} ./internal/rational
 	go test -run='^$$' -fuzz='^FuzzUnmarshalJSON$$' -fuzztime=$${FUZZTIME:-10s} ./internal/mechanism
 	go test -run='^$$' -fuzz='^FuzzParseLevels$$' -fuzztime=$${FUZZTIME:-10s} ./cmd/dpserver
+	go test -run='^$$' -fuzz='^FuzzWarmStartMatchesExact$$' -fuzztime=$${FUZZTIME:-10s} ./internal/lp

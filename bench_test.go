@@ -6,6 +6,7 @@
 package minimaxdp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/big"
@@ -385,6 +386,77 @@ func BenchmarkSimplexRationalVsFloat(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Ablation: float-guided warm start vs cold exact solve -----------------
+
+// buildTailoredLP constructs the §2.5 tailored-mechanism LP for the
+// absolute-loss consumer at size n: the BenchmarkTable1OptimalLP
+// workload when n=3, α=1/4.
+func buildTailoredLP(n int, alpha *big.Rat) *lp.Problem {
+	lf := loss.Absolute{}
+	p := lp.NewProblem(lp.Minimize)
+	d := p.NewVariable("d")
+	xv := make([][]lp.Var, n+1)
+	for i := 0; i <= n; i++ {
+		xv[i] = make([]lp.Var, n+1)
+		for r := 0; r <= n; r++ {
+			xv[i][r] = p.NewVariable("x")
+		}
+	}
+	p.SetObjective(lp.TInt(d, 1))
+	for i := 0; i <= n; i++ {
+		terms := []lp.Term{lp.TInt(d, 1)}
+		for r := 0; r <= n; r++ {
+			if lf.Loss(i, r).Sign() != 0 {
+				terms = append(terms, lp.T(xv[i][r], rational.Neg(lf.Loss(i, r))))
+			}
+		}
+		p.AddConstraint(terms, lp.GE, rational.Zero())
+	}
+	negAlpha := rational.Neg(alpha)
+	for i := 0; i < n; i++ {
+		for r := 0; r <= n; r++ {
+			p.AddConstraint([]lp.Term{lp.TInt(xv[i][r], 1), lp.T(xv[i+1][r], negAlpha)}, lp.GE, rational.Zero())
+			p.AddConstraint([]lp.Term{lp.TInt(xv[i+1][r], 1), lp.T(xv[i][r], negAlpha)}, lp.GE, rational.Zero())
+		}
+	}
+	for i := 0; i <= n; i++ {
+		terms := make([]lp.Term, 0, n+1)
+		for r := 0; r <= n; r++ {
+			terms = append(terms, lp.TInt(xv[i][r], 1))
+		}
+		p.AddConstraint(terms, lp.EQ, rational.One())
+	}
+	return p
+}
+
+// BenchmarkSimplexWarmStart is the tentpole ablation: the cold
+// two-phase exact solve versus the float-guided warm start on the
+// Table 1 tailored LP. The warmstart sub-benchmark asserts the
+// crossover certificate actually hit (no exact pivots, no fallback),
+// so the numbers compare the paths the names claim.
+func BenchmarkSimplexWarmStart(b *testing.B) {
+	alpha := MustRat("1/4")
+	run := func(strategy lp.Strategy) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := buildTailoredLP(3, alpha)
+				var stats lp.SolveStats
+				sol, err := p.SolveWithOpts(context.Background(),
+					lp.SolveOpts{Strategy: strategy, Stats: &stats})
+				if err != nil || sol.Status != lp.Optimal {
+					b.Fatalf("%v %v", sol, err)
+				}
+				if strategy == lp.StrategyWarmStart && !stats.WarmStartHit {
+					b.Fatalf("warm start did not hit: %+v", stats)
+				}
+			}
+		}
+	}
+	b.Run("exact", run(lp.StrategyExact))
+	b.Run("warmstart", run(lp.StrategyWarmStart))
 }
 
 // --- Ablation: sampler strategies ------------------------------------------

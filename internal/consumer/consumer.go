@@ -132,6 +132,13 @@ func OptimalInteraction(c *Consumer, deployed *mechanism.Mechanism) (*Interactio
 // seconds at realistic n; ctx cancellation aborts it between simplex
 // pivots and returns ctx.Err().
 func OptimalInteractionCtx(ctx context.Context, c *Consumer, deployed *mechanism.Mechanism) (*Interaction, error) {
+	return OptimalInteractionOpts(ctx, c, deployed, lp.SolveOpts{})
+}
+
+// OptimalInteractionOpts is OptimalInteractionCtx with explicit LP
+// solver options: strategy selection (warm-start vs pure exact) and
+// per-solve statistics for the serving layer's metrics.
+func OptimalInteractionOpts(ctx context.Context, c *Consumer, deployed *mechanism.Mechanism, opts lp.SolveOpts) (*Interaction, error) {
 	n := deployed.N()
 	s, err := c.side(n)
 	if err != nil {
@@ -173,7 +180,7 @@ func OptimalInteractionCtx(ctx context.Context, c *Consumer, deployed *mechanism
 		}
 		p.AddConstraint(terms, lp.EQ, rational.One())
 	}
-	sol, err := p.SolveCtx(ctx)
+	sol, err := p.SolveWithOpts(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +229,13 @@ func OptimalMechanism(c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
 // n⁴; ctx cancellation aborts it between simplex pivots and returns
 // ctx.Err().
 func OptimalMechanismCtx(ctx context.Context, c *Consumer, n int, alpha *big.Rat) (*Tailored, error) {
+	return OptimalMechanismOpts(ctx, c, n, alpha, lp.SolveOpts{})
+}
+
+// OptimalMechanismOpts is OptimalMechanismCtx with explicit LP solver
+// options: strategy selection (warm-start vs pure exact) and
+// per-solve statistics for the serving layer's metrics.
+func OptimalMechanismOpts(ctx context.Context, c *Consumer, n int, alpha *big.Rat, opts lp.SolveOpts) (*Tailored, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("consumer: n must be ≥ 1, got %d", n)
 	}
@@ -267,7 +281,7 @@ func OptimalMechanismCtx(ctx context.Context, c *Consumer, n int, alpha *big.Rat
 		}
 		p.AddConstraint(terms, lp.EQ, rational.One())
 	}
-	sol, err := p.SolveCtx(ctx)
+	sol, err := p.SolveWithOpts(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

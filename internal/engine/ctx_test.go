@@ -131,8 +131,16 @@ func absConsumer() *consumer.Consumer {
 // class fires. Arming from the test goroutine before the engine call
 // and firing from the solve goroutine is race-free: the solve
 // goroutine is (transitively) spawned by the engine call.
+//
+// When holdSolve is non-nil the hook then blocks the solve goroutine
+// on it. Closing the channel after the engine call has returned
+// guarantees the solve starts only after the last waiter detached —
+// i.e. with its computation context already canceled. Without the
+// hold the warm-started LP path can finish in microseconds, racing
+// the detach and turning the never-cache-canceled assertion flaky.
 type traceCancel struct {
-	armed atomic.Pointer[context.CancelFunc]
+	armed     atomic.Pointer[context.CancelFunc]
+	holdSolve chan struct{}
 }
 
 func (tc *traceCancel) hook(ev TraceEvent) {
@@ -141,6 +149,9 @@ func (tc *traceCancel) hook(ev TraceEvent) {
 	}
 	if cancel := tc.armed.Swap(nil); cancel != nil {
 		(*cancel)()
+		if tc.holdSolve != nil {
+			<-tc.holdSolve
+		}
 	}
 }
 
@@ -149,7 +160,7 @@ func (tc *traceCancel) hook(ev TraceEvent) {
 // leaves nothing in the cache, and the next request for the same key
 // recomputes from scratch (one more miss).
 func TestTailoredCtxCanceledNotCachedThenRecomputes(t *testing.T) {
-	tc := &traceCancel{}
+	tc := &traceCancel{holdSolve: make(chan struct{})}
 	e := New(Config{Trace: tc.hook})
 	c := absConsumer()
 	alpha := big.NewRat(1, 2)
@@ -161,6 +172,10 @@ func TestTailoredCtxCanceledNotCachedThenRecomputes(t *testing.T) {
 	if _, err := e.TailoredCtx(ctx, c, 6, alpha); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled TailoredCtx err = %v, want context.Canceled", err)
 	}
+	// TailoredCtx returning means the last waiter detached, which
+	// cancels the computation context; only now let the solve proceed,
+	// so it deterministically observes cancellation.
+	close(tc.holdSolve)
 	m := e.Metrics().Tailored
 	if m.Cache.Size != 0 {
 		t.Fatalf("canceled solve was cached: size = %d, want 0", m.Cache.Size)

@@ -65,6 +65,7 @@ import (
 
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/derive"
+	"minimaxdp/internal/lp"
 	"minimaxdp/internal/matrix"
 	"minimaxdp/internal/mechanism"
 	"minimaxdp/internal/release"
@@ -106,6 +107,13 @@ type Config struct {
 	// the tailored and interaction classes combined. Zero means
 	// DefaultMaxInFlightSolves; negative disables shedding entirely.
 	MaxInFlightSolves int
+	// ExactLPOnly disables the float-guided warm-start path: every LP
+	// solve runs the pure exact two-phase simplex from scratch. The
+	// default (false) uses lp.StrategyWarmStart. Results are identical
+	// either way — the warm path certifies exactly before returning —
+	// so this is a diagnostic/benchmarking escape hatch, not a
+	// correctness knob.
+	ExactLPOnly bool
 	// Seed is the base seed for the sampler pool's PRNGs. Pool PRNG
 	// k is seeded with Seed+k, so a fixed seed gives a reproducible
 	// *set* of streams (though goroutine scheduling still decides
@@ -148,6 +156,9 @@ type Engine struct {
 	solves       *solveSem // nil when shedding is disabled
 	rngs         *rngPool
 	samplerDraws atomic.Uint64
+
+	lp        lpCounters
+	exactOnly bool
 }
 
 // New builds an Engine from cfg (zero value fine; see Config).
@@ -162,6 +173,7 @@ func New(cfg Config) *Engine {
 		interactions: newStore("interactions", cfg.LPCacheSize),
 		samplers:     newStore("samplers", cfg.SamplerCacheSize),
 		rngs:         newRNGPool(cfg.Seed),
+		exactOnly:    cfg.ExactLPOnly,
 	}
 	if cfg.MaxInFlightSolves >= 0 {
 		bound := cfg.MaxInFlightSolves
@@ -255,6 +267,44 @@ func consumerKey(c *consumer.Consumer, n int) (string, error) {
 		b.WriteString(strconv.Itoa(i))
 	}
 	return b.String(), nil
+}
+
+// --- LP solver plumbing ---------------------------------------------------
+
+// lpOpts builds the per-solve LP options honoring Config.ExactLPOnly,
+// with a fresh stats block for recordLP to fold into the engine-wide
+// counters afterwards.
+func (e *Engine) lpOpts() (lp.SolveOpts, *lp.SolveStats) {
+	stats := new(lp.SolveStats)
+	opts := lp.SolveOpts{Stats: stats}
+	if e.exactOnly {
+		opts.Strategy = lp.StrategyExact
+	}
+	return opts, stats
+}
+
+// recordLP folds one solve's stats into the engine counters and emits
+// the matching path trace event on the solving store. Pivot counters
+// accumulate even for failed or canceled solves (the work was done);
+// the path counters are mutually exclusive per solve, and none
+// advances when ExactLPOnly skipped the warm-start machinery — the
+// zero-value stats report Fallback == false there, by design, so the
+// fallback counter keeps meaning "warm start attempted and demoted".
+func (e *Engine) recordLP(s *store, key string, stats *lp.SolveStats) {
+	e.lp.floatPivots.Add(uint64(stats.FloatPivots))
+	e.lp.exactPivots.Add(uint64(stats.ExactPivots))
+	e.lp.parallelPivots.Add(uint64(stats.ParallelPivots))
+	switch {
+	case stats.WarmStartHit:
+		e.lp.warmStartHits.Add(1)
+		s.emit(TraceWarmStartHit, key)
+	case stats.CrossoverResumed:
+		e.lp.crossoverResumes.Add(1)
+		s.emit(TraceWarmStartResume, key)
+	case stats.Fallback:
+		e.lp.fallbacks.Add(1)
+		s.emit(TraceWarmStartFallback, key)
+	}
 }
 
 // --- exact artifacts ------------------------------------------------------
@@ -396,7 +446,10 @@ func (e *Engine) TailoredCtx(ctx context.Context, c *consumer.Consumer, n int, a
 		return t, err
 	}
 	return getTyped(ctx, e.tailored, key, func(solveCtx context.Context) (*consumer.Tailored, error) {
-		return consumer.OptimalMechanismCtx(solveCtx, c, n, alpha)
+		opts, stats := e.lpOpts()
+		t, err := consumer.OptimalMechanismOpts(solveCtx, c, n, alpha, opts)
+		e.recordLP(e.tailored, key, stats)
+		return t, err
 	})
 }
 
@@ -430,7 +483,10 @@ func (e *Engine) InteractionCtx(ctx context.Context, c *consumer.Consumer, n int
 		if err != nil {
 			return nil, err
 		}
-		return consumer.OptimalInteractionCtx(solveCtx, c, deployed)
+		opts, stats := e.lpOpts()
+		in, err := consumer.OptimalInteractionOpts(solveCtx, c, deployed, opts)
+		e.recordLP(e.interactions, key, stats)
+		return in, err
 	})
 }
 
@@ -447,5 +503,6 @@ func (e *Engine) Metrics() Metrics {
 		Samplers:       e.samplers.stats(),
 		SamplerDraws:   e.samplerDraws.Load(),
 		InFlightSolves: e.solves.inFlight(),
+		LP:             e.lp.snapshot(),
 	}
 }

@@ -82,6 +82,44 @@ type ArtifactStats struct {
 	Cache          CacheStats       `json:"cache"`
 }
 
+// LPSolveStats aggregates the float-guided exact LP solver's behavior
+// across every solve the engine ran (tailored and interaction classes
+// combined). Exactly one of the three path counters advances per
+// solve: a hit means the float-located basis was certified optimal
+// and unique with zero exact pivots; a resume means exact pivoting
+// continued from that basis; a fallback means the full exact
+// two-phase simplex ran from scratch (float failure, infeasible or
+// unbounded verdicts, or a tied optimum — see lp.SolveStats).
+type LPSolveStats struct {
+	WarmStartHits    uint64 `json:"warm_start_hits"`
+	CrossoverResumes uint64 `json:"crossover_resumes"`
+	Fallbacks        uint64 `json:"fallbacks"`
+	FloatPivots      uint64 `json:"float_pivots"`
+	ExactPivots      uint64 `json:"exact_pivots"`
+	ParallelPivots   uint64 `json:"parallel_pivots"`
+}
+
+// lpCounters is the live, atomically-updated form of LPSolveStats.
+type lpCounters struct {
+	warmStartHits    atomic.Uint64
+	crossoverResumes atomic.Uint64
+	fallbacks        atomic.Uint64
+	floatPivots      atomic.Uint64
+	exactPivots      atomic.Uint64
+	parallelPivots   atomic.Uint64
+}
+
+func (c *lpCounters) snapshot() LPSolveStats {
+	return LPSolveStats{
+		WarmStartHits:    c.warmStartHits.Load(),
+		CrossoverResumes: c.crossoverResumes.Load(),
+		Fallbacks:        c.fallbacks.Load(),
+		FloatPivots:      c.floatPivots.Load(),
+		ExactPivots:      c.exactPivots.Load(),
+		ParallelPivots:   c.parallelPivots.Load(),
+	}
+}
+
 // Metrics is the engine's expvar-style metrics surface: a plain
 // struct that marshals directly to JSON. Counters are monotone over
 // the engine's lifetime (InFlightSolves is the one gauge); snapshots
@@ -97,6 +135,7 @@ type Metrics struct {
 	Samplers       ArtifactStats `json:"samplers"`
 	SamplerDraws   uint64        `json:"sampler_draws"`
 	InFlightSolves int           `json:"in_flight_solves"`
+	LP             LPSolveStats  `json:"lp"`
 }
 
 // solveSem is the engine-wide bound on concurrently running LP

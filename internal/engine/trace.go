@@ -17,6 +17,13 @@ const (
 	TraceSolveStart TraceKind = "solve-start" // computation begins (after admission)
 	TraceSolveDone  TraceKind = "solve-done"  // computation finished; Duration/Err set
 	TraceShed       TraceKind = "shed"        // rejected: solve semaphore saturated
+
+	// LP-backed computations (tailored, interactions) additionally
+	// emit exactly one of the following after the solve returns,
+	// reporting which path of the float-guided exact solver served it.
+	TraceWarmStartHit      TraceKind = "warmstart-hit"      // crossover certified the float basis; zero exact pivots
+	TraceWarmStartResume   TraceKind = "warmstart-resume"   // basis needed exact pivots to finish, no restart
+	TraceWarmStartFallback TraceKind = "warmstart-fallback" // full exact two-phase solve ran from scratch
 )
 
 // TraceEvent is one span event. Events carry the artifact class

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/loss"
+)
+
+// TestWarmStartColdPathGate compares a default (warm-started) engine
+// against an ExactLPOnly engine on the serving-size tailored LP from
+// the benchmarks (absolute loss, n=8, α=1/2). It pins down three
+// things: the warm path actually engages (nonzero warm-start hits and
+// zero exact pivots), both engines return byte-identical artifacts,
+// and the warm path is faster by a comfortable margin. The speed
+// assertion is deliberately loose (≥2×, versus ~7× measured on idle
+// hardware) so scheduler noise and -race overhead cannot flake it;
+// the precise factor is logged for humans reading the test output.
+func TestWarmStartColdPathGate(t *testing.T) {
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	n, alpha := 8, big.NewRat(1, 2)
+
+	warm := New(Config{})
+	start := time.Now()
+	tw, err := warm.TailoredMechanism(c, n, alpha)
+	warmDur := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := warm.Metrics().LP
+	if mw.WarmStartHits != 1 || mw.CrossoverResumes != 0 || mw.Fallbacks != 0 {
+		t.Fatalf("warm engine LP stats = %+v, want exactly one warm-start hit", mw)
+	}
+	if mw.ExactPivots != 0 {
+		t.Errorf("warm-start hit ran %d exact pivots, want 0", mw.ExactPivots)
+	}
+	if mw.FloatPivots == 0 {
+		t.Error("warm engine reports zero float pivots")
+	}
+
+	exact := New(Config{ExactLPOnly: true})
+	start = time.Now()
+	te, err := exact.TailoredMechanism(c, n, alpha)
+	exactDur := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := exact.Metrics().LP
+	if me.WarmStartHits != 0 || me.CrossoverResumes != 0 || me.Fallbacks != 0 {
+		t.Fatalf("ExactLPOnly engine LP stats = %+v, want all path counters zero", me)
+	}
+	if me.ExactPivots == 0 {
+		t.Error("ExactLPOnly engine reports zero exact pivots")
+	}
+
+	if tw.Loss.Cmp(te.Loss) != 0 {
+		t.Fatalf("loss differs: warm %s, exact %s", tw.Loss.RatString(), te.Loss.RatString())
+	}
+	if !tw.Mechanism.Equal(te.Mechanism) {
+		t.Fatal("warm-started and exact-only engines produced different mechanisms")
+	}
+
+	factor := float64(exactDur) / float64(warmDur)
+	t.Logf("tailored n=%d α=%s: exact-only %v, warm-started %v (%.1f× faster)",
+		n, alpha.RatString(), exactDur, warmDur, factor)
+	if factor < 2 {
+		t.Errorf("warm-started solve only %.2f× faster than exact (exact %v, warm %v); expected ≥2× at this size",
+			factor, exactDur, warmDur)
+	}
+}
+
+// TestInteractionRecordsLPStats covers the interactions class of the
+// LP counter plumbing: the §2.4.3 post-processing LP must advance
+// exactly one path counter, and the trace hook must see the matching
+// warm-start event.
+func TestInteractionRecordsLPStats(t *testing.T) {
+	var kinds []TraceKind
+	e := New(Config{Trace: func(ev TraceEvent) {
+		switch ev.Kind {
+		case TraceWarmStartHit, TraceWarmStartResume, TraceWarmStartFallback:
+			kinds = append(kinds, ev.Kind)
+		}
+	}})
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	if _, err := e.OptimalInteraction(c, 6, big.NewRat(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics().LP
+	paths := m.WarmStartHits + m.CrossoverResumes + m.Fallbacks
+	if paths != 1 {
+		t.Fatalf("LP path counters sum to %d, want 1 (stats %+v)", paths, m)
+	}
+	if len(kinds) != 1 {
+		t.Fatalf("saw %d warm-start trace events, want 1 (%v)", len(kinds), kinds)
+	}
+}

@@ -16,120 +16,203 @@ type FloatSolution struct {
 
 const floatEps = 1e-9
 
-// SolveFloat solves the same problem with a dense float64 two-phase
-// simplex. It exists for the exact-vs-float ablation benchmark
-// (DESIGN.md §5); production call sites use Solve. Results can differ
-// from Solve on degenerate problems because of the ±1e-9 tolerance.
-func (p *Problem) SolveFloat() (*FloatSolution, error) {
-	if len(p.vars) == 0 {
-		return nil, errors.New("lp: no variables")
-	}
-	s := newStandardForm(p)
-	nrows, ncols := s.nrows, s.ncols
+// floatOutcome classifies a float simplex run. Unlike the exact
+// solver, the float solver can also give up: its ±1e-9 tolerances
+// void Bland's termination guarantee, so the pivot loop carries an
+// iteration cap.
+type floatOutcome int
 
-	// Count artificials exactly as the exact solver does.
-	basisFromSlack := make([]int, nrows)
+const (
+	floatOptimal floatOutcome = iota
+	floatUnbounded
+	floatCapped
+)
+
+// floatTab is the dense float64 analogue of tableau, built from the
+// same standardForm and pivoted by the same rules (Dantzig with a
+// stall→Bland switch, identical tie-breaks) so that its final basis
+// is, in the overwhelmingly common case, exactly the basis the exact
+// solver would reach. That lockstep is what makes the warm-start
+// crossover (warmstart.go) produce byte-identical solutions to the
+// cold exact solve rather than merely equally-optimal ones.
+type floatTab struct {
+	rows   [][]float64
+	basis  []int
+	z      []float64
+	obj    float64
+	total  int // columns incl. artificials
+	ncols  int // columns excl. artificials (== standardForm.ncols)
+	pivots int
+}
+
+// newFloatTab builds the phase-1 float tableau, seeding the basis
+// from slack columns exactly where the exact phase1 would and adding
+// artificials elsewhere.
+func (s *standardForm) newFloatTab() *floatTab {
+	basisFromSlack := s.initialBasis()
 	nart := 0
-	for r := 0; r < nrows; r++ {
-		basisFromSlack[r] = -1
-		for j := 0; j < ncols; j++ {
-			if s.a[r][j].Sign() > 0 && s.a[r][j].Cmp(rational.One()) == 0 && s.isSlackColumn(j) && s.slackOnlyInRow(j, r) {
-				basisFromSlack[r] = j
-				break
-			}
-		}
+	for r := 0; r < s.nrows; r++ {
 		if basisFromSlack[r] < 0 {
 			nart++
 		}
 	}
-	total := ncols + nart
-	rows := make([][]float64, nrows)
-	basis := make([]int, nrows)
-	artCol := ncols
-	for r := 0; r < nrows; r++ {
-		row := make([]float64, total+1)
-		for j := 0; j < ncols; j++ {
+	ft := &floatTab{
+		total: s.ncols + nart,
+		ncols: s.ncols,
+		basis: make([]int, s.nrows),
+		rows:  make([][]float64, s.nrows),
+	}
+	artCol := s.ncols
+	for r := 0; r < s.nrows; r++ {
+		row := make([]float64, ft.total+1)
+		for j := 0; j < s.ncols; j++ {
 			row[j] = rational.Float(s.a[r][j])
 		}
-		row[total] = rational.Float(s.b[r])
+		row[ft.total] = rational.Float(s.b[r])
 		if basisFromSlack[r] >= 0 {
-			basis[r] = basisFromSlack[r]
+			ft.basis[r] = basisFromSlack[r]
 		} else {
 			row[artCol] = 1
-			basis[r] = artCol
+			ft.basis[r] = artCol
 			artCol++
 		}
-		rows[r] = row
+		ft.rows[r] = row
 	}
+	return ft
+}
 
-	z := make([]float64, total)
-	for j := ncols; j < total; j++ {
-		z[j] = 1
+// maxPivots bounds the total float pivots across both phases.
+// Tolerances void Bland's anti-cycling guarantee, so unlike the exact
+// solver the float one needs a cap; it is far above any pivot count a
+// well-posed LP of this size produces.
+func (ft *floatTab) maxPivots() int {
+	return 5000 + 50*(len(ft.rows)+ft.total)
+}
+
+// floatSolve runs the two-phase dense float64 simplex on s. ok is
+// false when the iteration cap was hit (the solve is then
+// inconclusive); otherwise st is the float solver's verdict and ft
+// holds the final tableau.
+func (s *standardForm) floatSolve() (st Status, ft *floatTab, ok bool) {
+	ft = s.newFloatTab()
+	pivotCap := ft.maxPivots()
+
+	// Phase 1: minimize the artificial sum.
+	ft.z = make([]float64, ft.total)
+	for j := s.ncols; j < ft.total; j++ {
+		ft.z[j] = 1
 	}
-	obj := 0.0
-	for r := 0; r < nrows; r++ {
-		if basis[r] >= ncols {
-			for j := 0; j < total; j++ {
-				z[j] -= rows[r][j]
+	ft.obj = 0
+	for r := range ft.rows {
+		if ft.basis[r] >= s.ncols {
+			for j := 0; j < ft.total; j++ {
+				ft.z[j] -= ft.rows[r][j]
 			}
-			obj -= rows[r][total]
+			ft.obj -= ft.rows[r][ft.total]
 		}
 	}
-	if !floatIterate(rows, basis, z, &obj, total, nil) {
-		return &FloatSolution{Status: Infeasible}, nil
+	switch ft.iterate(nil, pivotCap) {
+	case floatCapped:
+		return NoStatus, ft, false
+	case floatUnbounded:
+		// Phase 1 is bounded below by 0; treat as inconclusive.
+		return NoStatus, ft, false
 	}
-	if math.Abs(obj) > floatEps {
-		return &FloatSolution{Status: Infeasible}, nil
+	if math.Abs(ft.obj) > floatEps {
+		return Infeasible, ft, true
 	}
-	for r := 0; r < nrows; r++ {
-		if basis[r] < ncols {
+	// Drive leftover artificials out of the basis where possible,
+	// mirroring the exact phase1.
+	for r := range ft.rows {
+		if ft.basis[r] < s.ncols {
 			continue
 		}
-		for j := 0; j < ncols; j++ {
-			if math.Abs(rows[r][j]) > floatEps {
-				floatPivot(rows, basis, z, &obj, r, j, total)
+		for j := 0; j < s.ncols; j++ {
+			if math.Abs(ft.rows[r][j]) > floatEps {
+				ft.pivot(r, j)
 				break
 			}
 		}
 	}
 
-	// Phase 2.
-	c := make([]float64, ncols)
-	for j := 0; j < ncols; j++ {
+	// Phase 2: the real cost vector, artificials banned.
+	c := make([]float64, s.ncols)
+	for j := 0; j < s.ncols; j++ {
 		c[j] = rational.Float(s.c[j])
 	}
-	for j := range z {
-		z[j] = 0
+	for j := range ft.z {
+		ft.z[j] = 0
 	}
-	for j := 0; j < ncols; j++ {
-		z[j] = c[j]
-	}
-	obj = 0
-	for r := 0; r < nrows; r++ {
-		bi := basis[r]
+	copy(ft.z, c)
+	ft.obj = 0
+	for r := range ft.rows {
+		bi := ft.basis[r]
 		cb := 0.0
-		if bi < ncols {
+		if bi < s.ncols {
 			cb = c[bi]
 		}
 		if cb == 0 {
 			continue
 		}
-		for j := 0; j < total; j++ {
-			z[j] -= cb * rows[r][j]
+		for j := 0; j < ft.total; j++ {
+			ft.z[j] -= cb * ft.rows[r][j]
 		}
-		obj -= cb * rows[r][total]
+		ft.obj -= cb * ft.rows[r][ft.total]
 	}
-	banned := make([]bool, total)
-	for j := ncols; j < total; j++ {
+	banned := make([]bool, ft.total)
+	for j := s.ncols; j < ft.total; j++ {
 		banned[j] = true
 	}
-	if !floatIterate(rows, basis, z, &obj, total, banned) {
-		return &FloatSolution{Status: Unbounded}, nil
+	switch ft.iterate(banned, pivotCap) {
+	case floatCapped:
+		return NoStatus, ft, false
+	case floatUnbounded:
+		return Unbounded, ft, true
 	}
+	return Optimal, ft, true
+}
 
-	colVal := make([]float64, total)
-	for r, bi := range basis {
-		colVal[bi] = rows[r][total]
+// floatCandidateBasis runs the float simplex and returns its final
+// basis (one column index per row) as the warm-start candidate. ok is
+// false whenever the run is unusable for crossover: iteration cap
+// hit, a non-Optimal verdict, or an artificial column stuck in the
+// basis. Float Infeasible/Unbounded claims are deliberately never
+// trusted — tolerance could fabricate either — so those also report
+// ok=false and the caller falls back to the exact two-phase solve.
+func (s *standardForm) floatCandidateBasis() (basis []int, pivots int, ok bool) {
+	st, ft, ok := s.floatSolve()
+	pivots = ft.pivots
+	if !ok || st != Optimal {
+		return nil, pivots, false
+	}
+	for _, bi := range ft.basis {
+		if bi >= s.ncols {
+			return nil, pivots, false
+		}
+	}
+	return ft.basis, pivots, true
+}
+
+// SolveFloat solves the same problem with a dense float64 two-phase
+// simplex. It exists for the exact-vs-float ablation benchmark
+// (DESIGN.md §5) and as the basis oracle for the warm-start crossover;
+// production call sites use Solve. Results can differ from Solve on
+// degenerate problems because of the ±1e-9 tolerance.
+func (p *Problem) SolveFloat() (*FloatSolution, error) {
+	if len(p.vars) == 0 {
+		return nil, errors.New("lp: no variables")
+	}
+	s := newStandardForm(p)
+	st, ft, ok := s.floatSolve()
+	if !ok {
+		return nil, errors.New("lp: float simplex hit its iteration cap")
+	}
+	if st != Optimal {
+		return &FloatSolution{Status: st}, nil
+	}
+	colVal := make([]float64, ft.total)
+	for r, bi := range ft.basis {
+		colVal[bi] = ft.rows[r][ft.total]
 	}
 	x := make([]float64, len(p.vars))
 	objective := 0.0
@@ -143,61 +226,88 @@ func (p *Problem) SolveFloat() (*FloatSolution, error) {
 	return &FloatSolution{Status: Optimal, Objective: objective, X: x}, nil
 }
 
-func floatIterate(rows [][]float64, basis []int, z []float64, obj *float64, total int, banned []bool) bool {
-	for iter := 0; ; iter++ {
+// iterate mirrors tableau.iterate pivot-for-pivot: Dantzig entering
+// column (most negative reduced cost, first wins ties) switching to
+// Bland's rule after stallLimit degenerate pivots, leaving row by
+// minimum ratio with ties broken toward the smaller basis index.
+func (ft *floatTab) iterate(banned []bool, maxPivots int) floatOutcome {
+	const stallLimit = 12 // keep in lockstep with tableau.iterate
+	stalled := 0
+	lastObj := ft.obj
+	for {
+		if ft.pivots >= maxPivots {
+			return floatCapped
+		}
+		useBland := stalled >= stallLimit
 		enter := -1
-		for j := 0; j < total; j++ {
+		best := 0.0
+		for j := 0; j < ft.total; j++ {
 			if banned != nil && banned[j] {
 				continue
 			}
-			if z[j] < -floatEps {
+			if ft.z[j] >= -floatEps {
+				continue
+			}
+			if useBland {
 				enter = j
-				break
+				break // Bland: smallest eligible index
+			}
+			if enter < 0 || ft.z[j] < best {
+				enter = j
+				best = ft.z[j]
 			}
 		}
 		if enter < 0 {
-			return true
+			return floatOptimal
 		}
 		leave := -1
-		best := math.Inf(1)
-		for r := range rows {
-			arj := rows[r][enter]
+		bestRatio := math.Inf(1)
+		for r := range ft.rows {
+			arj := ft.rows[r][enter]
 			if arj <= floatEps {
 				continue
 			}
-			ratio := rows[r][total] / arj
-			if ratio < best-floatEps || (math.Abs(ratio-best) <= floatEps && (leave < 0 || basis[r] < basis[leave])) {
+			ratio := ft.rows[r][ft.total] / arj
+			if ratio < bestRatio-floatEps ||
+				(math.Abs(ratio-bestRatio) <= floatEps && (leave < 0 || ft.basis[r] < ft.basis[leave])) {
 				leave = r
-				best = ratio
+				bestRatio = ratio
 			}
 		}
 		if leave < 0 {
-			return false
+			return floatUnbounded
 		}
-		floatPivot(rows, basis, z, obj, leave, enter, total)
+		ft.pivot(leave, enter)
+		if math.Abs(ft.obj-lastObj) <= floatEps {
+			stalled++
+		} else {
+			stalled = 0
+			lastObj = ft.obj
+		}
 	}
 }
 
-func floatPivot(rows [][]float64, basis []int, z []float64, obj *float64, row, col, total int) {
-	pr := rows[row]
+func (ft *floatTab) pivot(row, col int) {
+	ft.pivots++
+	pr := ft.rows[row]
 	inv := 1 / pr[col]
 	for j := range pr {
 		pr[j] *= inv
 	}
-	for r := range rows {
-		if r == row || rows[r][col] == 0 {
+	for r := range ft.rows {
+		if r == row || ft.rows[r][col] == 0 {
 			continue
 		}
-		f := rows[r][col]
-		for j := range rows[r] {
-			rows[r][j] -= f * pr[j]
+		f := ft.rows[r][col]
+		for j := range ft.rows[r] {
+			ft.rows[r][j] -= f * pr[j]
 		}
 	}
-	if zf := z[col]; zf != 0 {
-		for j := 0; j < total; j++ {
-			z[j] -= zf * pr[j]
+	if zf := ft.z[col]; zf != 0 {
+		for j := 0; j < ft.total; j++ {
+			ft.z[j] -= zf * pr[j]
 		}
-		*obj -= zf * pr[total]
+		ft.obj -= zf * pr[ft.total]
 	}
-	basis[row] = col
+	ft.basis[row] = col
 }

@@ -12,8 +12,16 @@
 // two-phase primal simplex method. All pivoting is exact, and Bland's
 // anti-cycling rule guarantees termination, so the solver needs no
 // numeric tolerances: feasibility and optimality certificates are true
-// rational equalities. A float64 variant lives in floatsimplex.go for
-// the speed/exactness ablation benchmark.
+// rational equalities.
+//
+// By default Solve does not run the two-phase method cold: it first
+// lets a dense float64 simplex (floatsimplex.go) locate a candidate
+// optimal basis in microseconds, then certifies that basis in exact
+// arithmetic and only falls back to exact pivoting when the
+// certificate fails (warmstart.go). The result is bit-for-bit the
+// same class of certified rational solution at a fraction of the
+// rational-arithmetic cost; SolveOpts selects the pure exact strategy
+// for ablations and cross-checks.
 package lp
 
 import (
@@ -21,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"runtime"
+	"sync"
 
 	"minimaxdp/internal/rational"
 )
@@ -74,15 +84,21 @@ func TInt(v Var, coeff int64) Term { return Term{Var: v, Coeff: rational.Int(coe
 // Status reports the outcome of Solve.
 type Status int
 
-// Solver outcomes.
+// Solver outcomes. NoStatus is deliberately the zero value: a solve
+// that was canceled or errored reports NoStatus, so a caller that
+// (incorrectly) consults the status before the error can never
+// mistake an aborted solve for a certified Optimal one.
 const (
-	Optimal Status = iota
+	NoStatus Status = iota // no verdict: the solve was canceled or errored
+	Optimal
 	Infeasible
 	Unbounded
 )
 
 func (s Status) String() string {
 	switch s {
+	case NoStatus:
+		return "none"
 	case Optimal:
 		return "optimal"
 	case Infeasible:
@@ -178,24 +194,51 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs *big.Rat) {
 	p.cons = append(p.cons, constraint{terms: cp, op: op, rhs: rational.Clone(rhs)})
 }
 
-// Solve runs two-phase exact simplex and returns the solution. It is
-// SolveCtx with a background (never-canceled) context.
+// Solve runs the exact solver with default options and returns the
+// solution. It is SolveCtx with a background (never-canceled) context.
 func (p *Problem) Solve() (*Solution, error) {
 	return p.SolveCtx(context.Background())
 }
 
-// SolveCtx runs two-phase exact simplex under ctx. The pivot loop
-// checks ctx between pivots, so a canceled or deadline-expired
+// SolveCtx runs the exact solver with default options
+// (float-guided warm start, parallel pivoting) under ctx. The pivot
+// loop checks ctx between pivots, so a canceled or deadline-expired
 // context aborts the solve within one pivot's worth of work and
-// returns ctx.Err(). The paper's LPs cost seconds-to-minutes of
+// returns ctx.Err(). The paper's LPs cost seconds-to-minutes of pure
 // rational arithmetic at serving sizes; this checkpoint is what makes
 // them deadline-bounded behind a serving surface.
 func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
+	return p.SolveWithOpts(ctx, SolveOpts{})
+}
+
+// SolveWithOpts runs the exact solver under ctx with explicit
+// options. The zero SolveOpts is the production default: the
+// float-guided warm start locates a candidate basis, an exact
+// crossover certifies it (warmstart.go), and the full two-phase
+// rational simplex runs only as a fallback. StrategyExact forces the
+// cold two-phase solve (the ablation baseline). Whatever the
+// strategy, the returned Solution is certified by exact arithmetic.
+func (p *Problem) SolveWithOpts(ctx context.Context, opts SolveOpts) (*Solution, error) {
 	if len(p.vars) == 0 {
 		return nil, errors.New("lp: no variables")
 	}
+	if opts.Stats != nil {
+		*opts.Stats = SolveStats{}
+	}
 	s := newStandardForm(p)
-	tab, status, err := s.phase1(ctx)
+	if opts.Strategy == StrategyWarmStart {
+		sol, done, err := s.solveWarmStart(ctx, &opts)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return sol, nil
+		}
+		if opts.Stats != nil {
+			opts.Stats.Fallback = true
+		}
+	}
+	tab, status, err := s.phase1(ctx, &opts)
 	if err != nil {
 		return nil, err
 	}
@@ -209,14 +252,19 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	if status == Unbounded {
 		return &Solution{Status: Unbounded}, nil
 	}
-	x := s.extract(tab)
+	return s.solution(s.extract(tab)), nil
+}
+
+// solution wraps an original-variable assignment as an Optimal
+// Solution, computing the objective in the problem's own sense.
+func (s *standardForm) solution(x []*big.Rat) *Solution {
 	obj := rational.Zero()
 	tmp := rational.Zero()
-	for i, c := range p.objective {
+	for i, c := range s.p.objective {
 		tmp.Mul(c, x[i])
 		obj.Add(obj, tmp)
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x}, nil
+	return &Solution{Status: Optimal, Objective: obj, X: x}
 }
 
 // --- standard form and tableau ------------------------------------------
@@ -228,16 +276,17 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 // with column bookkeeping mapping original variables to standard-form
 // columns (free variables split as y⁺ − y⁻).
 type standardForm struct {
-	p         *Problem
-	ncols     int // structural + slack/surplus columns (artificials appended after)
-	nart      int
-	nrows     int
-	colPos    []int // original var -> positive part column
-	colNeg    []int // original var -> negative part column (-1 if non-free)
-	a         [][]*big.Rat
-	b         []*big.Rat
-	c         []*big.Rat // phase-2 cost over structural+slack columns, minimization sense
-	artOffset int
+	p          *Problem
+	ncols      int // structural + slack/surplus columns (artificials appended after)
+	nart       int
+	nrows      int
+	structural int   // number of structural columns; slack/surplus follow
+	colPos     []int // original var -> positive part column
+	colNeg     []int // original var -> negative part column (-1 if non-free)
+	a          [][]*big.Rat
+	b          []*big.Rat
+	c          []*big.Rat // phase-2 cost over structural+slack columns, minimization sense
+	artOffset  int
 }
 
 func newStandardForm(p *Problem) *standardForm {
@@ -256,6 +305,7 @@ func newStandardForm(p *Problem) *standardForm {
 		}
 	}
 	structural := col
+	s.structural = structural
 	// Count slack/surplus columns.
 	for _, con := range p.cons {
 		if con.op != EQ {
@@ -338,33 +388,53 @@ type tableau struct {
 	obj   *big.Rat   // current objective value (minimization sense)
 	ncols int        // total columns, incl. artificials
 	art   int        // first artificial column (== len without artificials)
+
+	stats    *SolveStats // optional solve counters (nil = not recorded)
+	parallel bool        // allow parallel row elimination in pivot
+
+	// Pooled scratch for the ratio-test and pivot inner loops, reused
+	// across pivots so the hot rational kernels do not allocate per
+	// row per pivot.
+	inv, zf, f, tmp *big.Rat
+	ratio, best     *big.Rat
+	nz              []int
+}
+
+// initScratch attaches opts-driven knobs and allocates the pooled
+// scratch. Every tableau constructor must call it before pivoting.
+func (t *tableau) initScratch(opts *SolveOpts) {
+	if opts != nil {
+		t.stats = opts.Stats
+		t.parallel = !opts.NoParallelPivot
+	}
+	t.inv = new(big.Rat)
+	t.zf = new(big.Rat)
+	t.f = new(big.Rat)
+	t.tmp = new(big.Rat)
+	t.ratio = new(big.Rat)
+	t.best = new(big.Rat)
+	t.nz = make([]int, 0, t.ncols+1)
 }
 
 // phase1 builds the initial tableau with artificial variables where
 // needed, minimizes their sum, and reports Infeasible if it cannot be
 // driven to zero.
-func (s *standardForm) phase1(ctx context.Context) (*tableau, Status, error) {
+func (s *standardForm) phase1(ctx context.Context, opts *SolveOpts) (*tableau, Status, error) {
 	// Decide per-row whether a slack can serve as the initial basic
 	// variable (only for LE rows after sign normalisation, where the
 	// slack has +1 coefficient).
 	t := &tableau{art: s.ncols}
 	t.basis = make([]int, s.nrows)
 	nart := 0
-	basisFromSlack := make([]int, s.nrows)
+	basisFromSlack := s.initialBasis()
 	for r := 0; r < s.nrows; r++ {
-		basisFromSlack[r] = -1
-		for j := 0; j < s.ncols; j++ {
-			if s.a[r][j].Sign() > 0 && s.a[r][j].Cmp(rational.One()) == 0 && s.isSlackColumn(j) && s.slackOnlyInRow(j, r) {
-				basisFromSlack[r] = j
-				break
-			}
-		}
 		if basisFromSlack[r] < 0 {
 			nart++
 		}
 	}
 	s.nart = nart
 	t.ncols = s.ncols + nart
+	t.initScratch(opts)
 	t.rows = make([][]*big.Rat, s.nrows)
 	artCol := s.ncols
 	for r := 0; r < s.nrows; r++ {
@@ -402,7 +472,7 @@ func (s *standardForm) phase1(ctx context.Context) (*tableau, Status, error) {
 	}
 	status, err := t.iterate(ctx, nil)
 	if err != nil {
-		return nil, Infeasible, err
+		return nil, NoStatus, err
 	}
 	if status == Unbounded {
 		// Phase 1 is bounded below by 0; unbounded cannot happen, but
@@ -438,14 +508,26 @@ func (s *standardForm) phase1(ctx context.Context) (*tableau, Status, error) {
 
 func (s *standardForm) isSlackColumn(j int) bool {
 	// Slack/surplus columns are those after the structural block.
-	structural := 0
-	for i := range s.p.vars {
-		structural++
-		if s.colNeg[i] >= 0 {
-			structural++
+	return j >= s.structural
+}
+
+// initialBasis returns, per row, the slack column usable as that
+// row's initial basic variable, or −1 where the row needs an
+// artificial: a +1-coefficient slack appearing in no other row. Both
+// the exact phase 1 and the float solver seed their bases from this,
+// which keeps their pivot paths aligned for the warm-start crossover.
+func (s *standardForm) initialBasis() []int {
+	basis := make([]int, s.nrows)
+	for r := 0; r < s.nrows; r++ {
+		basis[r] = -1
+		for j := s.structural; j < s.ncols; j++ {
+			if s.a[r][j].Sign() > 0 && s.a[r][j].Cmp(rational.One()) == 0 && s.slackOnlyInRow(j, r) {
+				basis[r] = j
+				break
+			}
 		}
 	}
-	return j >= structural
+	return basis
 }
 
 func (s *standardForm) slackOnlyInRow(j, r int) bool {
@@ -511,7 +593,10 @@ func (t *tableau) iterate(ctx context.Context, banned []bool) (Status, error) {
 	lastObj := rational.Clone(t.obj)
 	for {
 		if err := ctx.Err(); err != nil {
-			return Optimal, err
+			// NoStatus, never Optimal: an aborted solve must not be
+			// mistakable for a certified one by a caller that checks the
+			// status before the error.
+			return NoStatus, err
 		}
 		useBland := stalled >= stallLimit
 		enter := -1
@@ -536,17 +621,19 @@ func (t *tableau) iterate(ctx context.Context, banned []bool) (Status, error) {
 			return Optimal, nil
 		}
 		leave := -1
-		var bestRatio *big.Rat
+		// Two pooled scratch Rats ping-pong between "candidate" and
+		// "best so far", so the ratio test allocates nothing.
+		ratio, bestRatio := t.ratio, t.best
 		for r := range t.rows {
 			arj := t.rows[r][enter]
 			if arj.Sign() <= 0 {
 				continue
 			}
-			ratio := new(big.Rat).Quo(t.rows[r][t.ncols], arj)
+			ratio.Quo(t.rows[r][t.ncols], arj)
 			if leave < 0 || ratio.Cmp(bestRatio) < 0 ||
 				(ratio.Cmp(bestRatio) == 0 && t.basis[r] < t.basis[leave]) {
 				leave = r
-				bestRatio = ratio
+				ratio, bestRatio = bestRatio, ratio
 			}
 		}
 		if leave < 0 {
@@ -562,40 +649,42 @@ func (t *tableau) iterate(ctx context.Context, banned []bool) (Status, error) {
 	}
 }
 
+// parallelPivotMinWork is the rows×nonzeros product above which pivot
+// row elimination fans out across goroutines. Below it the rational
+// arithmetic per pivot is cheaper than goroutine handoff; at the
+// serving-size mechanism LPs a single pivot is hundreds of thousands
+// of big.Rat multiplies and the fan-out wins decisively.
+const parallelPivotMinWork = 2048
+
 // pivot performs a full tableau pivot on (row, col). Only the nonzero
 // columns of the pivot row participate in the elimination — simplex
 // tableaus on the paper's LPs stay sparse for many iterations, and
 // skipping structural zeros is a large constant-factor win for
 // rational arithmetic.
 func (t *tableau) pivot(row, col int) {
+	if t.stats != nil {
+		t.stats.ExactPivots++
+	}
 	pr := t.rows[row]
-	inv := new(big.Rat).Inv(pr[col])
-	nz := make([]int, 0, len(pr))
+	t.inv.Inv(pr[col])
+	nz := t.nz[:0]
 	for j := range pr {
 		if pr[j].Sign() == 0 {
 			continue
 		}
-		pr[j].Mul(pr[j], inv)
+		pr[j].Mul(pr[j], t.inv)
 		nz = append(nz, j)
 	}
-	tmp := rational.Zero()
-	for r := range t.rows {
-		if r == row {
-			continue
-		}
-		factor := t.rows[r][col]
-		if factor.Sign() == 0 {
-			continue
-		}
-		f := rational.Clone(factor)
-		tr := t.rows[r]
-		for _, j := range nz {
-			tmp.Mul(f, pr[j])
-			tr[j].Sub(tr[j], tmp)
-		}
+	t.nz = nz
+	if t.parallel && (len(t.rows)-1)*len(nz) >= parallelPivotMinWork {
+		t.eliminateRowsParallel(row, col, pr, nz)
+	} else {
+		t.eliminateRows(row, col, pr, nz)
 	}
-	zf := rational.Clone(t.z[col])
+	zf := t.zf
+	zf.Set(t.z[col])
 	if zf.Sign() != 0 {
+		tmp := t.tmp
 		for _, j := range nz {
 			tmp.Mul(zf, pr[j])
 			if j < t.ncols {
@@ -608,6 +697,76 @@ func (t *tableau) pivot(row, col int) {
 	t.basis[row] = col
 }
 
+// eliminateRows is the serial elimination kernel: subtract
+// factor×(pivot row) from every other row with a nonzero in the pivot
+// column. The factor is copied into pooled scratch first because
+// tr[col] — the factor's own cell — is zeroed mid-loop.
+func (t *tableau) eliminateRows(row, col int, pr []*big.Rat, nz []int) {
+	f, tmp := t.f, t.tmp
+	for r := range t.rows {
+		if r == row {
+			continue
+		}
+		tr := t.rows[r]
+		if tr[col].Sign() == 0 {
+			continue
+		}
+		f.Set(tr[col])
+		for _, j := range nz {
+			tmp.Mul(f, pr[j])
+			tr[j].Sub(tr[j], tmp)
+		}
+	}
+}
+
+// eliminateRowsParallel fans the eliminations out across a bounded
+// set of goroutines. Safe without locks: each worker owns a disjoint
+// chunk of rows and its own scratch Rats, the pivot row pr and nz are
+// read-only here (normalized before the fan-out), and the z-row is
+// updated serially by the caller afterwards.
+func (t *tableau) eliminateRowsParallel(row, col int, pr []*big.Rat, nz []int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(t.rows) {
+		workers = len(t.rows)
+	}
+	if workers < 2 {
+		t.eliminateRows(row, col, pr, nz)
+		return
+	}
+	if t.stats != nil {
+		t.stats.ParallelPivots++
+	}
+	chunk := (len(t.rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(t.rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(t.rows) {
+			hi = len(t.rows)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f := new(big.Rat)
+			tmp := new(big.Rat)
+			for r := lo; r < hi; r++ {
+				if r == row {
+					continue
+				}
+				tr := t.rows[r]
+				if tr[col].Sign() == 0 {
+					continue
+				}
+				f.Set(tr[col])
+				for _, j := range nz {
+					tmp.Mul(f, pr[j])
+					tr[j].Sub(tr[j], tmp)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // extract reads the optimal original-variable values out of the final
 // tableau.
 func (s *standardForm) extract(t *tableau) []*big.Rat {
@@ -615,6 +774,13 @@ func (s *standardForm) extract(t *tableau) []*big.Rat {
 	for r, bi := range t.basis {
 		colVal[bi] = rational.Clone(t.rows[r][t.ncols])
 	}
+	return s.extractFromCols(colVal)
+}
+
+// extractFromCols maps a per-column value vector (basic variables set,
+// everything else zero) back to original problem variables, recombining
+// split free variables. colVal may omit artificial columns.
+func (s *standardForm) extractFromCols(colVal []*big.Rat) []*big.Rat {
 	x := rational.Vector(len(s.p.vars))
 	for i := range s.p.vars {
 		x[i] = rational.Clone(colVal[s.colPos[i]])

@@ -1,0 +1,384 @@
+// Float-guided exact solving: the warm-start crossover.
+//
+// The float64 simplex (floatsimplex.go) locates a candidate optimal
+// basis in microseconds; this file certifies that basis in exact
+// rational arithmetic. Nothing numeric survives into the result — the
+// float solver contributes only a list of column indices, and every
+// quantity in the returned Solution is recomputed over big.Rat and
+// checked against the simplex optimality conditions as true rational
+// inequalities:
+//
+//	primal feasibility:  x_B = B⁻¹ b ≥ 0        (componentwise, exact)
+//	dual optimality:     z_j = c_j − y·A_j > 0   with  Bᵀy = c_B
+//
+// The dual check is deliberately *strict* on every nonbasic column:
+// strict dual non-degeneracy certifies not just optimality but
+// uniqueness of the optimal point, which is what lets the warm path
+// promise byte-identical results to the cold exact solver — a unique
+// optimum leaves no vertex for the two paths to disagree on. When the
+// certificate holds, the solution is returned directly (a "hit": zero
+// exact pivots). When some reduced cost is negative but the basis is
+// still primal feasible, exact phase-2 pivoting resumes from it —
+// still strictly cheaper than a cold phase 1 — and its final tableau
+// must pass the same strict certificate. A tie (some nonbasic reduced
+// cost exactly zero, so the optimal face may be an edge or larger)
+// falls back to the full two-phase solve: correctness would survive
+// returning the tied vertex, identity with the cold path might not.
+// Primal-infeasible, singular, or artificial-containing bases, and a
+// float solver that fails outright, also take the fallback. In every
+// case the answer carries the same exact certificate as the cold
+// solver's.
+package lp
+
+import (
+	"context"
+	"math/big"
+
+	"minimaxdp/internal/rational"
+)
+
+// Strategy selects how Solve locates the optimal basis.
+type Strategy int
+
+const (
+	// StrategyWarmStart — the default — runs the float64 simplex
+	// first and certifies its final basis in exact arithmetic,
+	// falling back to the pure exact solve when the certificate
+	// fails. The result is identical to StrategyExact's.
+	StrategyWarmStart Strategy = iota
+	// StrategyExact forces the cold two-phase exact solve: the
+	// ablation baseline, and a cross-check against the warm path.
+	StrategyExact
+)
+
+// SolveOpts configures SolveWithOpts. The zero value is the
+// production default: warm start on, parallel pivoting on.
+type SolveOpts struct {
+	Strategy Strategy
+	// NoParallelPivot disables the multi-goroutine row-elimination
+	// kernel, keeping every pivot on the calling goroutine.
+	NoParallelPivot bool
+	// Stats, when non-nil, is reset at the start of the solve and
+	// filled with counters describing what the solver actually did.
+	Stats *SolveStats
+}
+
+// SolveStats reports, per solve, which path ran and how much work it
+// did. Exactly one of WarmStartHit / CrossoverResumed / Fallback is
+// set on a StrategyWarmStart solve that returns a Solution; a
+// StrategyExact solve sets none of them.
+type SolveStats struct {
+	FloatPivots    int // pivots of the float64 basis-locating solve
+	ExactPivots    int // exact big.Rat pivots (crossover resume or fallback)
+	ParallelPivots int // exact pivots whose elimination ran parallel
+
+	WarmStartHit     bool // float basis certified optimal and unique; zero exact pivots
+	CrossoverResumed bool // basis feasible but not optimal; exact pivoting resumed
+	Fallback         bool // full two-phase exact solve ran (incl. tied-optimum demotions)
+}
+
+// solveWarmStart attempts the float-guided path. done=false (with nil
+// error) means the caller must run the full two-phase fallback; when
+// done=true, sol is the certified result.
+func (s *standardForm) solveWarmStart(ctx context.Context, opts *SolveOpts) (sol *Solution, done bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	basis, floatPivots, ok := s.floatCandidateBasis()
+	if opts.Stats != nil {
+		opts.Stats.FloatPivots = floatPivots
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	lu, ok := s.factorizeBasis(basis)
+	if !ok {
+		return nil, false, nil // singular basis: the float path lost the plot
+	}
+	xB := lu.solve(s.b)
+	for _, v := range xB {
+		if v.Sign() < 0 {
+			return nil, false, nil // primal infeasible: certificate failed
+		}
+	}
+	// The basis is an exactly-feasible vertex. Check dual optimality:
+	// solve Bᵀy = c_B, then price every nonbasic column.
+	cB := make([]*big.Rat, s.nrows)
+	for k, j := range basis {
+		cB[k] = s.c[j]
+	}
+	y := lu.solveTranspose(cB)
+	switch s.dualCertificate(basis, y) {
+	case dualStrict:
+		if opts.Stats != nil {
+			opts.Stats.WarmStartHit = true
+		}
+		colVal := rational.Vector(s.ncols)
+		for k, j := range basis {
+			colVal[j] = xB[k]
+		}
+		return s.solution(s.extractFromCols(colVal)), true, nil
+	case dualDegenerate:
+		// Optimal but possibly not unique: only the cold path's own
+		// vertex choice is guaranteed to match the cold path.
+		return nil, false, nil
+	}
+	// Feasible but not optimal: resume exact pivoting from this
+	// vertex, skipping phase 1 entirely.
+	t, ok := s.tableauFromBasis(basis, opts)
+	if !ok {
+		return nil, false, nil
+	}
+	status, err := s.phase2(ctx, t)
+	if err != nil {
+		return nil, false, err
+	}
+	if status == Unbounded {
+		// Exact verdict: reached from an exactly-feasible vertex by
+		// exact pivoting, so it is trustworthy (unlike a float claim).
+		if opts.Stats != nil {
+			opts.Stats.CrossoverResumed = true
+		}
+		return &Solution{Status: Unbounded}, true, nil
+	}
+	// The resumed optimum must pass the same uniqueness bar as a hit;
+	// a tied face falls back so the answer matches the cold path.
+	if !t.strictlyOptimal() {
+		return nil, false, nil
+	}
+	if opts.Stats != nil {
+		opts.Stats.CrossoverResumed = true
+	}
+	return s.solution(s.extract(t)), true, nil
+}
+
+// dualVerdict classifies the reduced costs of the nonbasic columns.
+type dualVerdict int
+
+const (
+	dualInfeasible dualVerdict = iota // some z_j < 0: basis not optimal
+	dualDegenerate                    // all z_j ≥ 0, some exactly 0: optimal, maybe not unique
+	dualStrict                        // all z_j > 0: optimal and unique
+)
+
+// dualCertificate prices every nonbasic column against the dual
+// vector y and classifies the basis.
+func (s *standardForm) dualCertificate(basis []int, y []*big.Rat) dualVerdict {
+	inBasis := make([]bool, s.ncols)
+	for _, j := range basis {
+		inBasis[j] = true
+	}
+	verdict := dualStrict
+	z := new(big.Rat)
+	tmp := new(big.Rat)
+	for j := 0; j < s.ncols; j++ {
+		if inBasis[j] {
+			continue // z_j = 0 by construction of y
+		}
+		z.Set(s.c[j])
+		for r := 0; r < s.nrows; r++ {
+			if y[r].Sign() == 0 || s.a[r][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(y[r], s.a[r][j])
+			z.Sub(z, tmp)
+		}
+		switch z.Sign() {
+		case -1:
+			return dualInfeasible
+		case 0:
+			verdict = dualDegenerate
+		}
+	}
+	return verdict
+}
+
+// strictlyOptimal reports whether the (already optimal) tableau's
+// nonbasic reduced costs are all strictly positive — the uniqueness
+// certificate the warm path requires before trusting vertex identity
+// with the cold solver.
+func (t *tableau) strictlyOptimal() bool {
+	inBasis := make([]bool, t.ncols)
+	for _, bi := range t.basis {
+		inBasis[bi] = true
+	}
+	for j := 0; j < t.ncols; j++ {
+		if inBasis[j] {
+			continue
+		}
+		if t.z[j].Sign() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// luFactors is an exact PB = LU factorization of the m×m basis-column
+// matrix: lu row k holds, packed in place, the unit-lower-triangular
+// multipliers (below the diagonal) and U (on and above it); lu row k
+// corresponds to original constraint row perm[k].
+type luFactors struct {
+	lu   [][]*big.Rat
+	perm []int
+	m    int
+}
+
+// factorizeBasis LU-factorizes the basis columns with row pivoting
+// (first nonzero — over exact rationals any nonzero pivot is valid).
+// ok=false reports a singular basis. Cost is ~m³/3 rational
+// multiplies, the dominant cost of a warm-start hit and roughly one
+// third of a single full-tableau refactorization.
+func (s *standardForm) factorizeBasis(basis []int) (*luFactors, bool) {
+	m := s.nrows
+	if len(basis) != m {
+		return nil, false
+	}
+	lu := make([][]*big.Rat, m)
+	for r := 0; r < m; r++ {
+		row := make([]*big.Rat, m)
+		for k, j := range basis {
+			row[k] = rational.Clone(s.a[r][j])
+		}
+		lu[r] = row
+	}
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	tmp := new(big.Rat)
+	for k := 0; k < m; k++ {
+		p := -1
+		for r := k; r < m; r++ {
+			if lu[r][k].Sign() != 0 {
+				p = r
+				break
+			}
+		}
+		if p < 0 {
+			return nil, false
+		}
+		lu[k], lu[p] = lu[p], lu[k]
+		perm[k], perm[p] = perm[p], perm[k]
+		piv := lu[k][k]
+		for r := k + 1; r < m; r++ {
+			if lu[r][k].Sign() == 0 {
+				continue
+			}
+			lu[r][k].Quo(lu[r][k], piv) // the L multiplier, stored in place
+			for c := k + 1; c < m; c++ {
+				if lu[k][c].Sign() == 0 {
+					continue
+				}
+				tmp.Mul(lu[r][k], lu[k][c])
+				lu[r][c].Sub(lu[r][c], tmp)
+			}
+		}
+	}
+	return &luFactors{lu: lu, perm: perm, m: m}, true
+}
+
+// solve returns x with B·x = b, b given in original row order.
+func (f *luFactors) solve(b []*big.Rat) []*big.Rat {
+	m := f.m
+	x := make([]*big.Rat, m)
+	tmp := new(big.Rat)
+	// Forward substitution: L·t = P·b (L unit lower triangular).
+	for k := 0; k < m; k++ {
+		x[k] = rational.Clone(b[f.perm[k]])
+		for c := 0; c < k; c++ {
+			if f.lu[k][c].Sign() == 0 || x[c].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f.lu[k][c], x[c])
+			x[k].Sub(x[k], tmp)
+		}
+	}
+	// Back substitution: U·x = t.
+	for k := m - 1; k >= 0; k-- {
+		for c := k + 1; c < m; c++ {
+			if f.lu[k][c].Sign() == 0 || x[c].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f.lu[k][c], x[c])
+			x[k].Sub(x[k], tmp)
+		}
+		x[k].Quo(x[k], f.lu[k][k])
+	}
+	return x
+}
+
+// solveTranspose returns y with Bᵀ·y = c, y in original row order.
+// With B = PᵀLU this is UᵀLᵀP·y = c: forward-substitute Uᵀ (lower
+// triangular with U's diagonal), back-substitute Lᵀ (unit upper),
+// then undo the permutation.
+func (f *luFactors) solveTranspose(c []*big.Rat) []*big.Rat {
+	m := f.m
+	u := make([]*big.Rat, m)
+	tmp := new(big.Rat)
+	for k := 0; k < m; k++ {
+		u[k] = rational.Clone(c[k])
+		for r := 0; r < k; r++ {
+			if f.lu[r][k].Sign() == 0 || u[r].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f.lu[r][k], u[r])
+			u[k].Sub(u[k], tmp)
+		}
+		u[k].Quo(u[k], f.lu[k][k])
+	}
+	for k := m - 1; k >= 0; k-- {
+		for r := k + 1; r < m; r++ {
+			if f.lu[r][k].Sign() == 0 || u[r].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f.lu[r][k], u[r])
+			u[k].Sub(u[k], tmp)
+		}
+	}
+	y := make([]*big.Rat, m)
+	for k := 0; k < m; k++ {
+		y[f.perm[k]] = u[k]
+	}
+	return y
+}
+
+// tableauFromBasis constructs the exact simplex tableau whose basis
+// is the given (exactly primal-feasible) column set, by Gauss–Jordan
+// elimination on the basis columns: one refactorization instead of a
+// whole phase 1. ok=false reports a basis that cannot be completed (a
+// singular column set — should not happen after factorizeBasis
+// succeeded, but guarded anyway).
+func (s *standardForm) tableauFromBasis(basis []int, opts *SolveOpts) (*tableau, bool) {
+	t := &tableau{art: s.ncols, ncols: s.ncols}
+	t.initScratch(opts)
+	t.basis = make([]int, s.nrows)
+	t.rows = make([][]*big.Rat, s.nrows)
+	for r := 0; r < s.nrows; r++ {
+		row := make([]*big.Rat, t.ncols+1)
+		for j := 0; j < s.ncols; j++ {
+			row[j] = rational.Clone(s.a[r][j])
+		}
+		row[t.ncols] = rational.Clone(s.b[r])
+		t.rows[r] = row
+		t.basis[r] = -1
+	}
+	// The z-row is rebuilt by phase2 afterwards; keep it inert here so
+	// the Gauss–Jordan pivots below touch only the constraint rows.
+	t.z = rational.Vector(t.ncols)
+	t.obj = rational.Zero()
+	for _, j := range basis {
+		// Pick a pivot row for column j among rows not yet assigned.
+		pr := -1
+		for r := 0; r < s.nrows; r++ {
+			if t.basis[r] < 0 && t.rows[r][j].Sign() != 0 {
+				pr = r
+				break
+			}
+		}
+		if pr < 0 {
+			return nil, false
+		}
+		t.pivot(pr, j)
+	}
+	return t, true
+}

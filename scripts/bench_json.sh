@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the LP-solver and engine benchmarks and distill
+# the results into BENCH_lp.json: one record per benchmark op with its
+# ns/op and allocs/op. CI runs this with the default single iteration
+# as a compile-and-smoke gate (the JSON shape is what's checked in);
+# for numbers worth comparing, run longer:
+#
+#   BENCHTIME=2s ./scripts/bench_json.sh
+#
+# Environment: BENCHTIME (go test -benchtime, default 1x),
+# OUT (output path, default BENCH_lp.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_lp.json}"
+raw="$(mktemp)"
+trap 'rm -f "${raw}"' EXIT
+
+# The LP benchmarks live in the root package (paper-scale simplex
+# solves, warm-start vs exact), the serving benchmarks in
+# internal/engine. -benchmem is required: allocs/op is half the point
+# of the allocation-lean kernel work.
+go test -run='^$' \
+    -bench='Table1OptimalLP|Simplex|StrongDualityCertificate|InteractionLPvsFactor' \
+    -benchmem -benchtime="${BENCHTIME}" . | tee "${raw}"
+go test -run='^$' -bench='Engine' -benchmem -benchtime="${BENCHTIME}" \
+    ./internal/engine | tee -a "${raw}"
+
+awk -v benchtime="${BENCHTIME}" '
+BEGIN {
+    printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    ns = $3
+    allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "    {\"op\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+}
+END {
+    printf "\n  ]\n}\n"
+}
+' "${raw}" >"${OUT}"
+
+echo "wrote ${OUT}"

@@ -33,14 +33,15 @@ go run ./cmd/dpvet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> engine benchmarks (compile-and-smoke, 1 iteration each)"
-go test -run='^$' -bench=Engine -benchtime=1x ./internal/engine
+echo "==> LP + engine benchmarks -> BENCH_lp.json (compile-and-smoke, 1 iteration each)"
+./scripts/bench_json.sh
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzPow$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzUnmarshalJSON$' -fuzztime="${FUZZTIME}" ./internal/mechanism
 go test -run='^$' -fuzz='^FuzzParseLevels$' -fuzztime="${FUZZTIME}" ./cmd/dpserver
+go test -run='^$' -fuzz='^FuzzWarmStartMatchesExact$' -fuzztime="${FUZZTIME}" ./internal/lp
 
 echo "==> dpserver end-to-end smoke (ephemeral port, /healthz + /v1/tailored, graceful stop)"
 smokedir="$(mktemp -d)"
@@ -65,6 +66,9 @@ fi
 curl -fsS "http://${base}/healthz" | grep -q ok
 curl -fsS "http://${base}/readyz" | grep -q ok
 curl -fsS "http://${base}/v1/tailored?loss=absolute&n=6&level=1" | grep -q minimax_loss
+# The tailored solve above must have gone through the float-guided
+# warm-start path: the engine metrics report at least one hit.
+curl -fsS "http://${base}/v1/metrics" | grep -q '"warm_start_hits":[1-9]'
 kill -TERM "${srv_pid}"
 if ! wait "${srv_pid}"; then
     echo "dpserver smoke: server exited non-zero after SIGTERM" >&2
