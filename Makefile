@@ -1,7 +1,7 @@
 # Development entry points for minimaxdp. `make check` is the same
 # gate CI runs (.github/workflows/ci.yml -> scripts/check.sh).
 
-.PHONY: check build test race vet dpvet fuzz-smoke bench bench-json
+.PHONY: check build test race vet dpvet fuzz-smoke bench bench-json bench-regression
 
 ## check: full CI gate (fmt, build, vet, dpvet, race tests, fuzz smoke)
 check:
@@ -28,16 +28,22 @@ vet:
 dpvet:
 	go run ./cmd/dpvet ./...
 
-## bench: engine throughput benchmarks, one iteration (the CI smoke);
+## bench: engine throughput benchmarks, one iteration (a quick smoke);
 ## use `go test -bench=Engine -benchmem ./internal/engine` for real numbers
 bench:
 	go test -run='^$$' -bench=Engine -benchtime=1x ./internal/engine
 
-## bench-json: run the LP + engine benchmarks and write BENCH_lp.json
-## (op, ns/op, allocs/op per benchmark). BENCHTIME=1x default; use
-## `BENCHTIME=2s make bench-json` for numbers worth comparing.
+## bench-json: run the LP and sampling benchmark suites and write
+## BENCH_lp.json + BENCH_sample.json (op, ns/op, allocs/op per
+## benchmark). BENCHTIME=1x default; use `BENCHTIME=2s make bench-json`
+## when refreshing the committed baselines.
 bench-json:
 	./scripts/bench_json.sh
+
+## bench-regression: re-run the JSON suites and fail on >2x per-op
+## regressions vs the committed baselines (the CI gate)
+bench-regression:
+	./scripts/bench_regression.sh
 
 ## fuzz-smoke: short run of every fuzz target (FUZZTIME=10s default)
 fuzz-smoke:
@@ -46,3 +52,4 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz='^FuzzUnmarshalJSON$$' -fuzztime=$${FUZZTIME:-10s} ./internal/mechanism
 	go test -run='^$$' -fuzz='^FuzzParseLevels$$' -fuzztime=$${FUZZTIME:-10s} ./cmd/dpserver
 	go test -run='^$$' -fuzz='^FuzzWarmStartMatchesExact$$' -fuzztime=$${FUZZTIME:-10s} ./internal/lp
+	go test -run='^$$' -fuzz='^FuzzDyadicAlias$$' -fuzztime=$${FUZZTIME:-10s} ./internal/sample

@@ -1,0 +1,52 @@
+// HTTP-handler benchmarks for the sampling hot path; part of the
+// BENCH_sample.json suite. These exercise handleSample directly —
+// raw-query parsing, pooled draw buffer, append-built JSON — against
+// a discarding ResponseWriter, so the number isolates the handler
+// (the piece this repo controls) from kernel socket costs.
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// discardWriter is a minimal ResponseWriter: headers are retained (the
+// handler sets Content-Type), the body is dropped. Unlike
+// httptest.ResponseRecorder it does not grow a body buffer, which
+// would dominate the allocation profile being measured.
+type discardWriter struct{ h http.Header }
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) WriteHeader(int)             {}
+
+func newBenchServer(b *testing.B) *server {
+	b.Helper()
+	s, err := newServer(serverConfig{N: 200, City: "San Diego", FluRate: 0.1, Levels: "1/2,2/3", Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchHandleSample(b *testing.B, target string) {
+	s := newBenchServer(b)
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	w := &discardWriter{h: make(http.Header)}
+	s.handleSample(w, req) // warm the buffer pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.handleSample(w, req)
+	}
+}
+
+func BenchmarkHandleSample(b *testing.B) {
+	b.Run("count=1", func(b *testing.B) {
+		benchHandleSample(b, "/v1/sample?level=1&input=60")
+	})
+	b.Run("count=1024", func(b *testing.B) {
+		benchHandleSample(b, "/v1/sample?level=1&input=60&count=1024")
+	})
+}

@@ -88,6 +88,13 @@ type server struct {
 	logRequests  bool
 	start        time.Time
 
+	// Sampling hot path, precompiled at startup: the level-K sampler
+	// and its rendered α string live at index K−1, so /v1/sample never
+	// touches the engine's cache-lookup machinery or re-renders a
+	// rational per request.
+	levelSamplers []*engine.Sampler
+	alphaStrs     []string
+
 	// ready gates /readyz: true once serving, false when draining so
 	// load balancers stop routing before in-flight requests finish.
 	ready atomic.Bool
@@ -193,17 +200,29 @@ func newServer(cfg serverConfig) (*server, error) {
 	if maxN <= 0 {
 		maxN = defaultMaxTailoredN
 	}
+	samplers := make([]*engine.Sampler, len(alphas))
+	alphaStrs := make([]string, len(alphas))
+	for i, a := range alphas {
+		samplers[i], err = eng.Sampler(context.Background(),
+			engine.SamplerSpec{N: plan.N(), Alpha: a})
+		if err != nil {
+			return nil, fmt.Errorf("compiling level %d sampler: %w", i+1, err)
+		}
+		alphaStrs[i] = a.RatString()
+	}
 	s := &server{
-		eng:          eng,
-		plan:         plan,
-		truth:        truth,
-		city:         cfg.City,
-		alphas:       alphas,
-		maxTailoredN: maxN,
-		solveTimeout: cfg.SolveTimeout,
-		start:        time.Now(),
-		rng:          rng,
-		routes:       make(map[string]*routeStat),
+		eng:           eng,
+		plan:          plan,
+		truth:         truth,
+		city:          cfg.City,
+		alphas:        alphas,
+		maxTailoredN:  maxN,
+		solveTimeout:  cfg.SolveTimeout,
+		start:         time.Now(),
+		rng:           rng,
+		routes:        make(map[string]*routeStat),
+		levelSamplers: samplers,
+		alphaStrs:     alphaStrs,
 	}
 	s.state.Store(&epochState{})
 	if _, err := s.advance(); err != nil {
@@ -572,47 +591,131 @@ func (s *server) handleTailored(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// Pooled buffers for the sampling hot path: one draw buffer sized to
+// the batch cap, one append-built JSON response buffer. Both reach
+// steady-state capacity after the first few requests, after which
+// handleSample allocates nothing of its own.
+// jsonContentType is the canonical Content-Type value, shared so the
+// hot path can assign it without allocating (see handleSample).
+var jsonContentType = []string{"application/json"}
+
+var (
+	drawBufPool = sync.Pool{New: func() any {
+		b := make([]int, maxSampleCount)
+		return &b
+	}}
+	jsonBufPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	}}
+)
+
+// parseSampleQuery extracts level/input/count from the request
+// without materializing url.Values (which allocates a map plus one
+// slice per key). The raw query of a well-formed /v1/sample request
+// contains no escapes, so the fast path is a plain byte scan; '%' or
+// '+' falls back to the stdlib parser for correctness on exotic but
+// legal encodings.
+func (s *server) parseSampleQuery(r *http.Request) (lvl, input, count int, err error) {
+	var lvlS, inS, cntS string
+	if raw := r.URL.RawQuery; !strings.ContainsAny(raw, "%+") {
+		for len(raw) > 0 {
+			var pair string
+			if i := strings.IndexByte(raw, '&'); i >= 0 {
+				pair, raw = raw[:i], raw[i+1:]
+			} else {
+				pair, raw = raw, ""
+			}
+			k, v, _ := strings.Cut(pair, "=")
+			switch k {
+			case "level":
+				lvlS = v
+			case "input":
+				inS = v
+			case "count":
+				cntS = v
+			}
+		}
+	} else {
+		q := r.URL.Query()
+		lvlS, inS, cntS = q.Get("level"), q.Get("input"), q.Get("count")
+	}
+	lvl, input, count = 1, 0, 1
+	if lvlS != "" {
+		lvl, err = strconv.Atoi(lvlS)
+		if err != nil || lvl < 1 {
+			return 0, 0, 0, fmt.Errorf("level must be a positive integer")
+		}
+		if lvl > len(s.alphas) {
+			return 0, 0, 0, fmt.Errorf("level %d out of range 1..%d", lvl, len(s.alphas))
+		}
+	}
+	if inS != "" {
+		input, err = strconv.Atoi(inS)
+		if err != nil || input < 0 || input > s.plan.N() {
+			return 0, 0, 0, fmt.Errorf("input must lie in [0,%d]", s.plan.N())
+		}
+	}
+	if cntS != "" {
+		count, err = strconv.Atoi(cntS)
+		if err != nil || count < 1 || count > maxSampleCount {
+			return 0, 0, 0, fmt.Errorf("count must lie in [1,%d]", maxSampleCount)
+		}
+	}
+	return lvl, input, count, nil
+}
+
 // handleSample draws from the *public* mechanism of a level at a
-// caller-claimed input, via the engine's pooled alias samplers. This
-// never touches the secret query result — fresh draws of the truth
-// would let readers average the noise away, which is exactly what the
-// epoch snapshot exists to prevent.
+// caller-claimed input, via the per-level samplers precompiled at
+// startup. This never touches the secret query result — fresh draws
+// of the truth would let readers average the noise away, which is
+// exactly what the epoch snapshot exists to prevent.
+//
+// This is the server's hot path and is engineered allocation-free at
+// steady state: query parsing scans the raw query, draws land in a
+// pooled buffer via Sampler.SampleInto (one PRNG block, one counter
+// update for the whole batch), and the response is append-built JSON
+// on a pooled buffer — no encoding/json reflection anywhere.
 func (s *server) handleSample(w http.ResponseWriter, r *http.Request) {
-	lvl, err := s.parseLevel(r)
+	lvl, input, count, err := s.parseSampleQuery(r)
 	if err != nil {
 		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
 		return
 	}
-	q := r.URL.Query()
-	input := 0
-	if inStr := q.Get("input"); inStr != "" {
-		input, err = strconv.Atoi(inStr)
-		if err != nil || input < 0 || input > s.plan.N() {
-			writeAPIError(w, http.StatusBadRequest, "invalid_argument",
-				"input must lie in [0,%d]", s.plan.N())
-			return
+	dbp := drawBufPool.Get().(*[]int)
+	draws := (*dbp)[:count]
+	s.levelSamplers[lvl-1].SampleInto(input, draws)
+
+	jbp := jsonBufPool.Get().(*[]byte)
+	b := (*jbp)[:0]
+	b = append(b, `{"level":`...)
+	b = strconv.AppendInt(b, int64(lvl), 10)
+	// α strings are digit/slash only (big.Rat.RatString of a validated
+	// level), so they embed in JSON without escaping.
+	b = append(b, `,"alpha":"`...)
+	b = append(b, s.alphaStrs[lvl-1]...)
+	b = append(b, `","input":`...)
+	b = strconv.AppendInt(b, int64(input), 10)
+	b = append(b, `,"count":`...)
+	b = strconv.AppendInt(b, int64(count), 10)
+	b = append(b, `,"draws":[`...)
+	for k, d := range draws {
+		if k > 0 {
+			b = append(b, ',')
 		}
+		b = strconv.AppendInt(b, int64(d), 10)
 	}
-	count := 1
-	if cStr := q.Get("count"); cStr != "" {
-		count, err = strconv.Atoi(cStr)
-		if err != nil || count < 1 || count > maxSampleCount {
-			writeAPIError(w, http.StatusBadRequest, "invalid_argument",
-				"count must lie in [1,%d]", maxSampleCount)
-			return
-		}
+	b = append(b, "]}\n"...)
+	drawBufPool.Put(dbp)
+
+	// Direct map assignment of a shared value slice instead of
+	// Header().Set, which allocates a fresh one-element slice per call.
+	w.Header()["Content-Type"] = jsonContentType
+	if _, err := w.Write(b); err != nil {
+		log.Printf("dpserver: sample write: %v", err)
 	}
-	smp, err := s.eng.Sampler(r.Context(), engine.SamplerSpec{N: s.plan.N(), Alpha: s.alphas[lvl-1]})
-	if err != nil {
-		writeSolveError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"level": lvl,
-		"alpha": s.alphas[lvl-1].RatString(),
-		"input": input,
-		"draws": smp.SampleN(input, count),
-	})
+	*jbp = b
+	jsonBufPool.Put(jbp)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

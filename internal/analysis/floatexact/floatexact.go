@@ -36,9 +36,11 @@ var DefaultScope = []string{
 	"minimaxdp/internal/consumer",
 	"minimaxdp/internal/matrix",
 	// The serving engine caches exact artifacts (mechanisms,
-	// transitions, LP optima) and must stay exact everywhere except
-	// its alias-table samplers, which are float-native by design and
-	// exempted via AllowFiles below.
+	// transitions, LP optima) and must stay exact everywhere —
+	// including its samplers: the dyadic alias tables (sampler.go,
+	// shard.go) are built from the rational rows by integer
+	// quantization with a rational certificate, so not even the draw
+	// path needs a float exemption. See DESIGN.md §11.
 	"minimaxdp/internal/engine",
 	// The analyzer's own fixture package counts as exact-arithmetic so
 	// that the production binary demonstrably fires when pointed at it
@@ -49,10 +51,13 @@ var DefaultScope = []string{
 }
 
 // DefaultAllowFiles lists base names of files exempt inside scoped
-// packages.
+// packages. The engine's sampler.go was on this list while its alias
+// tables were float-projected; the dyadic rewrite made the whole draw
+// path exact, so the exemption was deliberately *removed* — the
+// analyzer now guards the sampler like any other exact file. Shrink
+// this list when possible; every entry is a hole in the fence.
 var DefaultAllowFiles = []string{
 	"floatsimplex.go", // float64 shadow solver, used only to cross-check the exact one
-	"sampler.go",      // engine's alias-table samplers: float-side like mechanism.Sample
 }
 
 // Analyzer is the production instance.

@@ -39,6 +39,36 @@ func TestAllowFile(t *testing.T) {
 	}
 }
 
+// TestAllowlistStaysMinimal is a change detector on the production
+// exemption list. The engine's sampler.go earned its way OFF this
+// list when the dyadic alias rewrite made the draw path exact;
+// re-adding it (or any engine sampler file) would silently reopen a
+// float hole in the exact fence, so growth must be a deliberate,
+// test-acknowledged decision.
+func TestAllowlistStaysMinimal(t *testing.T) {
+	want := []string{"floatsimplex.go"}
+	got := floatexact.DefaultAllowFiles
+	if len(got) != len(want) {
+		t.Fatalf("DefaultAllowFiles = %v, want exactly %v; update this test only with a documented reason (DESIGN.md §11)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DefaultAllowFiles[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEngineSamplerInScope pins the other half of the same contract:
+// the engine package (home of sampler.go and shard.go) is inside the
+// analyzer's scope, so the zero-findings repo gate
+// (registry.TestRepoTreeClean) actively proves the hot sampling path
+// float-free.
+func TestEngineSamplerInScope(t *testing.T) {
+	if !analysis.PathMatches("minimaxdp/internal/engine", floatexact.DefaultScope) {
+		t.Fatal("minimaxdp/internal/engine missing from floatexact.DefaultScope")
+	}
+}
+
 // rawRun applies the analyzer to the fixture without consulting want
 // annotations.
 func rawRun(t *testing.T, a *analysis.Analyzer) []analysis.Diagnostic {

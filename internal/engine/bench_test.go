@@ -13,6 +13,7 @@ import (
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/loss"
 	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
 )
 
 func BenchmarkEngineTailoredCached(b *testing.B) {
@@ -61,12 +62,47 @@ func BenchmarkEngineGeometricCached(b *testing.B) {
 	})
 }
 
-func BenchmarkEngineSamplerParallel(b *testing.B) {
-	e := New(Config{})
-	s, err := e.GeometricSampler(64, rational.MustParse("1/2"))
+// benchSampler compiles the standard benchmark sampler: G_{64,1/2},
+// drawn at the central input 32.
+func benchSampler(b *testing.B) *Sampler {
+	b.Helper()
+	s, err := New(Config{}).GeometricSampler(64, rational.MustParse("1/2"))
 	if err != nil {
 		b.Fatal(err)
 	}
+	return s
+}
+
+// BenchmarkEngineSamplerSingle is the cached single-draw hot path:
+// one shard pick, one PRNG word, one table compare. Target: ≤100ns
+// and 0 allocs per op (ISSUE 5 acceptance criteria).
+func BenchmarkEngineSamplerSingle(b *testing.B) {
+	s := benchSampler(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(32)
+	}
+}
+
+// BenchmarkEngineSamplerBatch drives SampleInto with a 1024-draw
+// buffer; ns/op is per *batch*, so per-draw cost is ns/op ÷ 1024.
+// This is the path behind /v1/sample?count=N.
+func BenchmarkEngineSamplerBatch(b *testing.B) {
+	s := benchSampler(b)
+	dst := make([]int, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleInto(32, dst)
+	}
+}
+
+// BenchmarkEngineSamplerParallel hammers single draws from all Ps at
+// once; the sharded PRNGs and padded counters should keep per-draw
+// cost flat (or falling) relative to the serial single-draw bench.
+func BenchmarkEngineSamplerParallel(b *testing.B) {
+	s := benchSampler(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -76,9 +112,24 @@ func BenchmarkEngineSamplerParallel(b *testing.B) {
 	})
 }
 
-// BenchmarkEngineSamplerVsCDF quantifies the alias-table win over the
-// exact inverse-CDF walk used by mechanism.Sample (O(1) vs O(n) per
-// draw, plus no per-call PRNG contention).
+// BenchmarkEngineSamplerBatchParallel is the serving worst case —
+// every P streaming batches concurrently — and the headline
+// throughput number (draws/s = 1024 × ops/s).
+func BenchmarkEngineSamplerBatchParallel(b *testing.B) {
+	s := benchSampler(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]int, 1024)
+		for pb.Next() {
+			s.SampleInto(32, dst)
+		}
+	})
+}
+
+// BenchmarkEngineSamplerVsCDF quantifies the dyadic alias win over
+// the exact inverse-CDF walk used by mechanism.Sample (O(1) integer
+// compare vs O(n) rational walk per draw).
 func BenchmarkEngineSamplerVsCDF(b *testing.B) {
 	e := New(Config{})
 	a := rational.MustParse("1/2")
@@ -90,14 +141,14 @@ func BenchmarkEngineSamplerVsCDF(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Run("alias-pooled", func(b *testing.B) {
+	b.Run("alias-dyadic", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = s.Sample(32)
 		}
 	})
 	b.Run("exact-cdf", func(b *testing.B) {
-		rng := newRNGPool(1).get()
+		rng := sample.NewRand(1)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = g.Sample(32, rng)

@@ -19,9 +19,10 @@
 //     for the same not-yet-cached artifact run the computation once
 //     and share the result (critical for the LP solves, which cost
 //     milliseconds to minutes while a cache hit costs nanoseconds);
-//   - a pool of precompiled alias-table samplers with per-goroutine
-//     PRNGs (sample.NewRand returns a *rand.Rand that is NOT
-//     goroutine-safe; the pool hands each goroutine its own).
+//   - precompiled dyadic alias samplers over a GOMAXPROCS-sized
+//     array of sampler shards, each shard owning a lock-free
+//     splitmix64 stream and its own counters, so concurrent draws
+//     never contend on a shared PRNG or a shared cache line.
 //
 // # Cancellation and admission control
 //
@@ -61,7 +62,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync/atomic"
 
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/derive"
@@ -114,10 +114,10 @@ type Config struct {
 	// so this is a diagnostic/benchmarking escape hatch, not a
 	// correctness knob.
 	ExactLPOnly bool
-	// Seed is the base seed for the sampler pool's PRNGs. Pool PRNG
-	// k is seeded with Seed+k, so a fixed seed gives a reproducible
-	// *set* of streams (though goroutine scheduling still decides
-	// which goroutine draws from which stream).
+	// Seed is the base seed for the sampler shards' PRNGs. Shard k
+	// draws from splitmix64 stream (Seed, k), so a fixed seed gives a
+	// reproducible *set* of streams (though goroutine scheduling still
+	// decides which goroutine draws from which stream).
 	Seed int64
 	// Trace, when non-nil, receives a span event for every cache hit,
 	// miss, coalesced join, solve start/finish, and shed rejection.
@@ -153,9 +153,10 @@ type Engine struct {
 	interactions *store
 	samplers     *store
 
-	solves       *solveSem // nil when shedding is disabled
-	rngs         *rngPool
-	samplerDraws atomic.Uint64
+	solves     *solveSem // nil when shedding is disabled
+	shards     *shardSet
+	batchSizes batchHist
+	trace      TraceFunc // nil = tracing off
 
 	lp        lpCounters
 	exactOnly bool
@@ -172,7 +173,8 @@ func New(cfg Config) *Engine {
 		tailored:     newStore("tailored", cfg.LPCacheSize),
 		interactions: newStore("interactions", cfg.LPCacheSize),
 		samplers:     newStore("samplers", cfg.SamplerCacheSize),
-		rngs:         newRNGPool(cfg.Seed),
+		shards:       newShardSet(cfg.Seed),
+		trace:        cfg.Trace,
 		exactOnly:    cfg.ExactLPOnly,
 	}
 	if cfg.MaxInFlightSolves >= 0 {
@@ -494,15 +496,17 @@ func (e *Engine) InteractionCtx(ctx context.Context, c *consumer.Consumer, n int
 // shape).
 func (e *Engine) Metrics() Metrics {
 	return Metrics{
-		Mechanisms:     e.mechanisms.stats(),
-		Inverses:       e.inverses.stats(),
-		Transitions:    e.transitions.stats(),
-		Plans:          e.plans.stats(),
-		Tailored:       e.tailored.stats(),
-		Interactions:   e.interactions.stats(),
-		Samplers:       e.samplers.stats(),
-		SamplerDraws:   e.samplerDraws.Load(),
-		InFlightSolves: e.solves.inFlight(),
-		LP:             e.lp.snapshot(),
+		Mechanisms:        e.mechanisms.stats(),
+		Inverses:          e.inverses.stats(),
+		Transitions:       e.transitions.stats(),
+		Plans:             e.plans.stats(),
+		Tailored:          e.tailored.stats(),
+		Interactions:      e.interactions.stats(),
+		Samplers:          e.samplers.stats(),
+		SamplerDraws:      e.shards.drawCount(),
+		SamplerBatches:    e.shards.batchCount(),
+		SamplerBatchSizes: e.batchSizes.snapshot(),
+		InFlightSolves:    e.solves.inFlight(),
+		LP:                e.lp.snapshot(),
 	}
 }

@@ -126,16 +126,22 @@ func (c *lpCounters) snapshot() LPSolveStats {
 // are internally consistent per counter but not across counters (each
 // is read atomically, the struct is not a transaction).
 type Metrics struct {
-	Mechanisms     ArtifactStats `json:"mechanisms"`
-	Inverses       ArtifactStats `json:"inverses"`
-	Transitions    ArtifactStats `json:"transitions"`
-	Plans          ArtifactStats `json:"plans"`
-	Tailored       ArtifactStats `json:"tailored"`
-	Interactions   ArtifactStats `json:"interactions"`
-	Samplers       ArtifactStats `json:"samplers"`
-	SamplerDraws   uint64        `json:"sampler_draws"`
-	InFlightSolves int           `json:"in_flight_solves"`
-	LP             LPSolveStats  `json:"lp"`
+	Mechanisms   ArtifactStats `json:"mechanisms"`
+	Inverses     ArtifactStats `json:"inverses"`
+	Transitions  ArtifactStats `json:"transitions"`
+	Plans        ArtifactStats `json:"plans"`
+	Tailored     ArtifactStats `json:"tailored"`
+	Interactions ArtifactStats `json:"interactions"`
+	Samplers     ArtifactStats `json:"samplers"`
+	// SamplerDraws counts individual draws across every sampler the
+	// engine compiled; SamplerBatches counts batch-API calls
+	// (SampleInto/SampleN), and SamplerBatchSizes is the distribution
+	// of draws per batch call. Both are summed over the sampler shards.
+	SamplerDraws      uint64             `json:"sampler_draws"`
+	SamplerBatches    uint64             `json:"sampler_batches"`
+	SamplerBatchSizes BatchSizeHistogram `json:"sampler_batch_sizes"`
+	InFlightSolves    int                `json:"in_flight_solves"`
+	LP                LPSolveStats       `json:"lp"`
 }
 
 // solveSem is the engine-wide bound on concurrently running LP

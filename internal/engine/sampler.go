@@ -1,9 +1,13 @@
-// Sampling lives on the float side of the exact-arithmetic boundary
-// (DESIGN.md §7): alias tables are built from float64 projections of
-// the exact row distributions, exactly like mechanism.Sample's
-// inverse-CDF walk. This file is therefore exempt from the floatexact
-// analyzer (see internal/analysis/floatexact.DefaultAllowFiles);
-// everything else in the package stays exact.
+// The serving hot path: once the engine's caches are warm, every user
+// request reduces to one draw from a cached mechanism row (the
+// Theorem 1/§4.2 deployment story — publish G_{n,α}, let each
+// consumer post-process). Draws therefore go through the dyadic alias
+// kernel (sample.DyadicAlias): integer tables built *exactly* from
+// the mechanism's rational rows and certified against the rational
+// PMF at construction, sampled with one PRNG word, one index, one
+// compare — no float math, no locks, no allocation. This file is
+// fully exact-side under the floatexact analyzer (DESIGN.md §7/§11);
+// the former float64 projection of the rows is gone.
 
 package engine
 
@@ -11,95 +15,94 @@ import (
 	"context"
 	"fmt"
 	"math/big"
-	"math/rand"
-	"sync"
-	"sync/atomic"
 
 	"minimaxdp/internal/mechanism"
-	"minimaxdp/internal/rational"
 	"minimaxdp/internal/sample"
 )
 
-// rngPool hands out per-goroutine PRNGs. sample.NewRand returns a
-// *rand.Rand that is not safe for concurrent use, so concurrent
-// samplers must never share one; the pool gives each borrowing
-// goroutine its own stream, seeded base+k for the k-th stream ever
-// created (deterministic stream *set*, scheduler-dependent
-// assignment).
-type rngPool struct {
-	base int64
-	seq  atomic.Int64
-	pool sync.Pool
-}
-
-func newRNGPool(seed int64) *rngPool {
-	p := &rngPool{base: seed}
-	p.pool.New = func() any {
-		return sample.NewRand(p.base + p.seq.Add(1))
-	}
-	return p
-}
-
-func (p *rngPool) get() *rand.Rand  { return p.pool.Get().(*rand.Rand) }
-func (p *rngPool) put(r *rand.Rand) { p.pool.Put(r) }
-
-// Sampler draws from a fixed mechanism in O(1) per draw: one Walker
-// alias table per mechanism row, precompiled at construction. Unlike
-// mechanism.Sample (which takes a caller-owned *rand.Rand and walks
-// the CDF in O(n)), Sampler methods are safe for concurrent use —
-// each draw borrows a PRNG from the engine's pool.
+// Sampler draws from a fixed mechanism in O(1) per draw: one
+// certified dyadic alias table per mechanism row, precompiled at
+// construction. Unlike mechanism.Sample (which takes a caller-owned
+// *rand.Rand and walks the exact CDF in O(n)), Sampler methods are
+// safe for concurrent use: randomness comes from the engine's
+// GOMAXPROCS-sized shard array, each shard owning a lock-free
+// splitmix64 stream, so concurrent draws touch no shared mutable
+// state beyond one per-shard atomic.
 type Sampler struct {
-	n     int
-	rows  []*sample.Alias
-	pool  *rngPool
-	draws *atomic.Uint64
+	n      int
+	rows   []*sample.DyadicAlias
+	shards *shardSet
+	hist   *batchHist
+	trace  TraceFunc // nil = tracing off
+	key    string    // cache key (or "adhoc") for trace events
 }
 
-func newSampler(m *mechanism.Mechanism, pool *rngPool, draws *atomic.Uint64) (*Sampler, error) {
+func newSampler(m *mechanism.Mechanism, e *Engine, key string) (*Sampler, error) {
 	n := m.N()
-	rows := make([]*sample.Alias, n+1)
+	rows := make([]*sample.DyadicAlias, n+1)
 	for i := 0; i <= n; i++ {
-		row := m.Row(i)
-		w := make([]float64, len(row))
-		for j, p := range row {
-			w[j] = rational.Float(p)
-		}
-		a, err := sample.NewAlias(w)
+		a, err := sample.NewDyadicAlias(m.Row(i))
 		if err != nil {
 			return nil, fmt.Errorf("engine: sampler row %d: %w", i, err)
 		}
 		rows[i] = a
 	}
-	return &Sampler{n: n, rows: rows, pool: pool, draws: draws}, nil
+	return &Sampler{
+		n:      n,
+		rows:   rows,
+		shards: e.shards,
+		hist:   &e.batchSizes,
+		trace:  e.trace,
+		key:    key,
+	}, nil
 }
 
 // N returns the mechanism's domain bound (results lie in {0..n}).
 func (s *Sampler) N() int { return s.n }
 
-// Sample draws one released result for true input i.
+// Sample draws one released result for true input i. Cost: one shard
+// pick, one atomic add on the shard's PRNG, one table lookup, one
+// atomic add on the shard's draw counter. Zero allocations.
 func (s *Sampler) Sample(i int) int {
 	s.check(i)
-	rng := s.pool.get()
-	r := s.rows[i].Sample(rng)
-	s.pool.put(rng)
-	s.draws.Add(1)
+	sh := s.shards.pick()
+	r := s.rows[i].SampleWord(sh.rng.Uint64())
+	sh.draws.Add(1)
 	return r
 }
 
-// SampleN draws count released results for true input i, borrowing
-// one pooled PRNG for the whole batch.
-func (s *Sampler) SampleN(i, count int) []int {
+// SampleInto fills dst with len(dst) released results for true input
+// i. The whole batch reserves one contiguous block of the shard's
+// PRNG stream with a single atomic add, counts draws with a single
+// atomic add, and allocates nothing; this is the bulk form behind
+// /v1/sample?count=N and the ≥50× win over per-draw sampling.
+func (s *Sampler) SampleInto(i int, dst []int) {
 	s.check(i)
+	if len(dst) == 0 {
+		return
+	}
+	sh := s.shards.pick()
+	blk := sh.rng.Block(len(dst))
+	row := s.rows[i]
+	for k := range dst {
+		dst[k] = row.SampleWord(blk.Next())
+	}
+	sh.draws.Add(uint64(len(dst)))
+	sh.batches.Add(1)
+	s.hist.observe(len(dst))
+	if s.trace != nil {
+		s.trace(TraceEvent{Artifact: "samplers", Key: s.key, Kind: TraceSampleBatch, Draws: len(dst)})
+	}
+}
+
+// SampleN draws count released results for true input i. It is
+// SampleInto with a single result-slice allocation.
+func (s *Sampler) SampleN(i, count int) []int {
 	if count < 0 {
 		panic(fmt.Sprintf("engine: negative sample count %d", count))
 	}
 	out := make([]int, count)
-	rng := s.pool.get()
-	for k := range out {
-		out[k] = s.rows[i].Sample(rng)
-	}
-	s.pool.put(rng)
-	s.draws.Add(uint64(count))
+	s.SampleInto(i, out)
 	return out
 }
 
@@ -125,7 +128,7 @@ type SamplerSpec struct {
 	Mechanism *mechanism.Mechanism
 }
 
-// Sampler returns a concurrency-safe precompiled alias-table sampler
+// Sampler returns a concurrency-safe precompiled dyadic alias sampler
 // for the mechanism selected by spec (see SamplerSpec for the
 // caching contract). Compilation is cheap relative to LP solves but
 // ctx is still honored at entry and across coalesced waits.
@@ -137,7 +140,7 @@ func (e *Engine) Sampler(ctx context.Context, spec SamplerSpec) (*Sampler, error
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return newSampler(spec.Mechanism, e.rngs, &e.samplerDraws)
+		return newSampler(spec.Mechanism, e, "adhoc")
 	}
 	if err := checkRat("alpha", spec.Alpha); err != nil {
 		return nil, err
@@ -151,7 +154,7 @@ func (e *Engine) Sampler(ctx context.Context, spec SamplerSpec) (*Sampler, error
 		if err != nil {
 			return nil, err
 		}
-		return newSampler(g, e.rngs, &e.samplerDraws)
+		return newSampler(g, e, key)
 	})
 }
 

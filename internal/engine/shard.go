@@ -1,0 +1,131 @@
+// Per-shard sampler state. The engine's draw path used to borrow a
+// *rand.Rand from a sync.Pool and bump one global atomic per draw;
+// under parallel load both the pool bookkeeping and the shared
+// counter cache line dominated the cost of the actual table lookup.
+// This file replaces them with a fixed, GOMAXPROCS-sized array of
+// shards, each owning a lock-free splitmix64 stream and its own draw
+// counters, padded so no two shards share a cache line.
+
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"minimaxdp/internal/sample"
+)
+
+// samplerShard is one lane of the sampler substrate: a concurrent
+// splitmix64 stream plus this lane's share of the draw/batch
+// counters. The padding rounds the struct to 128 bytes (two cache
+// lines on common hardware) so concurrent lanes never false-share.
+type samplerShard struct {
+	rng     sample.AtomicSplitmix
+	draws   atomic.Uint64
+	batches atomic.Uint64
+	_       [104]byte
+}
+
+// shardSet is the engine-wide shard array. Its length is the power of
+// two covering GOMAXPROCS at engine construction, so under full
+// parallelism each P tends to get a lane to itself.
+type shardSet struct {
+	shards []samplerShard
+	mask   uintptr
+}
+
+func newShardSet(seed int64) *shardSet {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	ss := &shardSet{shards: make([]samplerShard, n), mask: uintptr(n - 1)}
+	for i := range ss.shards {
+		// Stream k of the seed, matching the documented determinism
+		// contract: a fixed Config.Seed fixes the *set* of streams;
+		// which goroutine draws from which stream is scheduling- and
+		// stack-layout-dependent, exactly as with the old PRNG pool.
+		ss.shards[i].rng.SeedStream(seed, uint64(i))
+	}
+	return ss
+}
+
+// pick selects a shard for the calling goroutine without any shared
+// write: it hashes the address of a stack variable. Distinct
+// goroutines have distinct stacks (allocated ≥ 2 KiB apart), so the
+// address bits above the frame spread goroutines across lanes; a
+// goroutine keeps hitting the same lane for the duration of a call
+// chain, which is all the affinity the sampler needs. Collisions are
+// benign — every shard field is updated atomically — they only cost
+// a little contention. The unsafe.Pointer→uintptr conversion is the
+// legal direction (the result is used as an integer, never converted
+// back to a pointer).
+func (ss *shardSet) pick() *samplerShard {
+	var marker byte
+	addr := uintptr(unsafe.Pointer(&marker))
+	return &ss.shards[(addr>>11)&ss.mask]
+}
+
+// draws sums the per-shard draw counters.
+func (ss *shardSet) drawCount() uint64 {
+	var total uint64
+	for i := range ss.shards {
+		total += ss.shards[i].draws.Load()
+	}
+	return total
+}
+
+// batchCount sums the per-shard batch counters (one per batch-API
+// call, not per draw).
+func (ss *shardSet) batchCount() uint64 {
+	var total uint64
+	for i := range ss.shards {
+		total += ss.shards[i].batches.Load()
+	}
+	return total
+}
+
+// Batch-size histogram bucket bounds (inclusive upper bounds, in
+// draws per batch call); the final bucket is unbounded. Powers of
+// eight resolve the interesting range — single draws, small UI
+// batches, and the /v1/sample cap — in five buckets.
+var batchSizeBounds = [...]uint64{1, 8, 64, 512, 4096}
+
+const batchSizeBuckets = len(batchSizeBounds) + 1
+
+// batchHist is the live batch-size histogram, updated once per
+// batch-API call (never per draw).
+type batchHist struct {
+	counts [batchSizeBuckets]atomic.Uint64
+}
+
+func (h *batchHist) observe(n int) {
+	size := uint64(n)
+	for i, bound := range batchSizeBounds {
+		if size <= bound {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[batchSizeBuckets-1].Add(1)
+}
+
+// BatchSizeHistogram is the JSON snapshot of the batch-size
+// distribution: Counts[i] batch calls drew at most Bounds[i] values;
+// the final count is the unbounded overflow bucket.
+type BatchSizeHistogram struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+}
+
+func (h *batchHist) snapshot() BatchSizeHistogram {
+	out := BatchSizeHistogram{
+		Bounds: batchSizeBounds[:],
+		Counts: make([]uint64, batchSizeBuckets),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}

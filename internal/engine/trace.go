@@ -24,6 +24,13 @@ const (
 	TraceWarmStartHit      TraceKind = "warmstart-hit"      // crossover certified the float basis; zero exact pivots
 	TraceWarmStartResume   TraceKind = "warmstart-resume"   // basis needed exact pivots to finish, no restart
 	TraceWarmStartFallback TraceKind = "warmstart-fallback" // full exact two-phase solve ran from scratch
+
+	// Sampler batch draws (Sampler.SampleInto / SampleN) emit one
+	// event per batch on the drawing goroutine, with Draws set to the
+	// batch size. Single-draw Sample calls are deliberately untraced:
+	// at sub-100ns per draw even a nil-check-plus-call hook would
+	// dominate the operation being traced.
+	TraceSampleBatch TraceKind = "sample-batch"
 )
 
 // TraceEvent is one span event. Events carry the artifact class
@@ -36,6 +43,7 @@ type TraceEvent struct {
 	Key      string
 	Kind     TraceKind
 	Duration time.Duration
+	Draws    int // batch size, set only for TraceSampleBatch
 	Err      error
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"sync"
 
 	"minimaxdp/internal/matrix"
 	"minimaxdp/internal/rational"
@@ -24,6 +25,12 @@ import (
 // results in {0..n}. It is immutable after construction.
 type Mechanism struct {
 	m *matrix.Matrix
+
+	// cdf holds the exact row CDFs, built lazily on first Sample (the
+	// only consumer) and immutable afterwards; cdf[i][r] = Σ_{z≤r}
+	// m[i][z]. Safe for concurrent Sample calls via cdfOnce.
+	cdfOnce sync.Once
+	cdf     [][]*big.Rat
 }
 
 // ErrNotStochastic is returned when a candidate matrix has a negative
@@ -158,24 +165,72 @@ func (mc *Mechanism) PostProcess(t *matrix.Matrix) (*Mechanism, error) {
 	return New(prod)
 }
 
-// Sample draws one released result for true input i using rng. The
-// inverse-CDF walk uses exact rational accumulation against a dyadic
-// uniform draw, so the sampled law is the mechanism's row up to the
-// 2⁻⁵³ resolution of the uniform variate.
+// cdfScratch holds the two pooled big.Int operands of the exact
+// CDF comparison. Their storage grows to working capacity on the
+// first few draws and is reused thereafter, so the steady-state
+// sampling path allocates nothing.
+type cdfScratch struct {
+	lhs, rhs big.Int
+}
+
+var cdfPool = sync.Pool{New: func() any { return new(cdfScratch) }}
+
+// cdfRow returns the exact CDF of row i, building every row's CDF
+// the first time any row is sampled. The build cost (O(n²) rational
+// additions) amortizes over all subsequent draws from the mechanism.
+func (mc *Mechanism) cdfRow(i int) []*big.Rat {
+	mc.cdfOnce.Do(func() {
+		n := mc.N()
+		cdf := make([][]*big.Rat, n+1)
+		for r := 0; r <= n; r++ {
+			row := make([]*big.Rat, n+1)
+			acc := new(big.Rat)
+			for z := 0; z <= n; z++ {
+				acc.Add(acc, mc.m.At(r, z))
+				row[z] = rational.Clone(acc)
+			}
+			cdf[r] = row
+		}
+		mc.cdf = cdf
+	})
+	return mc.cdf[i]
+}
+
+// Sample draws one released result for true input i using rng. It
+// inverts the exact rational CDF of row i against a dyadic uniform
+// draw u = k/2⁵³: a binary search for the smallest r with u < CDF(r),
+// each comparison done by integer cross-multiplication
+// (k·denom < num·2⁵³) on pooled scratch. The sampled law is the
+// mechanism's exact row up to the 2⁻⁵³ resolution of the uniform
+// variate — no float arithmetic anywhere on the path — and the
+// steady-state cost is O(log n) comparisons with zero allocations.
+//
+// rng is caller-owned and not synchronized; for a concurrency-safe
+// high-throughput path use the engine's precompiled samplers.
 func (mc *Mechanism) Sample(i int, rng *rand.Rand) int {
 	if i < 0 || i > mc.N() {
 		panic(fmt.Sprintf("mechanism: input %d out of range [0,%d]", i, mc.N()))
 	}
-	u := rng.Float64()
-	acc := 0.0
-	n := mc.N()
-	for r := 0; r <= n; r++ {
-		acc += rational.Float(mc.m.At(i, r))
-		if u < acc {
-			return r
+	k := rng.Uint64() >> 11 // 53-bit dyadic uniform: u = k/2⁵³
+	cdf := mc.cdfRow(i)
+	s := cdfPool.Get().(*cdfScratch)
+	// Invariant: u < cdf[hi] (row sums to exactly 1 and u < 1, so the
+	// final cell always satisfies the target predicate).
+	lo, hi := 0, mc.N()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		// u < cdf[mid]  ⟺  k·Denom < Num·2⁵³ (Denom > 0).
+		s.lhs.SetUint64(k)
+		s.lhs.Mul(&s.lhs, cdf[mid].Denom())
+		s.rhs.Lsh(cdf[mid].Num(), 53)
+		if s.lhs.Cmp(&s.rhs) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return n
+	cdfPool.Put(s)
+	return lo
 }
 
 // --- the geometric mechanism ---------------------------------------------

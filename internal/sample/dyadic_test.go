@@ -1,0 +1,289 @@
+package sample_test
+
+// External test package so the goodness-of-fit tests can lean on
+// internal/stats and internal/mechanism without an import cycle.
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/sample"
+	"minimaxdp/internal/stats"
+)
+
+func ratWeights(ss ...string) []*big.Rat {
+	out := make([]*big.Rat, len(ss))
+	for i, s := range ss {
+		out[i] = rational.MustParse(s)
+	}
+	return out
+}
+
+// chiSquareCritical approximates the upper-tail critical value of the
+// chi-square distribution with df degrees of freedom at significance
+// 10^−3, via the Wilson–Hilferty cube approximation (z = 3.0902 for
+// the 0.999 quantile). Accurate to a few percent for df ≥ 2, plenty
+// for a flakiness-averse CI gate.
+func chiSquareCritical(df int) float64 {
+	z := 3.0902
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// maxDeviation returns max_j |induced(j) − weights(j)/Σweights| as a
+// float for reporting; exactness is asserted separately.
+func maxDeviation(d *sample.DyadicAlias, weights []*big.Rat) *big.Rat {
+	total := new(big.Rat)
+	for _, w := range weights {
+		total.Add(total, w)
+	}
+	induced := d.InducedPMF(len(weights))
+	max := new(big.Rat)
+	dev := new(big.Rat)
+	p := new(big.Rat)
+	for j, w := range weights {
+		p.Quo(w, total)
+		dev.Sub(induced[j], p)
+		dev.Abs(dev)
+		if dev.Cmp(max) > 0 {
+			max.Set(dev)
+		}
+	}
+	return max
+}
+
+func TestDyadicAliasInducedPMF(t *testing.T) {
+	cases := [][]*big.Rat{
+		ratWeights("1/2", "1/3", "1/6"),
+		ratWeights("1"),                        // single outcome, k=0 sentinel path
+		ratWeights("0", "5", "0", "0"),         // zero weights around a point mass
+		ratWeights("1/7", "2/7", "4/7"),        // non-dyadic denominators
+		ratWeights("3", "1", "1", "1", "2"),    // unnormalized, non-power-of-two
+		ratWeights("1/2", "1/4", "1/8", "1/8"), // exactly dyadic: representable exactly
+	}
+	for ci, weights := range cases {
+		d, err := sample.NewDyadicAlias(weights)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		// The constructor certifies ≤ 2^−b; re-derive the bound here
+		// as an independent check.
+		b := 64 - uint(0)
+		for 1<<(64-b) < len(weights) {
+			b--
+		}
+		bound := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), b))
+		if dev := maxDeviation(d, weights); dev.Cmp(bound) > 0 {
+			t.Errorf("case %d: max deviation %s exceeds 2^−%d", ci, dev.RatString(), b)
+		}
+	}
+}
+
+func TestDyadicAliasExactForDyadicWeights(t *testing.T) {
+	// When every probability is a dyadic rational with ≤ b bits the
+	// quantization is lossless and the induced PMF equals the input
+	// exactly.
+	weights := ratWeights("1/2", "1/4", "1/8", "1/8")
+	d, err := sample.NewDyadicAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range d.InducedPMF(len(weights)) {
+		if p.Cmp(weights[j]) != 0 {
+			t.Errorf("induced[%d] = %s, want %s exactly", j, p.RatString(), weights[j].RatString())
+		}
+	}
+}
+
+func TestDyadicAliasZeroWeightNeverSampled(t *testing.T) {
+	weights := ratWeights("0", "1/3", "0", "2/3", "0")
+	d, err := sample.NewDyadicAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	induced := d.InducedPMF(len(weights))
+	for _, j := range []int{0, 2, 4} {
+		if induced[j].Sign() != 0 {
+			t.Errorf("zero-weight outcome %d has induced mass %s", j, induced[j].RatString())
+		}
+	}
+	var rng sample.AtomicSplitmix
+	rng.Seed(11)
+	for k := 0; k < 100000; k++ {
+		switch r := d.SampleWord(rng.Uint64()); r {
+		case 1, 3:
+		default:
+			t.Fatalf("draw %d hit zero-weight or out-of-range outcome %d", k, r)
+		}
+	}
+}
+
+func TestDyadicAliasBadWeights(t *testing.T) {
+	for name, weights := range map[string][]*big.Rat{
+		"empty":    {},
+		"negative": ratWeights("1/2", "-1/2"),
+		"all-zero": ratWeights("0", "0", "0"),
+		"nil":      {rational.One(), nil},
+	} {
+		if _, err := sample.NewDyadicAlias(weights); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestDyadicAliasChiSquareGeometric is the statistical half of the
+// certificate: draws through the full fast path (AtomicSplitmix words
+// into SampleWord) fit the *exact rational* geometric-mechanism row
+// at the 10^−3 level, including at extreme α where the row is nearly
+// degenerate.
+func TestDyadicAliasChiSquareGeometric(t *testing.T) {
+	const n, trials = 16, 200000
+	for _, alphaStr := range []string{"1/2", "1/1000", "999/1000"} {
+		alpha := rational.MustParse(alphaStr)
+		g, err := mechanism.Geometric(n, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, input := range []int{0, n / 2} {
+			row := g.Row(input)
+			d, err := sample.NewDyadicAlias(row)
+			if err != nil {
+				t.Fatalf("α=%s input=%d: %v", alphaStr, input, err)
+			}
+			var rng sample.AtomicSplitmix
+			rng.SeedStream(7, uint64(input))
+			counts := make([]int, n+1)
+			blk := rng.Block(trials)
+			for k := 0; k < trials; k++ {
+				counts[d.SampleWord(blk.Next())]++
+			}
+			expected := make([]float64, n+1)
+			for r := 0; r <= n; r++ {
+				expected[r] = rational.Float(row[r])
+			}
+			// Pool cells with tiny expected mass into their neighbors:
+			// Pearson's statistic needs expected counts ≳ 5 per cell.
+			obsP, expP := poolCells(counts, expected, 5.0/trials)
+			stat, err := stats.ChiSquare(obsP, expP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if crit := chiSquareCritical(len(obsP) - 1); stat > crit {
+				t.Errorf("α=%s input=%d: χ² = %.1f > critical %.1f (df=%d)",
+					alphaStr, input, stat, crit, len(obsP)-1)
+			}
+		}
+	}
+}
+
+// poolCells merges adjacent cells until every pooled cell has
+// expected probability ≥ minProb, so the chi-square approximation is
+// valid even for near-degenerate rows.
+func poolCells(obs []int, exp []float64, minProb float64) ([]int, []float64) {
+	var po []int
+	var pe []float64
+	co, ce := 0, 0.0
+	for i := range obs {
+		co += obs[i]
+		ce += exp[i]
+		if ce >= minProb {
+			po = append(po, co)
+			pe = append(pe, ce)
+			co, ce = 0, 0.0
+		}
+	}
+	if ce > 0 || co > 0 {
+		if len(po) == 0 {
+			return []int{co}, []float64{ce}
+		}
+		po[len(po)-1] += co
+		pe[len(pe)-1] += ce
+	}
+	return po, pe
+}
+
+func TestAtomicSplitmixBlockMatchesSequential(t *testing.T) {
+	var a, b sample.AtomicSplitmix
+	a.SeedStream(42, 3)
+	b.SeedStream(42, 3)
+	var seq []uint64
+	for i := 0; i < 32; i++ {
+		seq = append(seq, a.Uint64())
+	}
+	blk := b.Block(32)
+	for i := 0; i < 32; i++ {
+		if got := blk.Next(); got != seq[i] {
+			t.Fatalf("block word %d = %#x, want %#x", i, got, seq[i])
+		}
+	}
+}
+
+func TestAtomicSplitmixStreamsDiffer(t *testing.T) {
+	var a, b sample.AtomicSplitmix
+	a.SeedStream(1, 0)
+	b.SeedStream(1, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams 0 and 1 collided on %d of 64 words", same)
+	}
+}
+
+// FuzzDyadicAlias hammers table construction with arbitrary weight
+// vectors: zero weights, single outcomes, extreme magnitude ratios.
+// For every accepted vector the built-in certificate must hold (the
+// constructor re-verifies it), zero-weight outcomes must carry no
+// induced mass, and draws must stay inside the positive-weight
+// support.
+func FuzzDyadicAlias(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{0, 0, 1, 0})
+	f.Add([]byte{255, 1, 255, 1, 255})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 64 {
+			t.Skip()
+		}
+		weights := make([]*big.Rat, len(data))
+		sum := 0
+		for i, by := range data {
+			// Spread magnitudes over ~2^24 so extreme ratios (the α→0
+			// and α→1 regimes of a geometric row) are exercised.
+			v := int64(by) << (uint(i%4) * 8)
+			weights[i] = big.NewRat(v, 1)
+			sum += int(by)
+		}
+		d, err := sample.NewDyadicAlias(weights)
+		if sum == 0 {
+			if err == nil {
+				t.Fatal("all-zero weights accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid weights rejected: %v", err)
+		}
+		induced := d.InducedPMF(len(weights))
+		for j, w := range weights {
+			if w.Sign() == 0 && induced[j].Sign() != 0 {
+				t.Fatalf("zero-weight outcome %d has mass %s", j, induced[j].RatString())
+			}
+		}
+		var rng sample.AtomicSplitmix
+		rng.Seed(int64(len(data)))
+		for k := 0; k < 256; k++ {
+			r := d.SampleWord(rng.Uint64())
+			if r < 0 || r >= len(weights) || weights[r].Sign() == 0 {
+				t.Fatalf("draw outside positive support: %d", r)
+			}
+		}
+	})
+}

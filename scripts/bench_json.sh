@@ -1,33 +1,38 @@
 #!/usr/bin/env bash
-# bench_json.sh — run the LP-solver and engine benchmarks and distill
-# the results into BENCH_lp.json: one record per benchmark op with its
-# ns/op and allocs/op. CI runs this with the default single iteration
-# as a compile-and-smoke gate (the JSON shape is what's checked in);
-# for numbers worth comparing, run longer:
+# bench_json.sh — run the benchmark suites and distill the results
+# into the committed JSON baselines: one record per benchmark op with
+# its ns/op and allocs/op.
+#
+#   BENCH_lp.json      LP-solver benchmarks (root package: paper-scale
+#                      simplex, warm-start vs exact) plus the engine's
+#                      cache-path benchmarks.
+#   BENCH_sample.json  the sampling hot path: dyadic alias kernel
+#                      (internal/sample), sharded single/batch/parallel
+#                      draws (internal/engine), and the /v1/sample
+#                      HTTP handler (cmd/dpserver).
+#
+# CI re-runs both suites through scripts/bench_regression.sh and fails
+# on >2x regressions against the committed files. For refreshing the
+# baselines, run longer than the smoke default:
 #
 #   BENCHTIME=2s ./scripts/bench_json.sh
 #
 # Environment: BENCHTIME (go test -benchtime, default 1x),
-# OUT (output path, default BENCH_lp.json).
+# OUT_LP / OUT_SAMPLE (output paths, default the committed names).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_lp.json}"
+OUT_LP="${OUT_LP:-BENCH_lp.json}"
+OUT_SAMPLE="${OUT_SAMPLE:-BENCH_sample.json}"
 raw="$(mktemp)"
 trap 'rm -f "${raw}"' EXIT
 
-# The LP benchmarks live in the root package (paper-scale simplex
-# solves, warm-start vs exact), the serving benchmarks in
-# internal/engine. -benchmem is required: allocs/op is half the point
-# of the allocation-lean kernel work.
-go test -run='^$' \
-    -bench='Table1OptimalLP|Simplex|StrongDualityCertificate|InteractionLPvsFactor' \
-    -benchmem -benchtime="${BENCHTIME}" . | tee "${raw}"
-go test -run='^$' -bench='Engine' -benchmem -benchtime="${BENCHTIME}" \
-    ./internal/engine | tee -a "${raw}"
-
-awk -v benchtime="${BENCHTIME}" '
+# distill <raw-file> <out-file>: go test -bench output -> JSON.
+# -benchmem is required upstream: allocs/op is half the point of the
+# allocation-lean kernel work.
+distill() {
+    awk -v benchtime="${BENCHTIME}" '
 BEGIN {
     printf "{\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
     n = 0
@@ -45,6 +50,25 @@ BEGIN {
 END {
     printf "\n  ]\n}\n"
 }
-' "${raw}" >"${OUT}"
+' "$1" >"$2"
+    echo "wrote $2"
+}
 
-echo "wrote ${OUT}"
+# --- LP suite -------------------------------------------------------------
+: >"${raw}"
+go test -run='^$' \
+    -bench='Table1OptimalLP|Simplex|StrongDualityCertificate|InteractionLPvsFactor' \
+    -benchmem -benchtime="${BENCHTIME}" . | tee -a "${raw}"
+go test -run='^$' -bench='EngineTailored|EngineGeometric' \
+    -benchmem -benchtime="${BENCHTIME}" ./internal/engine | tee -a "${raw}"
+distill "${raw}" "${OUT_LP}"
+
+# --- sampling suite -------------------------------------------------------
+: >"${raw}"
+go test -run='^$' -bench='DyadicAlias' -benchmem -benchtime="${BENCHTIME}" \
+    ./internal/sample | tee -a "${raw}"
+go test -run='^$' -bench='EngineSampler' -benchmem -benchtime="${BENCHTIME}" \
+    ./internal/engine | tee -a "${raw}"
+go test -run='^$' -bench='HandleSample' -benchmem -benchtime="${BENCHTIME}" \
+    ./cmd/dpserver | tee -a "${raw}"
+distill "${raw}" "${OUT_SAMPLE}"

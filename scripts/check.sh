@@ -33,8 +33,8 @@ go run ./cmd/dpvet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> LP + engine benchmarks -> BENCH_lp.json (compile-and-smoke, 1 iteration each)"
-./scripts/bench_json.sh
+echo "==> bench regression gate (fresh run vs committed BENCH_lp.json / BENCH_sample.json)"
+./scripts/bench_regression.sh
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="${FUZZTIME}" ./internal/rational
@@ -42,6 +42,7 @@ go test -run='^$' -fuzz='^FuzzPow$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzUnmarshalJSON$' -fuzztime="${FUZZTIME}" ./internal/mechanism
 go test -run='^$' -fuzz='^FuzzParseLevels$' -fuzztime="${FUZZTIME}" ./cmd/dpserver
 go test -run='^$' -fuzz='^FuzzWarmStartMatchesExact$' -fuzztime="${FUZZTIME}" ./internal/lp
+go test -run='^$' -fuzz='^FuzzDyadicAlias$' -fuzztime="${FUZZTIME}" ./internal/sample
 
 echo "==> dpserver end-to-end smoke (ephemeral port, /healthz + /v1/tailored, graceful stop)"
 smokedir="$(mktemp -d)"
