@@ -1,7 +1,7 @@
 # Development entry points for minimaxdp. `make check` is the same
 # gate CI runs (.github/workflows/ci.yml -> scripts/check.sh).
 
-.PHONY: check build test race vet dpvet fuzz-smoke bench bench-json bench-regression
+.PHONY: check build test race vet dpvet dpvet-json dpvet-sarif fuzz-smoke bench bench-json bench-regression
 
 ## check: full CI gate (fmt, build, vet, dpvet, race tests, fuzz smoke)
 check:
@@ -27,6 +27,14 @@ vet:
 ## dpvet: run only the project analyzers
 dpvet:
 	go run ./cmd/dpvet ./...
+
+## dpvet-json: project analyzers with machine-readable output (dpvet/1 schema)
+dpvet-json:
+	go run ./cmd/dpvet -json ./...
+
+## dpvet-sarif: project analyzers as SARIF 2.1.0 (what CI uploads to code scanning)
+dpvet-sarif:
+	go run ./cmd/dpvet -sarif ./...
 
 ## bench: engine throughput benchmarks, one iteration (a quick smoke);
 ## use `go test -bench=Engine -benchmem ./internal/engine` for real numbers

@@ -1,25 +1,36 @@
 // Command dpvet runs this module's custom static-analysis suite: the
 // machine-checked invariants behind the paper reproduction (exact
-// rational arithmetic, single seedable randomness source, no silently
-// dropped errors, no *big.Rat aliasing).
+// rational arithmetic with flow-sensitive float-taint tracking,
+// overflow-checked fixed-width kernels, allocation-free hot paths,
+// single seedable randomness source, no silently dropped errors, no
+// *big.Rat aliasing).
 //
 // Usage:
 //
 //	go run ./cmd/dpvet ./...          # whole module (the CI gate)
 //	go run ./cmd/dpvet -list          # describe the analyzers
 //	go run ./cmd/dpvet -run randsource,errdiscard ./internal/...
+//	go run ./cmd/dpvet -json ./...    # machine-readable findings
+//	go run ./cmd/dpvet -sarif ./...   # SARIF 2.1.0 for code scanning
 //
 // dpvet exits 0 when no findings survive, 1 when findings are
-// reported, and 2 on usage or load errors. Suppress an individual
-// finding with a justified directive on or above the offending line:
+// reported, and 2 on usage or load errors (-json and -sarif keep the
+// same codes; the findings just land on stdout in the requested
+// format). Suppress an individual finding with a justified directive
+// on or above the offending line:
 //
 //	//dpvet:ignore <analyzer> <justification>
+//
+// The justification is required — the ignoreaudit analyzer reports
+// bare directives, and directives that no longer suppress anything.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"minimaxdp/internal/analysis"
@@ -35,11 +46,17 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("dpvet", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "write findings to stdout as JSON")
+	asSARIF := fs.Bool("sarif", false, "write findings to stdout as SARIF 2.1.0")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dpvet [-list] [-run a,b] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: dpvet [-list] [-run a,b] [-json|-sarif] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(os.Stderr, "dpvet: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -62,14 +79,33 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	// Kick off the escape-analysis build (hotpath's fact source) while
+	// the loader parses and type-checks: the two shell out to
+	// independent toolchain commands and overlap almost entirely.
+	shared := analysis.NewShared(".", patterns...)
+	shared.Prefetch()
 	res, err := load.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpvet:", err)
 		return 2
 	}
-	diags := analysis.Run(res, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := analysis.Run(res, analyzers, shared)
+
+	switch {
+	case *asJSON:
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dpvet:", err)
+			return 2
+		}
+	case *asSARIF:
+		if err := writeSARIF(os.Stdout, analyzers, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dpvet:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dpvet: %d finding(s) in %d package(s)\n", len(diags), len(res.Pkgs))
@@ -92,4 +128,134 @@ func filter(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
 		}
 	}
 	return out
+}
+
+// relPath maps the loader's absolute filenames back to paths relative
+// to the working directory, which is what both output formats want
+// (SARIF resolves them against %SRCROOT%, the checkout root in CI).
+func relPath(file string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return file
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// jsonFinding is one entry of the dpvet/1 JSON schema.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []analysis.Diagnostic) error {
+	out := struct {
+		Version  string        `json:"version"`
+		Findings []jsonFinding `json:"findings"`
+	}{Version: "dpvet/1", Findings: make([]jsonFinding, 0, len(diags))}
+	for _, d := range diags {
+		out.Findings = append(out.Findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     relPath(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0, the minimal subset GitHub code scanning consumes: one
+// run, one rule per analyzer (Doc as help text), one result per
+// finding with a physical location.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSARIF(w *os.File, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(d.Pos.Filename), URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "dpvet", Rules: rules}}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"minimaxdp/internal/analysis/registry"
@@ -44,6 +48,142 @@ func TestSelfCleanExitsZero(t *testing.T) {
 	if got := run([]string{"./..."}); got != 0 {
 		t.Fatalf("run(./...) = %d, want 0", got)
 	}
+}
+
+func TestJSONAndSARIFExclusive(t *testing.T) {
+	if got := run([]string{"-json", "-sarif"}); got != 2 {
+		t.Fatalf("run(-json -sarif) = %d, want 2", got)
+	}
+}
+
+// TestJSONOutput round-trips the machine-readable format over a
+// violating fixture: valid dpvet/1 JSON, non-empty findings,
+// cwd-relative paths, and the findings exit code preserved.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short")
+	}
+	out := captureStdout(t, func() {
+		if got := run([]string{"-json", "../../internal/analysis/errdiscard/testdata/src/errdiscard"}); got != 1 {
+			t.Errorf("run(-json fixture) = %d, want 1", got)
+		}
+	})
+	var doc struct {
+		Version  string `json:"version"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Version != "dpvet/1" {
+		t.Errorf("version = %q, want dpvet/1", doc.Version)
+	}
+	if len(doc.Findings) == 0 {
+		t.Fatal("JSON output has no findings for a violating fixture")
+	}
+	for _, f := range doc.Findings {
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path %q is absolute, want cwd-relative", f.File)
+		}
+		if f.Analyzer == "" || f.Message == "" || f.Line <= 0 {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestSARIFOutput checks the code-scanning format: SARIF 2.1.0, the
+// dpvet driver, one rule per analyzer in the run, and located results.
+func TestSARIFOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short")
+	}
+	out := captureStdout(t, func() {
+		if got := run([]string{"-sarif", "../../internal/analysis/errdiscard/testdata/src/errdiscard"}); got != 1 {
+			t.Errorf("run(-sarif fixture) = %d, want 1", got)
+		}
+	})
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("sarif has %d runs, want 1", len(doc.Runs))
+	}
+	r := doc.Runs[0]
+	if r.Tool.Driver.Name != "dpvet" {
+		t.Errorf("driver name = %q, want dpvet", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) != len(registry.All()) {
+		t.Errorf("sarif has %d rules, want %d (one per analyzer)", len(r.Tool.Driver.Rules), len(registry.All()))
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("SARIF output has no results for a violating fixture")
+	}
+	for _, res := range r.Results {
+		if res.RuleID == "" || len(res.Locations) != 1 ||
+			res.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" ||
+			res.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("incomplete result: %+v", res)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything written.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	fn()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done
 }
 
 func TestFilter(t *testing.T) {

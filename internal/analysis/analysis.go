@@ -13,14 +13,24 @@
 // test suite. The analyzers under internal/analysis/... encode those
 // invariants as machine-checked rules; cmd/dpvet runs them in CI.
 //
+// The driver loads each package exactly once per run (see
+// internal/analysis/load) and fans the shared typed AST out to every
+// analyzer. Facts that come from outside the type-checker — today the
+// compiler's escape-analysis diagnostics consumed by the hotpath
+// analyzer — live on a Shared value that is computed at most once per
+// run and can be prefetched concurrently with loading.
+//
 // Suppression: a finding can be silenced with a directive comment
 //
 //	//dpvet:ignore <analyzer>[,<analyzer>...] <justification>
 //
 // placed either on the offending line or on the line directly above
 // it. The analyzer list is mandatory (there is no blanket ignore) and
-// a justification is expected by convention; the real-tree test in
-// internal/analysis/registry keeps the ignore count honest.
+// so is the justification: a directive with no justification text is
+// itself a finding. The driver also audits every directive for
+// staleness — a directive that suppressed nothing in the current run
+// is reported under the "ignoreaudit" name — so the suppression
+// inventory can only shrink.
 package analysis
 
 import (
@@ -45,6 +55,15 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
+// IgnoreAuditName is the analyzer name under which directive-hygiene
+// findings (stale or unjustified //dpvet:ignore comments) are
+// reported. The checks themselves run inside the driver — only the
+// driver knows which directives suppressed something — but they are
+// addressable like any analyzer: included in a -run subset, listed by
+// -list (via the ignoreaudit package's placeholder Analyzer), and
+// suppressible with //dpvet:ignore ignoreaudit <justification>.
+const IgnoreAuditName = "ignoreaudit"
+
 // A Pass carries one package through one analyzer.
 type Pass struct {
 	Analyzer *Analyzer
@@ -52,14 +71,27 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Shared exposes run-wide facts computed outside the
+	// type-checker, such as compiler escape-analysis diagnostics.
+	// It is never nil when the pass comes from Run.
+	Shared *Shared
 
 	diags *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportPosf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportPosf records a finding at an already-resolved position. It
+// exists for analyzers whose evidence comes from outside the parsed
+// AST — the hotpath analyzer anchors findings on the file:line the
+// compiler printed for an escaping allocation, which need not
+// correspond to any token.Pos in the loaded FileSet.
+func (p *Pass) ReportPosf(pos token.Position, format string, args ...interface{}) {
 	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      p.Fset.Position(pos),
+		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -81,11 +113,24 @@ const IgnorePrefix = "//dpvet:ignore"
 
 // Run applies every analyzer to every package and returns the
 // surviving diagnostics sorted by position. Findings matched by a
-// //dpvet:ignore directive are dropped.
-func Run(res *load.Result, analyzers []*Analyzer) []Diagnostic {
+// //dpvet:ignore directive are dropped; if the run includes the
+// ignoreaudit analyzer, directives that are unjustified or that
+// suppressed nothing are themselves reported. A nil shared is
+// replaced with one derived from res, so callers that never touch
+// Shared facts pay nothing.
+func Run(res *load.Result, analyzers []*Analyzer, shared *Shared) []Diagnostic {
+	if shared == nil {
+		shared = NewShared(res.Dir, res.Patterns...)
+	}
+	ranNames := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ranNames[a.Name] = true
+	}
+
 	var diags []Diagnostic
 	for _, pkg := range res.Pkgs {
-		ignores := collectIgnores(res.Fset, pkg.Files)
+		directives := collectDirectives(res.Fset, pkg.Files)
+		index := indexDirectives(directives)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -93,11 +138,19 @@ func Run(res *load.Result, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Shared:   shared,
 				diags:    new([]Diagnostic),
 			}
 			a.Run(pass)
 			for _, d := range *pass.diags {
-				if !ignores.match(a.Name, d.Pos) {
+				if !index.suppress(a.Name, d.Pos) {
+					diags = append(diags, d)
+				}
+			}
+		}
+		if ranNames[IgnoreAuditName] {
+			for _, d := range auditDirectives(directives, ranNames) {
+				if !index.suppress(IgnoreAuditName, d.Pos) {
 					diags = append(diags, d)
 				}
 			}
@@ -119,62 +172,131 @@ func Run(res *load.Result, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// ignoreSet records, per analyzer, the file lines covered by a
-// //dpvet:ignore directive. A directive covers its own line (trailing
-// comment) and the line after it (standalone comment).
-type ignoreSet map[string]map[string]bool // analyzer -> "file:line" -> true
-
-func (s ignoreSet) match(analyzer string, pos token.Position) bool {
-	lines := s[analyzer]
-	if lines == nil {
-		return false
+// auditDirectives turns directive-hygiene violations into
+// diagnostics. A directive is stale for an analyzer when that
+// analyzer ran and the directive suppressed none of its findings;
+// names outside the current run set are skipped so that -run subsets
+// do not misreport directives for analyzers that never executed.
+// Staleness of an "ignoreaudit" entry itself is not audited: such an
+// entry is the escape hatch for intentionally-kept directives and is
+// "used" only in the degenerate case where it suppresses this very
+// audit.
+func auditDirectives(directives []*directive, ranNames map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range directives {
+		if dir.justification == "" {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: IgnoreAuditName,
+				Message: fmt.Sprintf("%s directive has no justification (write %s %s <why>)",
+					IgnorePrefix, IgnorePrefix, strings.Join(dir.names, ",")),
+			})
+		}
+		for _, name := range dir.names {
+			if name == IgnoreAuditName || !ranNames[name] || dir.used[name] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: IgnoreAuditName,
+				Message:  fmt.Sprintf("stale %s directive: no %s finding is suppressed here", IgnorePrefix, name),
+			})
+		}
 	}
-	return lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	return out
 }
 
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
-	set := make(ignoreSet)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names, ok := parseIgnore(c.Text)
-				if !ok {
-					continue
-				}
-				p := fset.Position(c.Pos())
-				for _, name := range names {
-					if set[name] == nil {
-						set[name] = make(map[string]bool)
-					}
-					set[name][fmt.Sprintf("%s:%d", p.Filename, p.Line)] = true
-					set[name][fmt.Sprintf("%s:%d", p.Filename, p.Line+1)] = true
-				}
+// directive is one parsed //dpvet:ignore comment.
+type directive struct {
+	names         []string
+	justification string
+	pos           token.Position
+	used          map[string]bool // analyzer name -> suppressed at least one finding
+}
+
+// directiveIndex maps analyzer -> "file:line" -> directives covering
+// that line. A directive covers its own line (trailing comment) and
+// the line after it (standalone comment).
+type directiveIndex map[string]map[string][]*directive
+
+// suppress reports whether a finding by analyzer at pos is covered by
+// a directive, marking every covering directive as used.
+func (ix directiveIndex) suppress(analyzer string, pos token.Position) bool {
+	covering := ix[analyzer][fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	for _, d := range covering {
+		d.used[analyzer] = true
+	}
+	return len(covering) > 0
+}
+
+func indexDirectives(directives []*directive) directiveIndex {
+	ix := make(directiveIndex)
+	for _, d := range directives {
+		for _, name := range d.names {
+			if ix[name] == nil {
+				ix[name] = make(map[string][]*directive)
+			}
+			for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+				key := fmt.Sprintf("%s:%d", d.pos.Filename, line)
+				ix[name][key] = append(ix[name][key], d)
 			}
 		}
 	}
-	return set
+	return ix
 }
 
-// parseIgnore extracts the analyzer list from a //dpvet:ignore
-// directive. Everything after the first whitespace-separated field is
-// a human justification and is not interpreted.
-func parseIgnore(text string) ([]string, bool) {
+func collectDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, justification, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				out = append(out, &directive{
+					names:         names,
+					justification: justification,
+					pos:           fset.Position(c.Pos()),
+					used:          make(map[string]bool),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// parseIgnore splits a //dpvet:ignore directive into its analyzer
+// list and justification. The first whitespace-separated field is the
+// comma-joined analyzer list; everything after it is the
+// justification, except that a nested "//" cuts it short (so a
+// trailing comment on the same line — a fixture's `// want ...`
+// annotation, say — is not mistaken for a reason). An empty
+// justification still suppresses, but the driver reports it under
+// ignoreaudit: suppression stays monotone while the hygiene debt
+// stays visible.
+func parseIgnore(text string) (names []string, justification string, ok bool) {
 	if !strings.HasPrefix(text, IgnorePrefix) {
-		return nil, false
+		return nil, "", false
 	}
 	rest := strings.TrimPrefix(text, IgnorePrefix)
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil, false // e.g. //dpvet:ignoreXYZ is not a directive
+		return nil, "", false // e.g. //dpvet:ignoreXYZ is not a directive
+	}
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return nil, false
+		return nil, "", false
 	}
-	var names []string
 	for _, n := range strings.Split(fields[0], ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
 	}
-	return names, len(names) > 0
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	return names, strings.Join(fields[1:], " "), true
 }

@@ -7,28 +7,35 @@ import (
 
 func TestParseIgnore(t *testing.T) {
 	cases := []struct {
-		text string
-		want []string
+		text          string
+		want          []string
+		justification string
 	}{
-		{"//dpvet:ignore errdiscard read-only file", []string{"errdiscard"}},
-		{"//dpvet:ignore errdiscard,ratmutate shared justification", []string{"errdiscard", "ratmutate"}},
-		{"//dpvet:ignore floatexact", []string{"floatexact"}},
-		{"//dpvet:ignore\trandsource tab-separated", []string{"randsource"}},
-		{"//dpvet:ignore", nil},             // analyzer list is mandatory
-		{"//dpvet:ignoreerrdiscard", nil},   // not a directive
-		{"// dpvet:ignore errdiscard", nil}, // space breaks the directive prefix
-		{"// plain comment", nil},
+		{"//dpvet:ignore errdiscard read-only file", []string{"errdiscard"}, "read-only file"},
+		{"//dpvet:ignore errdiscard,ratmutate shared justification", []string{"errdiscard", "ratmutate"}, "shared justification"},
+		// A bare directive still parses (and suppresses) but its
+		// missing justification is an ignoreaudit finding.
+		{"//dpvet:ignore floatexact", []string{"floatexact"}, ""},
+		{"//dpvet:ignore\trandsource tab-separated", []string{"randsource"}, "tab-separated"},
+		// A nested comment (e.g. a fixture want annotation) does not
+		// count as justification.
+		{"//dpvet:ignore floatexact // want `x`", []string{"floatexact"}, ""},
+		{"//dpvet:ignore floatexact real reason // want `x`", []string{"floatexact"}, "real reason"},
+		{"//dpvet:ignore", nil, ""},             // analyzer list is mandatory
+		{"//dpvet:ignoreerrdiscard", nil, ""},   // not a directive
+		{"// dpvet:ignore errdiscard", nil, ""}, // space breaks the directive prefix
+		{"// plain comment", nil, ""},
 	}
 	for _, c := range cases {
-		got, ok := parseIgnore(c.text)
+		got, justification, ok := parseIgnore(c.text)
 		if c.want == nil {
 			if ok {
 				t.Errorf("parseIgnore(%q) = %v, want no directive", c.text, got)
 			}
 			continue
 		}
-		if !ok || !reflect.DeepEqual(got, c.want) {
-			t.Errorf("parseIgnore(%q) = %v/%v, want %v", c.text, got, ok, c.want)
+		if !ok || !reflect.DeepEqual(got, c.want) || justification != c.justification {
+			t.Errorf("parseIgnore(%q) = %v/%q/%v, want %v/%q", c.text, got, justification, ok, c.want, c.justification)
 		}
 	}
 }

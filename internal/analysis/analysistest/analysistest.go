@@ -11,6 +11,10 @@
 // exercise the same type-checking and //dpvet:ignore filtering as real
 // code), applies one analyzer, and fails the test unless the reported
 // diagnostics and the want annotations match one-to-one per line.
+//
+// A want may also ride inside a //dpvet:ignore directive comment —
+// `//dpvet:ignore x // want ...` — which is how ignoreaudit fixtures
+// expect findings on the directive's own line.
 package analysistest
 
 import (
@@ -37,12 +41,20 @@ var wantRE = regexp.MustCompile("`([^`]+)`")
 // It returns the surviving diagnostics for any extra assertions.
 func Run(t *testing.T, dir string, analyzer *analysis.Analyzer, patterns ...string) []analysis.Diagnostic {
 	t.Helper()
+	return RunSuite(t, dir, []*analysis.Analyzer{analyzer}, patterns...)
+}
+
+// RunSuite is Run for several analyzers at once. Driver-level checks
+// (the ignoreaudit staleness audit) only make sense against the
+// findings of the rest of a suite, so their fixtures need this form.
+func RunSuite(t *testing.T, dir string, analyzers []*analysis.Analyzer, patterns ...string) []analysis.Diagnostic {
+	t.Helper()
 	res, err := load.Load(dir, patterns...)
 	if err != nil {
 		t.Fatalf("loading fixture: %v", err)
 	}
 	expectations := collectWants(t, res)
-	diags := analysis.Run(res, []*analysis.Analyzer{analyzer})
+	diags := analysis.Run(res, analyzers, nil)
 
 	for _, d := range diags {
 		if !claim(expectations, d) {
@@ -77,7 +89,13 @@ func collectWants(t *testing.T, res *load.Result) []*expectation {
 				for _, c := range cg.List {
 					text := strings.TrimPrefix(c.Text, "//")
 					idx := strings.Index(text, "want ")
-					if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					if idx < 0 {
+						continue
+					}
+					// The text before "want " must be empty (a
+					// dedicated want comment) or a //dpvet:ignore
+					// directive carrying its own expectation.
+					if strings.TrimSpace(text[:idx]) != "" && !strings.HasPrefix(c.Text, analysis.IgnorePrefix) {
 						continue
 					}
 					pos := res.Fset.Position(c.Pos())

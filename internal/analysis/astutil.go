@@ -69,6 +69,53 @@ func IsBigRat(t types.Type) bool {
 	return obj.Name() == "Rat" && obj.Pkg() != nil && obj.Pkg().Path() == "math/big"
 }
 
+// ContainsBigExact reports whether t structurally contains math/big's
+// Rat or Int — the data types the exact pipeline's theorems quantify
+// over. Pointers, slices, arrays, maps, channels, struct fields, and
+// tuples are traversed; reference cycles are guarded.
+func ContainsBigExact(t types.Type) bool {
+	return containsBigExact(t, make(map[types.Type]bool))
+}
+
+func containsBigExact(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "math/big" &&
+			(obj.Name() == "Rat" || obj.Name() == "Int") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return containsBigExact(u.Elem(), seen)
+	case *types.Slice:
+		return containsBigExact(u.Elem(), seen)
+	case *types.Array:
+		return containsBigExact(u.Elem(), seen)
+	case *types.Chan:
+		return containsBigExact(u.Elem(), seen)
+	case *types.Map:
+		return containsBigExact(u.Key(), seen) || containsBigExact(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsBigExact(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if containsBigExact(u.At(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // PathMatches reports whether the import path matches any entry in
 // suffixes, where a match is either full equality or a "/"-delimited
 // suffix. Suffix matching lets analyzer scopes written against real

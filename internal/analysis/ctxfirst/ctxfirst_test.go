@@ -12,4 +12,15 @@ func TestFixture(t *testing.T) {
 	if len(diags) == 0 {
 		t.Fatal("fixture produced no diagnostics; analyzer is inert")
 	}
+	// The fixture encodes the analyzer's full decision table — buried
+	// contexts behind aliases, under type parameters, on methods of
+	// generic and unexported types, repeated contexts, plus the
+	// deliberate non-findings (struct-embedded context, variadic
+	// ...context.Context, unexported helpers). Pin the count so a
+	// regression that silently drops an edge case cannot hide behind
+	// the remaining matches.
+	const wantFindings = 7
+	if len(diags) != wantFindings {
+		t.Fatalf("fixture produced %d findings, want %d: %v", len(diags), wantFindings, diags)
+	}
 }

@@ -31,3 +31,37 @@ func quiet(n int, ctx context.Context) { _, _ = n, ctx }
 
 // GoodVariadic keeps ctx first ahead of a variadic tail.
 func GoodVariadic(ctx context.Context, xs ...int) { _, _ = ctx, xs }
+
+// Ctx aliases context.Context; types.Unalias must see through it.
+type Ctx = context.Context
+
+// BadAlias hides the buried context behind an alias.
+func BadAlias(n int, c Ctx) { _, _ = n, c } // want `context.Context is parameter 2`
+
+// BadGeneric shows the convention applies unchanged under type
+// parameters.
+func BadGeneric[T any](v T, ctx context.Context) { _, _ = v, ctx } // want `context.Context is parameter 2`
+
+type box[T any] struct{ v T }
+
+// Put is an exported method on a generic type; the signature is
+// checked like any other.
+func (box[T]) Put(v T, ctx context.Context) { _, _ = v, ctx } // want `context.Context is parameter 2`
+
+// BadTwice reports every context after the first position, one
+// finding each.
+func BadTwice(a context.Context, n int, b context.Context) { _, _, _ = a, n, b } // want `context.Context is parameter 3`
+
+// carrier embeds a context in a struct field. ctxfirst checks
+// parameter types, not their innards: smuggling a context inside a
+// struct is a different smell with a different (future) check, and
+// flagging it here would outlaw legitimate option structs.
+type carrier struct{ ctx context.Context }
+
+// GoodCarrier therefore passes.
+func GoodCarrier(n int, c carrier) { _, _ = n, c }
+
+// GoodVariadicCtx passes by design: a variadic ...context.Context is
+// a []context.Context — a collection of contexts as data, not the
+// call's cancellation context.
+func GoodVariadicCtx(n int, cs ...context.Context) { _, _ = n, cs }

@@ -14,24 +14,28 @@
 //
 // Packages that are float-native by design — internal/laplace
 // (transcendental noise densities), internal/stats (Monte-Carlo
-// estimators), internal/sample — are simply outside Scope. Within a
-// scoped package, files on the AllowFiles list (floatsimplex.go, the
-// deliberately inexact baseline solver used for cross-checks) are
-// exempt wholesale.
+// estimators), internal/sample — are simply outside Scope.
+//
+// internal/lp is also outside Scope, but for a different reason: it
+// is guarded by the flow-sensitive floatflow analyzer instead. lp
+// legitimately hosts the float64 shadow simplex (floatsimplex.go)
+// whose only sanctioned export is a []int candidate basis; a blunt
+// "no float syntax" rule would need a wholesale per-file exemption
+// there, which is exactly the hole floatflow's taint tracking closes.
+// See DESIGN.md §12.
 package floatexact
 
 import (
 	"go/ast"
 	"go/types"
-	"path/filepath"
 
 	"minimaxdp/internal/analysis"
 )
 
 // DefaultScope lists the exact-arithmetic packages (matched by import
-// path or "/"-suffix).
+// path or "/"-suffix). internal/lp is deliberately absent: floatflow
+// owns it (see the package comment).
 var DefaultScope = []string{
-	"minimaxdp/internal/lp",
 	"minimaxdp/internal/derive",
 	"minimaxdp/internal/consumer",
 	"minimaxdp/internal/matrix",
@@ -50,23 +54,19 @@ var DefaultScope = []string{
 	"testdata/src/floatexact",
 }
 
-// DefaultAllowFiles lists base names of files exempt inside scoped
-// packages. The engine's sampler.go was on this list while its alias
-// tables were float-projected; the dyadic rewrite made the whole draw
-// path exact, so the exemption was deliberately *removed* — the
-// analyzer now guards the sampler like any other exact file. Shrink
-// this list when possible; every entry is a hole in the fence.
-var DefaultAllowFiles = []string{
-	"floatsimplex.go", // float64 shadow solver, used only to cross-check the exact one
-}
-
 // Analyzer is the production instance.
-var Analyzer = New(DefaultScope, DefaultAllowFiles)
+var Analyzer = New(DefaultScope)
 
 // New builds a floatexact analyzer over a custom scope; tests point it
 // at fixture packages.
-func New(scope, allowFiles []string) *analysis.Analyzer {
-	a := &analyzer{scope: scope, allow: allowFiles}
+//
+// There is deliberately no per-file allowlist anymore: the historical
+// AllowFiles mechanism (floatsimplex.go rode it) exempted whole files
+// from every rule, float escapes included. Packages that need
+// float/exact coexistence now move to floatflow's taint scope, where
+// only the sanctioned flows pass.
+func New(scope []string) *analysis.Analyzer {
+	a := &analyzer{scope: scope}
 	return &analysis.Analyzer{
 		Name: "floatexact",
 		Doc: "forbid float64/float32 escapes (rational.Float, rational.FromFloat, " +
@@ -77,7 +77,6 @@ func New(scope, allowFiles []string) *analysis.Analyzer {
 
 type analyzer struct {
 	scope []string
-	allow []string
 }
 
 func (a *analyzer) run(pass *analysis.Pass) {
@@ -85,10 +84,6 @@ func (a *analyzer) run(pass *analysis.Pass) {
 		return
 	}
 	for _, file := range pass.Files {
-		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
-		if a.allowed(name) {
-			continue
-		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -98,15 +93,6 @@ func (a *analyzer) run(pass *analysis.Pass) {
 			return true
 		})
 	}
-}
-
-func (a *analyzer) allowed(base string) bool {
-	for _, f := range a.allow {
-		if base == f {
-			return true
-		}
-	}
-	return false
 }
 
 func (a *analyzer) checkCall(pass *analysis.Pass, call *ast.CallExpr) {

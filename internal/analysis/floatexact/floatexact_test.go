@@ -13,7 +13,7 @@ import (
 // the fixture's import path counts as exact-arithmetic, and checks
 // diagnostics against the // want annotations.
 func TestFixture(t *testing.T) {
-	a := floatexact.New([]string{"testdata/src/floatexact"}, nil)
+	a := floatexact.New([]string{"testdata/src/floatexact"})
 	diags := analysistest.Run(t, ".", a, "./testdata/src/floatexact")
 	if len(diags) == 0 {
 		t.Fatal("fixture produced no diagnostics; analyzer is inert")
@@ -24,48 +24,26 @@ func TestFixture(t *testing.T) {
 // names only real exact-arithmetic packages: floatexact must never
 // fire outside its fence.
 func TestOutOfScope(t *testing.T) {
-	a := floatexact.New([]string{"minimaxdp/internal/lp"}, nil)
+	a := floatexact.New([]string{"minimaxdp/internal/derive"})
 	if got := rawRun(t, a); len(got) != 0 {
 		t.Fatalf("out-of-scope package produced diagnostics: %v", got)
 	}
 }
 
-// TestAllowFile checks the per-file allowlist: with the fixture file
-// allowlisted, every finding disappears.
-func TestAllowFile(t *testing.T) {
-	a := floatexact.New([]string{"testdata/src/floatexact"}, []string{"fixture.go"})
-	if got := rawRun(t, a); len(got) != 0 {
-		t.Fatalf("allowlisted file produced diagnostics: %v", got)
-	}
-}
-
-// TestAllowlistStaysMinimal is a change detector on the production
-// exemption list. The engine's sampler.go earned its way OFF this
-// list when the dyadic alias rewrite made the draw path exact;
-// re-adding it (or any engine sampler file) would silently reopen a
-// float hole in the exact fence, so growth must be a deliberate,
-// test-acknowledged decision.
-func TestAllowlistStaysMinimal(t *testing.T) {
-	want := []string{"floatsimplex.go"}
-	got := floatexact.DefaultAllowFiles
-	if len(got) != len(want) {
-		t.Fatalf("DefaultAllowFiles = %v, want exactly %v; update this test only with a documented reason (DESIGN.md §11)", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("DefaultAllowFiles[%d] = %q, want %q", i, got[i], want[i])
-		}
-	}
-}
-
-// TestEngineSamplerInScope pins the other half of the same contract:
-// the engine package (home of sampler.go and shard.go) is inside the
-// analyzer's scope, so the zero-findings repo gate
+// TestScopeHandoff pins the division of labor with floatflow. The
+// engine package (home of sampler.go and shard.go) stays inside
+// floatexact's blunt fence, so the zero-findings repo gate
 // (registry.TestRepoTreeClean) actively proves the hot sampling path
-// float-free.
-func TestEngineSamplerInScope(t *testing.T) {
+// float-free. internal/lp, by contrast, must stay OUT: it hosts the
+// sanctioned float64 shadow simplex and is guarded flow-sensitively
+// by floatflow. Re-adding lp here would double-report its every float
+// and defeat the taint model; dropping engine would open a hole.
+func TestScopeHandoff(t *testing.T) {
 	if !analysis.PathMatches("minimaxdp/internal/engine", floatexact.DefaultScope) {
 		t.Fatal("minimaxdp/internal/engine missing from floatexact.DefaultScope")
+	}
+	if analysis.PathMatches("minimaxdp/internal/lp", floatexact.DefaultScope) {
+		t.Fatal("minimaxdp/internal/lp is back in floatexact.DefaultScope; it belongs to floatflow (DESIGN.md §12)")
 	}
 }
 
@@ -77,5 +55,5 @@ func rawRun(t *testing.T, a *analysis.Analyzer) []analysis.Diagnostic {
 	if err != nil {
 		t.Fatalf("loading fixture: %v", err)
 	}
-	return analysis.Run(res, []*analysis.Analyzer{a})
+	return analysis.Run(res, []*analysis.Analyzer{a}, nil)
 }

@@ -1,0 +1,46 @@
+package floatflow
+
+import (
+	"testing"
+
+	"minimaxdp/internal/analysis"
+	"minimaxdp/internal/analysis/analysistest"
+	"minimaxdp/internal/analysis/load"
+)
+
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, ".", Analyzer, "./testdata/src/floatflow")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; the taint engine is inert")
+	}
+}
+
+func TestOutOfScope(t *testing.T) {
+	res, err := load.Load(".", "./testdata/src/floatflow")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	a := New([]string{"no/such/package"})
+	if diags := analysis.Run(res, []*analysis.Analyzer{a}, nil); len(diags) != 0 {
+		t.Fatalf("out-of-scope run reported %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestLpInScope pins the division of labor with floatexact: lp is
+// policed by taint tracking (floats may exist, but may not become
+// exact data), not by the syntactic float ban.
+func TestLpInScope(t *testing.T) {
+	if !analysis.PathMatches("minimaxdp/internal/lp", DefaultScope) {
+		t.Fatal("internal/lp left floatflow's scope; the float simplex would be unpoliced")
+	}
+	for _, p := range []string{
+		"minimaxdp/internal/derive",
+		"minimaxdp/internal/consumer",
+		"minimaxdp/internal/matrix",
+		"minimaxdp/internal/engine",
+	} {
+		if !analysis.PathMatches(p, DefaultScope) {
+			t.Fatalf("%s left floatflow's scope", p)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package fixture seeds the float-to-exact leaks the floatflow
+// analyzer must catch, next to the sanctioned patterns it must pass.
+// The clean half deliberately mirrors internal/lp/floatsimplex.go:
+// float comparisons choosing int indices are the one legal channel
+// out of float land.
+package fixture
+
+import (
+	"math/big"
+
+	"minimaxdp/internal/rational"
+)
+
+// Basis mirrors the sanctioned floatsimplex export: indices selected
+// purely by float comparisons are float-blind and pass untainted.
+func Basis(scores []float64) []int {
+	basis := make([]int, 0, len(scores))
+	for j := range scores {
+		if scores[j] > 0.5 {
+			basis = append(basis, j)
+		}
+	}
+	return basis
+}
+
+// Mean is pure float work: sources without sinks are fine.
+func Mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Exact is pure exact work: no sources at all.
+func Exact(a, b *big.Rat) *big.Rat {
+	return rational.Add(a, b)
+}
+
+// LaunderInt quantizes a float and rebuilds an exact rational from
+// it: the canonical leak a syntactic file allowlist cannot see.
+func LaunderInt(f float64) *big.Rat {
+	n := int64(f * 1000)
+	return big.NewRat(n, 1000) // want `float-tainted`
+}
+
+func round(f float64) int64 {
+	return int64(f + 0.5)
+}
+
+// UseHelper launders through an intra-package helper; the taint
+// arrives via the fixpoint function summary.
+func UseHelper(f float64) *big.Rat {
+	return big.NewRat(round(f), 1) // want `float-tainted`
+}
+
+// Direct bridges float→exact in one call; the float-typed parameter
+// does not excuse constructing an exact artifact from it.
+func Direct(f float64) *big.Rat {
+	return new(big.Rat).SetFloat64(f) // want `float-tainted`
+}
+
+// Bridge launders through rational.FromFloat and then exports the
+// contaminated artifact.
+func Bridge(f float64) *big.Rat {
+	r, err := rational.FromFloat(f) // want `float-tainted`
+	if err != nil {
+		return nil
+	}
+	return r // want `float-tainted`
+}
+
+// Compare drags a contaminated rational into exact comparisons.
+func Compare(f float64, bound *big.Rat) bool {
+	r, _ := rational.FromFloat(f) // want `float-tainted`
+	return r.Cmp(bound) < 0       // want `float-tainted`
+}
+
+// Quantize launders a float into an exported integer result.
+func Quantize(f float64) int64 {
+	return int64(f * 64) // want `exported Quantize returns float-tainted`
+}
+
+var scale int64
+
+// SetScale persists laundered taint in a package-level variable.
+func SetScale(f float64) {
+	scale = int64(f) // want `float-tainted`
+}
+
+// Allowed demonstrates a justified suppression.
+func Allowed(f float64) bool {
+	//dpvet:ignore floatflow fixture demonstrates a justified suppression
+	r, _ := rational.FromFloat(f)
+	return r == nil
+}
+
+// cleanTab mirrors the float simplex: float rows beside int
+// bookkeeping. Field-sensitive tracking keeps the int fields clean.
+type cleanTab struct {
+	rows   [][]float64
+	basis  []int
+	pivots int
+}
+
+// CandidateBasis mirrors floatCandidateBasis: the int fields only
+// ever receive comparison-selected values, so the export is clean.
+func CandidateBasis(t *cleanTab) ([]int, int) {
+	for r := range t.rows {
+		col := -1
+		for j := range t.rows[r] {
+			if t.rows[r][j] > 0 {
+				col = j
+				break
+			}
+		}
+		t.basis[r] = col
+		t.pivots++
+	}
+	return t.basis, t.pivots
+}
+
+// dirtyTab is a separate type so its poisoned basis field does not
+// alias cleanTab's.
+type dirtyTab struct {
+	rows  [][]float64
+	basis []int
+}
+
+// PoisonBasis stores laundered float data in the basis and hands it
+// to the exact world: the leak "beyond the basis" floatflow exists to
+// catch.
+func PoisonBasis(t *dirtyTab) *big.Rat {
+	t.basis[0] = int(t.rows[0][0])
+	return rational.Int(int64(t.basis[0])) // want `float-tainted`
+}

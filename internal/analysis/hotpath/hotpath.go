@@ -1,0 +1,87 @@
+// Package hotpath implements the dpvet analyzer that keeps annotated
+// hot functions allocation-free.
+//
+// PRs 4–5 made the serving path zero-alloc — the dyadic alias draw
+// loop, the pooled simplex pivots, the /v1/sample handler — and
+// benchmarks only notice a regression when someone runs them. The
+// compiler, by contrast, proves the allocation facts on every build:
+// `go build -gcflags=-m` prints exactly which expressions escape to
+// the heap. This analyzer cross-checks a source annotation against
+// those proofs:
+//
+//	// SampleWord draws one word ...
+//	//
+//	//dpvet:hotpath
+//	func (d *DyadicAlias) SampleWord(u uint64) int { ... }
+//
+// Any "escapes to heap"/"moved to heap" diagnostic whose position
+// falls inside an annotated function body is a finding. The escape
+// data comes from Pass.Shared, computed once per dpvet run (and
+// prefetched concurrently with package loading by cmd/dpvet).
+//
+// Cold paths that must allocate (panic messages, error formatting)
+// belong in //go:noinline helpers: inlining attributes a callee's
+// allocations to the caller's lines, so an inlined panic guard would
+// otherwise show up inside the annotated body. DESIGN.md §12 spells
+// out this and the cross-package inlining blind spot.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"minimaxdp/internal/analysis"
+)
+
+// Directive marks a function whose body must stay heap-allocation
+// free. It must appear on its own line of the function's doc comment.
+const Directive = "//dpvet:hotpath"
+
+// Analyzer is the production instance. There is no scope: the
+// annotation itself opts a function in, wherever it lives.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "cross-check //dpvet:hotpath function annotations against go build -gcflags=-m " +
+		"escape-analysis diagnostics and flag any heap allocation inside an annotated body",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !Annotated(fd) {
+				continue
+			}
+			esc, err := pass.Shared.Escape()
+			if err != nil {
+				// One finding, not one per annotation: the whole
+				// fact source is unavailable (build failure).
+				pass.Reportf(fd.Pos(), "cannot verify %s: %v", Directive, err)
+				return
+			}
+			start := pass.Fset.Position(fd.Pos())
+			end := pass.Fset.Position(fd.End())
+			for _, a := range esc.Allocations(start.Filename, start.Line, end.Line) {
+				pass.ReportPosf(token.Position{Filename: start.Filename, Line: a.Line, Column: a.Col},
+					"heap allocation in %s function %s: %s (cold paths that must allocate belong in //go:noinline helpers)",
+					Directive, fd.Name.Name, a.Message)
+			}
+		}
+	}
+}
+
+// Annotated reports whether a function declaration carries the
+// hotpath directive in its doc comment.
+func Annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+// Package fixture seeds hotpath annotations over one allocating and
+// one allocation-free function, so the golden test proves the
+// analyzer reads the compiler's escape facts rather than guessing.
+package fixture
+
+// Alloc breaks its own promise: the annotation says allocation-free,
+// the body makes a fresh slice.
+//
+//dpvet:hotpath
+func Alloc(n int) []int {
+	return make([]int, n) // want `heap allocation in //dpvet:hotpath function Alloc`
+}
+
+// Clean writes in place; the annotation holds.
+//
+//dpvet:hotpath
+func Clean(dst []int) {
+	for i := range dst {
+		dst[i] = i * 2
+	}
+}
+
+// Unannotated allocates freely: without the directive it is none of
+// hotpath's business.
+func Unannotated() *int {
+	return new(int)
+}

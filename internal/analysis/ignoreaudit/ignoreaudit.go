@@ -1,0 +1,38 @@
+// Package ignoreaudit declares the analyzer identity for the
+// driver-level //dpvet:ignore audit.
+//
+// The audit itself cannot run inside a normal analyzer pass: only the
+// driver (analysis.Run) sees which directives actually suppressed a
+// finding, because suppression happens after every analyzer has
+// reported. This package therefore contributes a no-op Run — its job
+// is to make the audit addressable like any other analyzer: present
+// in `dpvet -list`, selectable with `-run ignoreaudit`, and
+// documented in one place.
+//
+// The audit enforces two rules, so the suppression inventory can only
+// shrink:
+//
+//   - stale: a directive naming an analyzer that ran and suppressed
+//     none of its findings is reported (analyzers outside the current
+//     -run subset are skipped, so a subset run never misjudges a
+//     directive it could not have exercised);
+//   - justified: a directive whose analyzer list is not followed by a
+//     justification is reported. Unjustified directives still
+//     suppress — suppression stays monotone — but the hygiene debt is
+//     a finding until the reason is written down.
+//
+// A directive that must outlive its current usefulness can name
+// ignoreaudit itself: //dpvet:ignore <analyzer>,ignoreaudit <why>.
+package ignoreaudit
+
+import "minimaxdp/internal/analysis"
+
+// Analyzer is the audit's identity. Run is a no-op; see the package
+// comment.
+var Analyzer = &analysis.Analyzer{
+	Name: analysis.IgnoreAuditName,
+	Doc: "flag //dpvet:ignore directives that suppressed no finding of an analyzer in the " +
+		"current run, and directives lacking a justification (the audit itself executes in " +
+		"the driver, which alone sees directive usage)",
+	Run: func(*analysis.Pass) {},
+}

@@ -17,6 +17,16 @@
 //     go/importer's gc lookup hook pointed at the export files from
 //     step 1.
 //
+// One Load serves the entire dpvet run: the driver (analysis.Run)
+// fans the same parsed, type-checked packages out to every analyzer,
+// so the per-package cost — subprocess, parse, type-check — is paid
+// once per invocation, not once per analyzer. Parsing is the only
+// embarrassingly parallel stage (each file is independent and
+// token.FileSet is safe for concurrent use), so Load parses every
+// matched file concurrently and then type-checks serially; targets
+// never import each other's parsed form — dependencies always come
+// from export data — so no inter-target ordering is needed.
+//
 // Test files (_test.go) are intentionally not loaded: every analyzer
 // in this module is specified over non-test code, and the vet
 // invariants (exact arithmetic, seeded randomness) do not bind tests.
@@ -36,6 +46,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // Package is one type-checked, pattern-matched package.
@@ -48,10 +59,15 @@ type Package struct {
 }
 
 // Result is the outcome of a Load call. Fset is shared by every
-// package so diagnostic positions can be printed uniformly.
+// package so diagnostic positions can be printed uniformly. Dir and
+// Patterns record what was loaded so that driver-level fact providers
+// (the escape-analysis runner behind the hotpath analyzer) can derive
+// auxiliary data for exactly the same package set.
 type Result struct {
-	Fset *token.FileSet
-	Pkgs []*Package // sorted by import path
+	Fset     *token.FileSet
+	Pkgs     []*Package // sorted by import path
+	Dir      string     // absolute directory the patterns were resolved in
+	Patterns []string   // the patterns as given
 }
 
 // listedPackage mirrors the subset of `go list -json` output we
@@ -75,6 +91,10 @@ type listedPackage struct {
 func Load(dir string, patterns ...string) (*Result, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: resolving %q: %v", dir, err)
 	}
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -101,12 +121,19 @@ func Load(dir string, patterns ...string) (*Result, error) {
 		return os.Open(f)
 	})
 
-	res := &Result{Fset: fset}
-	for _, p := range targets {
+	// Parse every file of every target concurrently: files are
+	// independent and FileSet is documented safe for concurrent use.
+	parsed, err := parseTargets(fset, targets)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Fset: fset, Dir: absDir, Patterns: patterns}
+	for i, p := range targets {
 		if p.Error != nil {
 			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
 		}
-		pkg, err := typecheck(fset, imp, p)
+		pkg, err := typecheck(fset, imp, p, parsed[i])
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +143,34 @@ func Load(dir string, patterns ...string) (*Result, error) {
 		return res.Pkgs[i].ImportPath < res.Pkgs[j].ImportPath
 	})
 	return res, nil
+}
+
+// parseTargets parses all files of all target packages concurrently
+// and returns them grouped per target, in GoFiles order.
+func parseTargets(fset *token.FileSet, targets []*listedPackage) ([][]*ast.File, error) {
+	files := make([][]*ast.File, len(targets))
+	errs := make([][]error, len(targets))
+	var wg sync.WaitGroup
+	for i, p := range targets {
+		files[i] = make([]*ast.File, len(p.GoFiles))
+		errs[i] = make([]error, len(p.GoFiles))
+		for j, name := range p.GoFiles {
+			wg.Add(1)
+			go func(i, j int, path string) {
+				defer wg.Done()
+				files[i][j], errs[i][j] = parser.ParseFile(fset, path, nil, parser.ParseComments)
+			}(i, j, filepath.Join(p.Dir, name))
+		}
+	}
+	wg.Wait()
+	for i := range errs {
+		for _, err := range errs[i] {
+			if err != nil {
+				return nil, fmt.Errorf("load: %v", err)
+			}
+		}
+	}
+	return files, nil
 }
 
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
@@ -148,17 +203,9 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	return out, nil
 }
 
-func typecheck(fset *token.FileSet, imp types.Importer, p *listedPackage) (*Package, error) {
-	if len(p.GoFiles) == 0 {
+func typecheck(fset *token.FileSet, imp types.Importer, p *listedPackage, files []*ast.File) (*Package, error) {
+	if len(files) == 0 {
 		return nil, fmt.Errorf("load: %s: no Go files", p.ImportPath)
-	}
-	files := make([]*ast.File, 0, len(p.GoFiles))
-	for _, name := range p.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("load: %v", err)
-		}
-		files = append(files, f)
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),

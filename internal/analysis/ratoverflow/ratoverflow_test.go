@@ -1,0 +1,48 @@
+package ratoverflow
+
+import (
+	"testing"
+
+	"minimaxdp/internal/analysis"
+	"minimaxdp/internal/analysis/analysistest"
+	"minimaxdp/internal/analysis/load"
+)
+
+func TestFixture(t *testing.T) {
+	diags := analysistest.Run(t, ".", Analyzer, "./testdata/src/ratoverflow/...")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; the boundary check is inert")
+	}
+}
+
+func TestOutOfScope(t *testing.T) {
+	res, err := load.Load(".", "./testdata/src/ratoverflow/...")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	a := New([]string{"no/such/package"}, DefaultKernels, DefaultConstructors)
+	if diags := analysis.Run(res, []*analysis.Analyzer{a}, nil); len(diags) != 0 {
+		t.Fatalf("out-of-scope run reported %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestKernelAllowlistStaysMinimal pins the kernel and constructor
+// allowlists: every entry is a hole in the overflow fence, so growing
+// either list must be a reviewed, deliberate change.
+func TestKernelAllowlistStaysMinimal(t *testing.T) {
+	wantKernels := map[string]bool{
+		"addChecked": true, "subChecked": true, "mulChecked": true, "negChecked": true,
+		"abs64": true, "divExact": true, "gcd64": true, "mul64To128": true,
+	}
+	if len(DefaultKernels) != len(wantKernels) {
+		t.Fatalf("DefaultKernels = %v, want exactly %v", DefaultKernels, wantKernels)
+	}
+	for _, k := range DefaultKernels {
+		if !wantKernels[k] {
+			t.Fatalf("unexpected kernel %q in DefaultKernels", k)
+		}
+	}
+	if len(DefaultConstructors) != 1 || DefaultConstructors[0] != "MakeSmall" {
+		t.Fatalf("DefaultConstructors = %v, want [MakeSmall]", DefaultConstructors)
+	}
+}

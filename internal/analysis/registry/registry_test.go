@@ -33,7 +33,8 @@ func TestRepoTreeClean(t *testing.T) {
 func TestSuiteComposition(t *testing.T) {
 	want := map[string]bool{
 		"ctxfirst": true, "errdiscard": true, "floatexact": true,
-		"randsource": true, "ratmutate": true,
+		"floatflow": true, "hotpath": true, "ignoreaudit": true,
+		"randsource": true, "ratmutate": true, "ratoverflow": true,
 	}
 	got := registry.All()
 	if len(got) != len(want) {

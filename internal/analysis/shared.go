@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"sync"
+
+	"minimaxdp/internal/analysis/escape"
+)
+
+// Shared holds run-wide analysis facts that come from outside the
+// go/types type-checker and are expensive enough that they must be
+// computed at most once per dpvet run, no matter how many analyzers
+// or packages consume them.
+//
+// Today it carries one fact: the compiler's escape-analysis
+// diagnostics for the loaded pattern set, consumed by the hotpath
+// analyzer. The fact is lazy — a run whose analyzers never call
+// Escape never shells out to the compiler — and prefetchable:
+// cmd/dpvet calls Prefetch before loading so the `go build
+// -gcflags=-m` subprocess overlaps with `go list` + parsing +
+// type-checking instead of serializing after them.
+type Shared struct {
+	dir      string
+	patterns []string
+
+	escOnce sync.Once
+	esc     *escape.Diagnostics
+	escErr  error
+}
+
+// NewShared returns a Shared for the given load directory and
+// patterns (the same values handed to load.Load, so auxiliary facts
+// cover exactly the loaded package set).
+func NewShared(dir string, patterns ...string) *Shared {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return &Shared{dir: dir, patterns: patterns}
+}
+
+// Prefetch starts computing the escape-analysis fact in the
+// background. Safe to call any number of times; later Escape calls
+// block until the single computation finishes. Any error is not lost,
+// only deferred: the first Escape call returns the same cached result.
+func (s *Shared) Prefetch() {
+	go s.escOnce.Do(s.computeEscape)
+}
+
+// Escape returns the compiler's heap-allocation diagnostics for the
+// run's pattern set, computing them on first use.
+func (s *Shared) Escape() (*escape.Diagnostics, error) {
+	s.escOnce.Do(s.computeEscape)
+	return s.esc, s.escErr
+}
+
+func (s *Shared) computeEscape() {
+	s.esc, s.escErr = escape.Run(s.dir, s.patterns...)
+}

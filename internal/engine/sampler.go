@@ -63,6 +63,8 @@ func (s *Sampler) N() int { return s.n }
 // Sample draws one released result for true input i. Cost: one shard
 // pick, one atomic add on the shard's PRNG, one table lookup, one
 // atomic add on the shard's draw counter. Zero allocations.
+//
+//dpvet:hotpath
 func (s *Sampler) Sample(i int) int {
 	s.check(i)
 	sh := s.shards.pick()
@@ -76,6 +78,8 @@ func (s *Sampler) Sample(i int) int {
 // PRNG stream with a single atomic add, counts draws with a single
 // atomic add, and allocates nothing; this is the bulk form behind
 // /v1/sample?count=N and the ≥50× win over per-draw sampling.
+//
+//dpvet:hotpath
 func (s *Sampler) SampleInto(i int, dst []int) {
 	s.check(i)
 	if len(dst) == 0 {
@@ -106,6 +110,12 @@ func (s *Sampler) SampleN(i, count int) []int {
 	return out
 }
 
+// check is the cold bounds-failure path of the hotpath samplers.
+// noinline: inlined into Sample/SampleInto, the fmt.Sprintf would
+// charge its heap allocations to their lines and trip the hotpath
+// escape gate.
+//
+//go:noinline
 func (s *Sampler) check(i int) {
 	if i < 0 || i > s.n {
 		panic(fmt.Sprintf("engine: input %d out of range [0,%d]", i, s.n))

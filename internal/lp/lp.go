@@ -661,6 +661,11 @@ const parallelPivotMinWork = 2048
 // tableaus on the paper's LPs stay sparse for many iterations, and
 // skipping structural zeros is a large constant-factor win for
 // rational arithmetic.
+//
+// The body works entirely in pooled scratch (t.inv, t.zf, t.tmp) —
+// the hotpath annotation holds the pool discipline in place.
+//
+//dpvet:hotpath
 func (t *tableau) pivot(row, col int) {
 	if t.stats != nil {
 		t.stats.ExactPivots++
@@ -701,6 +706,8 @@ func (t *tableau) pivot(row, col int) {
 // factor×(pivot row) from every other row with a nonzero in the pivot
 // column. The factor is copied into pooled scratch first because
 // tr[col] — the factor's own cell — is zeroed mid-loop.
+//
+//dpvet:hotpath
 func (t *tableau) eliminateRows(row, col int, pr []*big.Rat, nz []int) {
 	f, tmp := t.f, t.tmp
 	for r := range t.rows {

@@ -27,8 +27,17 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> dpvet (exact-arithmetic / randomness / error-handling invariants)"
-go run ./cmd/dpvet ./...
+echo "==> dpvet (exactness taint, overflow kernels, hotpath escape gate, randomness, error handling)"
+# The suite includes hotpath, which cross-checks //dpvet:hotpath
+# annotations against `go build -gcflags=-m`: a heap allocation
+# sneaking into an annotated sampler/pivot/handler body fails right
+# here. In CI the same findings are also written as SARIF so GitHub
+# code scanning annotates the offending lines.
+if [ -n "${CI:-}" ]; then
+    go run ./cmd/dpvet -sarif ./... >dpvet.sarif
+else
+    go run ./cmd/dpvet ./...
+fi
 
 echo "==> go test -race ./..."
 go test -race ./...
