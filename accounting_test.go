@@ -1,0 +1,91 @@
+package minimaxdp
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// Edge cases of the accounting facade: domain errors on the α ↔ ε
+// conversions, degenerate compositions, non-positive group sizes, and
+// the trivial tail bound. The happy paths are covered by the examples
+// and integration tests; these pin the refusal behavior.
+
+func TestAlphaEpsilonDomainErrors(t *testing.T) {
+	for _, eps := range []float64{-1, -1e-12, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := AlphaFromEpsilon(eps); err == nil {
+			t.Errorf("AlphaFromEpsilon(%v) accepted an out-of-domain ε", eps)
+		}
+	}
+	for _, alpha := range []float64{0, -0.5, 1.0000001, 2, math.NaN()} {
+		if _, err := EpsilonFromAlpha(alpha); err == nil {
+			t.Errorf("EpsilonFromAlpha(%v) accepted an out-of-domain α", alpha)
+		}
+	}
+	// Boundary values are legal: ε = 0 ↔ α = 1 (no privacy spent).
+	a, err := AlphaFromEpsilon(0)
+	if err != nil || a != 1 {
+		t.Errorf("AlphaFromEpsilon(0) = %v, %v; want 1", a, err)
+	}
+	e, err := EpsilonFromAlpha(1)
+	if err != nil || e != 0 {
+		t.Errorf("EpsilonFromAlpha(1) = %v, %v; want 0", e, err)
+	}
+}
+
+func TestComposeDegenerate(t *testing.T) {
+	if _, err := Compose(nil); err == nil {
+		t.Error("Compose(nil) succeeded; the empty product has no guarantee to report")
+	}
+	if _, err := Compose([]*big.Rat{}); err == nil {
+		t.Error("Compose(empty) succeeded")
+	}
+	if _, err := Compose([]*big.Rat{MustRat("1/2"), MustRat("3/2")}); err == nil {
+		t.Error("Compose accepted α > 1")
+	}
+	if _, err := Compose([]*big.Rat{MustRat("-1/2")}); err == nil {
+		t.Error("Compose accepted α < 0")
+	}
+	// A single level composes to itself, and the input is not aliased.
+	a := MustRat("2/3")
+	got, err := Compose([]*big.Rat{a})
+	if err != nil || got.RatString() != "2/3" {
+		t.Fatalf("Compose([2/3]) = %v, %v", got, err)
+	}
+	got.SetInt64(0)
+	if a.RatString() != "2/3" {
+		t.Error("Compose aliased its input slice")
+	}
+}
+
+func TestGroupPrivacyDegenerate(t *testing.T) {
+	for _, g := range []int{0, -1, -100} {
+		if _, err := GroupPrivacy(MustRat("1/2"), g); err == nil {
+			t.Errorf("GroupPrivacy(g=%d) accepted a non-positive group", g)
+		}
+	}
+	if _, err := GroupPrivacy(MustRat("5/4"), 2); err == nil {
+		t.Error("GroupPrivacy accepted α > 1")
+	}
+	// g = 1 is the plain per-individual guarantee.
+	got, err := GroupPrivacy(MustRat("1/3"), 1)
+	if err != nil || got.RatString() != "1/3" {
+		t.Errorf("GroupPrivacy(1/3, 1) = %v, %v", got, err)
+	}
+	if got, _ := GroupPrivacy(MustRat("1/2"), 3); got.RatString() != "1/8" {
+		t.Errorf("GroupPrivacy(1/2, 3) = %s, want 1/8", got.RatString())
+	}
+}
+
+func TestGeometricTailBoundTrivial(t *testing.T) {
+	alpha := MustRat("1/2")
+	// Pr[|noise| ≥ 0] is certain; non-positive thresholds collapse to 1.
+	for _, tt := range []int{0, -1, -7} {
+		if got := GeometricTailBound(alpha, tt); got.RatString() != "1" {
+			t.Errorf("GeometricTailBound(t=%d) = %s, want 1", tt, got.RatString())
+		}
+	}
+	if got := GeometricTailBound(alpha, 1); got.RatString() != "2/3" {
+		t.Errorf("GeometricTailBound(t=1) = %s, want 2α/(1+α) = 2/3", got.RatString())
+	}
+}

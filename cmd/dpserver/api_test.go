@@ -1,5 +1,5 @@
 // Tests for the /v1 API contract: the typed error envelope, status
-// code mapping, deprecated legacy aliases, readiness, and the
+// code mapping, retired legacy aliases (410), readiness, and the
 // cancellation/load-shedding behavior of the LP-backed routes.
 
 package main
@@ -103,24 +103,29 @@ func TestV1RoutesServe(t *testing.T) {
 	}
 }
 
-// TestLegacyAliasesDeprecated: the unversioned paths still serve but
-// advertise their /v1 successor.
-func TestLegacyAliasesDeprecated(t *testing.T) {
+// TestLegacyAliasesGone: the retired unversioned paths answer 410
+// with the typed envelope and a Link header naming the /v1 successor
+// — a stale client's failure message says exactly where to migrate.
+func TestLegacyAliasesGone(t *testing.T) {
 	s := newTestServer(t)
 	mux := s.handler()
 	for legacy, successor := range map[string]string{
 		"/result?level=1": "/v1/result",
 		"/levels":         "/v1/levels",
+		"/epoch":          "/v1/epoch",
+		"/mechanism":      "/v1/mechanism",
+		"/tailored":       "/v1/tailored",
+		"/sample":         "/v1/sample",
 		"/metrics":        "/v1/metrics",
 	} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, legacy, nil))
-		if rec.Code != http.StatusOK {
-			t.Errorf("%s: status %d", legacy, rec.Code)
+		if rec.Code != http.StatusGone {
+			t.Errorf("%s: status %d, want 410", legacy, rec.Code)
 			continue
 		}
-		if dep := rec.Header().Get("Deprecation"); dep != "true" {
-			t.Errorf("%s: Deprecation header = %q, want \"true\"", legacy, dep)
+		if code := decodeEnvelope(t, rec); code != "gone" {
+			t.Errorf("%s: code %q, want gone", legacy, code)
 		}
 		if link := rec.Header().Get("Link"); !strings.Contains(link, successor) ||
 			!strings.Contains(link, "successor-version") {

@@ -21,13 +21,32 @@
 //	GET  /v1/mechanism      exact marginal mechanism of a level (public)
 //	GET  /v1/tailored       engine-cached §2.5 tailored-optimum solve
 //	GET  /v1/sample         draws of the public mechanism at a claimed input
-//	GET  /v1/metrics        serving and engine-cache counters
+//	GET  /v1/metrics        serving, engine-cache, store, and tenant counters
 //	GET  /healthz           liveness probe
 //	GET  /readyz            readiness probe (503 while draining)
 //
-// The legacy unversioned paths (/result, /tailored, ...) remain as
-// deprecated aliases that set a Deprecation header and a Link to
-// their /v1 successor.
+// The multi-tenant tree serves many isolated surveys from one
+// process, each tenant with its own n, α-ladder, loss,
+// side-information, epoch state, and exact privacy accounting
+// (one epoch draw spends α₁ — Lemma 4 plus sequential composition —
+// and a configured min_alpha floor refuses draws past the budget):
+//
+//	GET|POST   /v1/tenants                 list / register tenants
+//	GET|DELETE /v1/tenants/{id}            describe / retire one tenant
+//	GET  /v1/tenants/{id}/release?level=K  current-epoch release at level K
+//	POST /v1/tenants/{id}/epoch            fresh correlated draw (budgeted)
+//	GET  /v1/tenants/{id}/sample           public-mechanism draws
+//	GET  /v1/tenants/{id}/accounting       exact cumulative spend
+//	GET  /v1/tenants/{id}/tailored         tenant-consumer §2.5 solve
+//
+// With -store-dir set, every exact artifact the engine derives is
+// persisted to a content-addressed disk store; restarting against the
+// same directory (and -tenants-config) warm-boots the full surface
+// with zero LP solves — "solves":0 in /v1/metrics.
+//
+// The legacy unversioned paths (/result, /tailored, ...) are retired:
+// they return 410 Gone with the typed error envelope and a Link
+// header naming the /v1 successor.
 //
 // LP-backed requests run under the request context: a client
 // disconnect cancels the solve at its next pivot, -solve-timeout
@@ -74,6 +93,12 @@ func main() {
 		"optional address for net/http/pprof (empty = disabled; keep it loopback-only)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
 		"how long to drain connections after SIGINT/SIGTERM")
+	storeDir := flag.String("store-dir", "",
+		"directory for the disk-backed artifact store (empty = in-memory only; reuse across restarts for zero-solve warm boots)")
+	tenantsConfig := flag.String("tenants-config", "",
+		"JSON file of tenant specs to register at startup ({\"tenants\": [...]})")
+	maxTenantRuntimes := flag.Int("max-tenant-runtimes", 0,
+		"bound on cached compiled tenant runtimes across all tenants (0 = default; excess evicts LRU)")
 	flag.Parse()
 
 	cfg := serverConfig{
@@ -85,6 +110,9 @@ func main() {
 		MaxTailoredN:      *maxTailoredN,
 		MaxInFlightSolves: *maxInFlight,
 		SolveTimeout:      *solveTimeout,
+		StoreDir:          *storeDir,
+		TenantsConfig:     *tenantsConfig,
+		MaxTenantRuntimes: *maxTenantRuntimes,
 	}
 	if *traceEngine {
 		cfg.Trace = func(ev engine.TraceEvent) {

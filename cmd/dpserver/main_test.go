@@ -111,7 +111,7 @@ func TestRootAndLevels(t *testing.T) {
 		t.Errorf("unknown path status %d", rec.Code)
 	}
 
-	req := httptest.NewRequest(http.MethodGet, "/levels", nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/levels", nil)
 	lrec := httptest.NewRecorder()
 	mux.ServeHTTP(lrec, req)
 	var levels []map[string]interface{}
@@ -126,7 +126,7 @@ func TestRootAndLevels(t *testing.T) {
 func TestResultEndpoint(t *testing.T) {
 	s := newTestServer(t)
 	mux := s.handler()
-	rec, body := get(t, mux, "/result?level=1")
+	rec, body := get(t, mux, "/v1/result?level=1")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -138,25 +138,25 @@ func TestResultEndpoint(t *testing.T) {
 		t.Errorf("result %d outside [0,200]", result)
 	}
 	// Default level is 1.
-	_, body = get(t, mux, "/result")
+	_, body = get(t, mux, "/v1/result")
 	if body["level"].(float64) != 1 {
 		t.Errorf("default level = %v", body["level"])
 	}
 	// Same epoch → same result (correlated release is cached per epoch).
-	_, body2 := get(t, mux, "/result?level=1")
+	_, body2 := get(t, mux, "/v1/result?level=1")
 	if body2["result"] != body["result"] {
 		t.Error("result changed within an epoch")
 	}
 	// Bad levels.
-	rec, _ = get(t, mux, "/result?level=0")
+	rec, _ = get(t, mux, "/v1/result?level=0")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("level=0 status %d", rec.Code)
 	}
-	rec, _ = get(t, mux, "/result?level=99")
+	rec, _ = get(t, mux, "/v1/result?level=99")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("level=99 status %d", rec.Code)
 	}
-	rec, _ = get(t, mux, "/result?level=x")
+	rec, _ = get(t, mux, "/v1/result?level=x")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("level=x status %d", rec.Code)
 	}
@@ -165,8 +165,8 @@ func TestResultEndpoint(t *testing.T) {
 func TestEpochEndpoint(t *testing.T) {
 	s := newTestServer(t)
 	mux := s.handler()
-	_, before := get(t, mux, "/result?level=1")
-	req := httptest.NewRequest(http.MethodPost, "/epoch", nil)
+	_, before := get(t, mux, "/v1/result?level=1")
+	req := httptest.NewRequest(http.MethodPost, "/v1/epoch", nil)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
@@ -179,14 +179,14 @@ func TestEpochEndpoint(t *testing.T) {
 	if body["epoch"] != 2 {
 		t.Errorf("epoch = %d, want 2", body["epoch"])
 	}
-	_, after := get(t, mux, "/result?level=1")
+	_, after := get(t, mux, "/v1/result?level=1")
 	if after["epoch"].(float64) != 2 {
 		t.Errorf("result epoch = %v", after["epoch"])
 	}
 	_ = before // values may coincide by chance; epoch must advance
 
 	// GET /epoch is rejected.
-	gRec, _ := get(t, mux, "/epoch")
+	gRec, _ := get(t, mux, "/v1/epoch")
 	if gRec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /epoch status %d", gRec.Code)
 	}
@@ -204,7 +204,7 @@ func TestHealthz(t *testing.T) {
 func TestMechanismEndpoint(t *testing.T) {
 	s := newTestServer(t)
 	mux := s.handler()
-	req := httptest.NewRequest(http.MethodGet, "/mechanism?level=1", nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/mechanism?level=1", nil)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
@@ -221,7 +221,7 @@ func TestMechanismEndpoint(t *testing.T) {
 		t.Errorf("mechanism shape n=%d rows=%d", body.N, len(body.Rows))
 	}
 	// Bad levels rejected.
-	for _, q := range []string{"/mechanism?level=0", "/mechanism?level=99", "/mechanism?level=x"} {
+	for _, q := range []string{"/v1/mechanism?level=0", "/v1/mechanism?level=99", "/v1/mechanism?level=x"} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, q, nil))
 		if rec.Code != http.StatusBadRequest {
@@ -233,7 +233,7 @@ func TestMechanismEndpoint(t *testing.T) {
 func TestTailoredEndpoint(t *testing.T) {
 	s := newTestServer(t)
 	mux := s.handler()
-	rec, body := get(t, mux, "/tailored?loss=absolute&n=8&level=1")
+	rec, body := get(t, mux, "/v1/tailored?loss=absolute&n=8&level=1")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -247,30 +247,30 @@ func TestTailoredEndpoint(t *testing.T) {
 		t.Errorf("minimax_loss = %v, want %s", body["minimax_loss"], want.Loss.RatString())
 	}
 	// Repeat request is a cache hit.
-	if _, body = get(t, mux, "/tailored?loss=absolute&n=8&level=1"); body["minimax_loss"] != want.Loss.RatString() {
+	if _, body = get(t, mux, "/v1/tailored?loss=absolute&n=8&level=1"); body["minimax_loss"] != want.Loss.RatString() {
 		t.Errorf("cached minimax_loss = %v", body["minimax_loss"])
 	}
 	if hits := s.eng.Metrics().Tailored.Cache.Hits; hits < 1 {
 		t.Errorf("tailored cache hits = %d, want ≥1", hits)
 	}
 	// Side information and explicit alpha.
-	rec, body = get(t, mux, "/tailored?loss=squared&n=6&alpha=1/3&side=2-5")
+	rec, body = get(t, mux, "/v1/tailored?loss=squared&n=6&alpha=1/3&side=2-5")
 	if rec.Code != http.StatusOK || body["side"] != "2-5" || body["alpha"] != "1/3" {
 		t.Errorf("tailored with side: %d %v", rec.Code, body)
 	}
 	// mech=1 includes the mechanism matrix.
-	_, body = get(t, mux, "/tailored?loss=absolute&n=4&level=1&mech=1")
+	_, body = get(t, mux, "/v1/tailored?loss=absolute&n=4&level=1&mech=1")
 	if body["mechanism"] == nil {
 		t.Error("mech=1 did not include the mechanism")
 	}
 	// Rejections: bad loss, oversized n, bad alpha, bad side.
 	for _, q := range []string{
-		"/tailored?loss=nope&n=4",
-		"/tailored?n=9999",
-		"/tailored?n=0",
-		"/tailored?alpha=zzz&n=4",
-		"/tailored?side=9-2&n=4",
-		"/tailored?loss=deadband&width=x&n=4",
+		"/v1/tailored?loss=nope&n=4",
+		"/v1/tailored?n=9999",
+		"/v1/tailored?n=0",
+		"/v1/tailored?alpha=zzz&n=4",
+		"/v1/tailored?side=9-2&n=4",
+		"/v1/tailored?loss=deadband&width=x&n=4",
 	} {
 		rec, _ := get(t, mux, q)
 		if rec.Code != http.StatusBadRequest {
@@ -282,7 +282,7 @@ func TestTailoredEndpoint(t *testing.T) {
 func TestSampleEndpoint(t *testing.T) {
 	s := newTestServer(t)
 	mux := s.handler()
-	rec, body := get(t, mux, "/sample?level=1&input=100&count=50")
+	rec, body := get(t, mux, "/v1/sample?level=1&input=100&count=50")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -296,8 +296,8 @@ func TestSampleEndpoint(t *testing.T) {
 		}
 	}
 	for _, q := range []string{
-		"/sample?input=-1", "/sample?input=201", "/sample?count=0",
-		fmt.Sprintf("/sample?count=%d", maxSampleCount+1), "/sample?level=0",
+		"/v1/sample?input=-1", "/v1/sample?input=201", "/v1/sample?count=0",
+		fmt.Sprintf("/v1/sample?count=%d", maxSampleCount+1), "/v1/sample?level=0",
 	} {
 		rec, _ := get(t, mux, q)
 		if rec.Code != http.StatusBadRequest {
@@ -309,8 +309,8 @@ func TestSampleEndpoint(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	s := newTestServer(t)
 	mux := s.handler()
-	_, _ = get(t, mux, "/result?level=1")
-	rec, body := get(t, mux, "/metrics")
+	_, _ = get(t, mux, "/v1/result?level=1")
+	rec, body := get(t, mux, "/v1/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -319,9 +319,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("server metrics = %v", srv)
 	}
 	routes := srv["routes"].(map[string]interface{})
-	res := routes["/result"].(map[string]interface{})
+	res := routes["/v1/result"].(map[string]interface{})
 	if res["count"].(float64) < 1 {
-		t.Errorf("/result count = %v", res["count"])
+		t.Errorf("/v1/result count = %v", res["count"])
 	}
 	eng := body["engine"].(map[string]interface{})
 	plans := eng["plans"].(map[string]interface{})
@@ -364,9 +364,9 @@ func TestConcurrentServing(t *testing.T) {
 					lvl := 1 + (w+k)%3
 					rec := httptest.NewRecorder()
 					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
-						fmt.Sprintf("/result?level=%d", lvl), nil))
+						fmt.Sprintf("/v1/result?level=%d", lvl), nil))
 					if rec.Code != http.StatusOK {
-						t.Errorf("/result status %d", rec.Code)
+						t.Errorf("/v1/result status %d", rec.Code)
 						return
 					}
 					var body struct {
@@ -389,32 +389,32 @@ func TestConcurrentServing(t *testing.T) {
 				case 4: // identical tailored solve from every goroutine
 					rec := httptest.NewRecorder()
 					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
-						"/tailored?loss=absolute&n=8&level=1", nil))
+						"/v1/tailored?loss=absolute&n=8&level=1", nil))
 					if rec.Code != http.StatusOK {
-						t.Errorf("/tailored status %d: %s", rec.Code, rec.Body.String())
+						t.Errorf("/v1/tailored status %d: %s", rec.Code, rec.Body.String())
 						return
 					}
 				case 5: // pooled sampler draws
 					rec := httptest.NewRecorder()
 					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
-						"/sample?level=2&input=60&count=8", nil))
+						"/v1/sample?level=2&input=60&count=8", nil))
 					if rec.Code != http.StatusOK {
-						t.Errorf("/sample status %d", rec.Code)
+						t.Errorf("/v1/sample status %d", rec.Code)
 						return
 					}
 				case 6: // metrics reads race the counters
 					rec := httptest.NewRecorder()
-					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+					mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
 					if rec.Code != http.StatusOK {
-						t.Errorf("/metrics status %d", rec.Code)
+						t.Errorf("/v1/metrics status %d", rec.Code)
 						return
 					}
 				case 7: // occasional epoch advance
 					if w%4 == 0 {
 						rec := httptest.NewRecorder()
-						mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/epoch", nil))
+						mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/epoch", nil))
 						if rec.Code != http.StatusOK {
-							t.Errorf("/epoch status %d", rec.Code)
+							t.Errorf("/v1/epoch status %d", rec.Code)
 							return
 						}
 					}

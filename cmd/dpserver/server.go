@@ -12,6 +12,7 @@ import (
 	"math/big"
 	"math/rand"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,6 +26,8 @@ import (
 	"minimaxdp/internal/rational"
 	"minimaxdp/internal/release"
 	"minimaxdp/internal/sample"
+	diskstore "minimaxdp/internal/store"
+	"minimaxdp/internal/tenant"
 )
 
 // defaultMaxTailoredN caps the domain size accepted by /v1/tailored:
@@ -70,6 +73,19 @@ type serverConfig struct {
 	SolveTimeout time.Duration
 	// Trace, when non-nil, receives the engine's span events.
 	Trace engine.TraceFunc
+	// StoreDir, when non-empty, roots the disk-backed artifact store:
+	// every mechanism, transition, plan, tailored solution, and sampler
+	// table the engine derives is persisted there, so a restart against
+	// the same directory warm-boots with zero LP solves.
+	StoreDir string
+	// TenantsConfig, when non-empty, is a JSON file of tenant specs
+	// ({"tenants": [...]}) registered at startup — the declarative
+	// sibling of POST /v1/tenants.
+	TenantsConfig string
+	// MaxTenantRuntimes bounds the compiled-runtime LRU shared across
+	// tenants (0 = default). Tenant identity and accounting are never
+	// evicted; only the rebuildable plan+sampler state is.
+	MaxTenantRuntimes int
 }
 
 // server wires the engine, the release plan, and the epoch state.
@@ -104,6 +120,13 @@ type server struct {
 
 	state  atomic.Pointer[epochState]
 	routes map[string]*routeStat
+
+	// Multi-tenant surface: identity + accounting in the registry,
+	// rebuildable compiled state in the bounded runtime cache, exact
+	// artifacts on disk (nil when -store-dir is unset).
+	registry *tenant.Registry
+	runtimes *runtimeCache
+	store    *diskstore.Store
 }
 
 // parseLevels parses the -levels flag: comma-separated rationals that
@@ -184,10 +207,18 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad levels: %w", err)
 	}
+	var artifacts *diskstore.Store
+	if cfg.StoreDir != "" {
+		artifacts, err = diskstore.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("opening artifact store: %w", err)
+		}
+	}
 	eng := engine.New(engine.Config{
 		Seed:              cfg.Seed,
 		MaxInFlightSolves: cfg.MaxInFlightSolves,
 		Trace:             cfg.Trace,
+		Store:             artifacts,
 	})
 	rng := sample.NewRand(cfg.Seed)
 	db := database.Synthetic(cfg.N, cfg.City, cfg.FluRate, rng)
@@ -223,13 +254,41 @@ func newServer(cfg serverConfig) (*server, error) {
 		routes:        make(map[string]*routeStat),
 		levelSamplers: samplers,
 		alphaStrs:     alphaStrs,
+		registry:      tenant.NewRegistry(),
+		runtimes:      newRuntimeCache(cfg.MaxTenantRuntimes),
+		store:         artifacts,
 	}
 	s.state.Store(&epochState{})
 	if _, err := s.advance(); err != nil {
 		return nil, err
 	}
+	if cfg.TenantsConfig != "" {
+		if err := s.loadTenantsConfig(cfg.TenantsConfig); err != nil {
+			return nil, err
+		}
+	}
 	s.ready.Store(true)
 	return s, nil
+}
+
+// loadTenantsConfig registers every tenant spec from a JSON config
+// file. Registration failures are fatal at startup: a half-loaded
+// tenant fleet is worse than a crash loop with a clear message.
+func (s *server) loadTenantsConfig(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("tenants config: %w", err)
+	}
+	var file tenantConfigFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("tenants config %s: %w", path, err)
+	}
+	for i := range file.Tenants {
+		if _, err := s.registerTenant(&file.Tenants[i]); err != nil {
+			return fmt.Errorf("tenants config %s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // advance draws a fresh correlated cascade and publishes it as the
@@ -254,9 +313,12 @@ func (s *server) advance() (int, error) {
 //
 // Codes and their statuses:
 //
-//	invalid_argument   400  a query parameter failed validation
+//	invalid_argument   400  a query parameter or tenant spec failed validation
+//	budget_exhausted   403  tenant privacy budget refuses another epoch draw
+//	not_found          404  unknown /v1 route or tenant id
 //	method_not_allowed 405  wrong HTTP method for the route
-//	not_found          404  unknown /v1 route
+//	conflict           409  tenant id already registered
+//	gone               410  retired legacy unversioned path (Link points at /v1)
 //	shed               429  solve rejected: in-flight solve bound hit
 //	canceled           503  client went away before the solve finished
 //	deadline_exceeded  504  solve exceeded the server's -solve-timeout
@@ -309,8 +371,9 @@ func writeSolveError(w http.ResponseWriter, err error) {
 // --- routing --------------------------------------------------------------
 
 // handler builds the instrumented route table: the versioned /v1
-// surface, thin deprecated aliases at the legacy unversioned paths,
-// and the unversioned operational probes (/healthz, /readyz).
+// surface (single-survey endpoints plus the multi-tenant tree), 410
+// tombstones at the retired legacy unversioned paths, and the
+// unversioned operational probes (/healthz, /readyz).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range []struct {
@@ -329,7 +392,29 @@ func (s *server) handler() http.Handler {
 		h := requireMethod(rt.method, rt.h)
 		mux.HandleFunc(rt.path, s.instrument(rt.path, h))
 		legacy := strings.TrimPrefix(rt.path, "/v1")
-		mux.HandleFunc(legacy, s.instrument(legacy, deprecatedAlias(rt.path, h)))
+		mux.HandleFunc(legacy, s.instrument(legacy, goneAlias(rt.path)))
+	}
+	// The tenant tree dispatches methods inside the handlers (not via
+	// "METHOD /path" patterns) so wrong-method requests get the typed
+	// 405 envelope with an Allow header instead of the stdlib page.
+	for _, rt := range []struct {
+		pattern string
+		method  string // "" = handler dispatches internally
+		h       http.HandlerFunc
+	}{
+		{"/v1/tenants", "", s.handleTenants},
+		{"/v1/tenants/{id}", "", s.handleTenantByID},
+		{"/v1/tenants/{id}/release", http.MethodGet, s.handleTenantRelease},
+		{"/v1/tenants/{id}/epoch", http.MethodPost, s.handleTenantEpoch},
+		{"/v1/tenants/{id}/sample", http.MethodGet, s.handleTenantSample},
+		{"/v1/tenants/{id}/accounting", http.MethodGet, s.handleTenantAccounting},
+		{"/v1/tenants/{id}/tailored", http.MethodGet, s.handleTenantTailored},
+	} {
+		h := rt.h
+		if rt.method != "" {
+			h = requireMethod(rt.method, h)
+		}
+		mux.HandleFunc(rt.pattern, s.instrument(rt.pattern, h))
 	}
 	// Unknown /v1 routes get the typed envelope, not the stdlib 404
 	// page, so clients can rely on the error shape across the surface.
@@ -357,15 +442,16 @@ func requireMethod(method string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// deprecatedAlias serves the handler unchanged but marks the response
-// deprecated (draft-ietf-httpapi-deprecation-header) and points at
-// the /v1 successor, so existing clients keep working while new ones
-// can discover the versioned path.
-func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+// goneAlias is the tombstone for a retired legacy unversioned path:
+// 410 with the typed envelope, plus a Link header naming the /v1
+// successor so a stale client's failure message says exactly where to
+// go. (These paths spent a deprecation cycle serving real responses
+// with a Deprecation header before being retired.)
+func goneAlias(successor string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
+		writeAPIError(w, http.StatusGone, "gone",
+			"%s was retired; use %s", r.URL.Path, successor)
 	}
 }
 
@@ -421,7 +507,14 @@ func (s *server) handleRoot(w http.ResponseWriter, r *http.Request) {
 			"GET /v1/mechanism?level=K":              "exact marginal mechanism G_{n,α_K} (public knowledge)",
 			"GET /v1/tailored?loss=L&side=lo-hi&n=N": "engine-cached §2.5 tailored-optimum solve",
 			"GET /v1/sample?level=K&input=i&count=M": "fresh draws of the public mechanism at a claimed input",
-			"GET /v1/metrics":                        "serving and engine-cache counters",
+			"GET /v1/metrics":                        "serving, engine-cache, artifact-store, and tenant counters",
+			"GET|POST /v1/tenants":                   "list / register tenants (own n, α-ladder, loss, budget)",
+			"GET|DELETE /v1/tenants/{id}":            "describe / retire one tenant",
+			"GET /v1/tenants/{id}/release?level=K":   "tenant's current-epoch released value at level K",
+			"POST /v1/tenants/{id}/epoch":            "advance the tenant's cascade (spends α₁ of its budget)",
+			"GET /v1/tenants/{id}/sample":            "draws of the tenant's public level mechanism",
+			"GET /v1/tenants/{id}/accounting":        "tenant's exact cumulative privacy spend",
+			"GET /v1/tenants/{id}/tailored?level=K":  "tailored solve for the tenant's configured consumer",
 			"GET /healthz":                           "liveness probe",
 			"GET /readyz":                            "readiness probe (503 while draining)",
 		},
@@ -736,7 +829,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			TotalNanos: st.nanos.Load(),
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"server": map[string]interface{}{
 			"epoch":          s.state.Load().epoch,
 			"levels":         len(s.alphas),
@@ -746,5 +839,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"routes":         routes,
 		},
 		"engine": s.eng.Metrics(),
-	})
+		"tenants": map[string]interface{}{
+			"count":             s.registry.Len(),
+			"cached_runtimes":   s.runtimes.len(),
+			"runtime_builds":    s.runtimes.builds.Load(),
+			"runtime_evictions": s.runtimes.evictions.Load(),
+		},
+	}
+	if s.store != nil {
+		body["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -24,3 +24,21 @@ func TestFixture(t *testing.T) {
 		t.Fatalf("fixture produced %d findings, want %d: %v", len(diags), wantFindings, diags)
 	}
 }
+
+// TestServingLayersNotExempt is a change detector: ctxfirst's
+// DefaultAllow is an exemption list, so the new serving layers
+// (internal/store, internal/tenant) are policed exactly as long as
+// nobody adds them to it. Pin the invariant so a future exemption is
+// a deliberate, reviewed decision rather than a drive-by edit.
+func TestServingLayersNotExempt(t *testing.T) {
+	for _, p := range []string{
+		"minimaxdp/internal/store",
+		"minimaxdp/internal/tenant",
+	} {
+		for _, allowed := range ctxfirst.DefaultAllow {
+			if allowed == p {
+				t.Errorf("%s is exempt from ctxfirst; context-taking APIs there would go unpoliced", p)
+			}
+		}
+	}
+}

@@ -60,6 +60,8 @@ var DefaultScope = []string{
 	"minimaxdp/internal/consumer",
 	"minimaxdp/internal/matrix",
 	"minimaxdp/internal/engine",
+	"minimaxdp/internal/store",
+	"minimaxdp/internal/tenant",
 	// Fixture package; wildcard patterns never descend into testdata,
 	// so this entry is inert for ./... runs.
 	"testdata/src/floatflow",
@@ -79,6 +81,8 @@ var exactWorld = []string{
 	"internal/lp",
 	"internal/sample",
 	"internal/engine",
+	"internal/store",
+	"internal/tenant",
 }
 
 // Analyzer is the production instance.

@@ -44,3 +44,22 @@ func TestLpInScope(t *testing.T) {
 		}
 	}
 }
+
+// TestServingLayersInScope is a change detector: the artifact store
+// (exact rationals on disk — a float sneaking into an encoder would
+// persist corrupt artifacts) and the tenant registry (exact privacy
+// accounting) must stay inside both the policed scope and the
+// exact-world taint boundary.
+func TestServingLayersInScope(t *testing.T) {
+	for _, p := range []string{
+		"minimaxdp/internal/store",
+		"minimaxdp/internal/tenant",
+	} {
+		if !analysis.PathMatches(p, DefaultScope) {
+			t.Errorf("%s left floatflow's scope; its rationals would be unpoliced", p)
+		}
+		if !analysis.PathMatches(p, exactWorld) {
+			t.Errorf("%s left floatflow's exact world; tainted floats could cross into it", p)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"minimaxdp/internal/consumer"
@@ -66,7 +67,7 @@ func BenchmarkEngineGeometricCached(b *testing.B) {
 // drawn at the central input 32.
 func benchSampler(b *testing.B) *Sampler {
 	b.Helper()
-	s, err := New(Config{}).GeometricSampler(64, rational.MustParse("1/2"))
+	s, err := New(Config{}).Sampler(context.Background(), SamplerSpec{N: 64, Alpha: rational.MustParse("1/2")})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func BenchmarkEngineSamplerBatchParallel(b *testing.B) {
 func BenchmarkEngineSamplerVsCDF(b *testing.B) {
 	e := New(Config{})
 	a := rational.MustParse("1/2")
-	s, err := e.GeometricSampler(64, a)
+	s, err := e.Sampler(context.Background(), SamplerSpec{N: 64, Alpha: a})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -402,13 +402,13 @@ func TestSamplerSpecGeometricCached(t *testing.T) {
 	if s1.N() != 16 {
 		t.Fatalf("N = %d, want 16", s1.N())
 	}
-	// Deprecated wrapper must hit the same cache entry.
-	s2, err := e.GeometricSampler(16, big.NewRat(1, 2))
+	// A second spec with equal parameters must hit the same cache entry.
+	s2, err := e.Sampler(context.Background(), SamplerSpec{N: 16, Alpha: big.NewRat(1, 2)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1 != s2 {
-		t.Error("GeometricSampler did not share Sampler's cache entry")
+		t.Error("equal SamplerSpec did not share the cache entry")
 	}
 	if hits := e.Metrics().Samplers.Cache.Hits; hits != 1 {
 		t.Errorf("sampler cache hits = %d, want 1", hits)

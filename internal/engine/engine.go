@@ -69,6 +69,7 @@ import (
 	"minimaxdp/internal/matrix"
 	"minimaxdp/internal/mechanism"
 	"minimaxdp/internal/release"
+	diskstore "minimaxdp/internal/store"
 )
 
 // Default cache capacities (entries, not bytes — artifacts are
@@ -123,6 +124,16 @@ type Config struct {
 	// miss, coalesced join, solve start/finish, and shed rejection.
 	// See TraceFunc for the contract.
 	Trace TraceFunc
+	// Store, when non-nil, backs the mechanisms, transitions, plans,
+	// tailored, and samplers classes with the content-addressed disk
+	// store: in-memory misses probe the store before computing, and
+	// successful computations are written back, so a fresh engine
+	// pointed at a populated store directory warm-boots every
+	// previously computed artifact — including LP solutions — with
+	// zero solves. The store is strictly an accelerator: any load,
+	// verify, or write failure degrades to normal computation (see
+	// internal/store and the per-class Store* counters).
+	Store *diskstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +205,9 @@ func New(cfg Config) *Engine {
 	} {
 		s.trace = cfg.Trace
 	}
+	if cfg.Store != nil {
+		e.bindDisk(cfg.Store)
+	}
 	return e
 }
 
@@ -233,6 +247,35 @@ func checkRat(name string, a *big.Rat) error {
 		return fmt.Errorf("engine: nil %s", name)
 	}
 	return nil
+}
+
+// The named key builders below are the single source of truth for
+// each class's cache identity. They double as the disk store's
+// content addresses (internal/store hashes class+key), so changing a
+// builder orphans that class's persisted artifacts — harmless
+// (orphans are never loaded; the store re-fills under the new keys)
+// but worth knowing before renaming a field.
+
+// geometricKey keys G_{n,α} and everything 1:1 with it (inverses,
+// compiled samplers).
+func geometricKey(n int, alpha *big.Rat) string {
+	return fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
+}
+
+// transitionKey keys the Lemma 3 matrix T_{α,β} on {0..n}.
+func transitionKey(n int, alpha, beta *big.Rat) string {
+	return fmt.Sprintf("n=%d|a=%s|b=%s", n, ratKey(alpha), ratKey(beta))
+}
+
+// planKey keys an Algorithm 1 release plan by its full α-ladder.
+func planKey(n int, parts []string) string {
+	return fmt.Sprintf("n=%d|a=%s", n, strings.Join(parts, ","))
+}
+
+// lpKey keys the LP-backed classes (tailored, interactions): the
+// level parameters plus the consumer identity from consumerKey.
+func lpKey(n int, alpha *big.Rat, ck string) string {
+	return fmt.Sprintf("n=%d|a=%s|%s", n, ratKey(alpha), ck)
 }
 
 // consumerKey canonicalizes the cache-relevant identity of a minimax
@@ -293,6 +336,7 @@ func (e *Engine) lpOpts() (lp.SolveOpts, *lp.SolveStats) {
 // zero-value stats report Fallback == false there, by design, so the
 // fallback counter keeps meaning "warm start attempted and demoted".
 func (e *Engine) recordLP(s *store, key string, stats *lp.SolveStats) {
+	e.lp.solves.Add(1)
 	e.lp.floatPivots.Add(uint64(stats.FloatPivots))
 	e.lp.exactPivots.Add(uint64(stats.ExactPivots))
 	e.lp.parallelPivots.Add(uint64(stats.ParallelPivots))
@@ -325,7 +369,7 @@ func (e *Engine) GeometricCtx(ctx context.Context, n int, alpha *big.Rat) (*mech
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
+	key := geometricKey(n, alpha)
 	if m, ok, err := getCached[*mechanism.Mechanism](ctx, e.mechanisms, key); ok || err != nil {
 		return m, err
 	}
@@ -347,7 +391,7 @@ func (e *Engine) GeometricInverseCtx(ctx context.Context, n int, alpha *big.Rat)
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("n=%d|a=%s", n, ratKey(alpha))
+	key := geometricKey(n, alpha)
 	m, ok, err := getCached[*matrix.Matrix](ctx, e.inverses, key)
 	if err != nil {
 		return nil, err
@@ -378,7 +422,7 @@ func (e *Engine) TransitionCtx(ctx context.Context, n int, alpha, beta *big.Rat)
 	if err := checkRat("beta", beta); err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("n=%d|a=%s|b=%s", n, ratKey(alpha), ratKey(beta))
+	key := transitionKey(n, alpha, beta)
 	m, ok, err := getCached[*matrix.Matrix](ctx, e.transitions, key)
 	if err != nil {
 		return nil, err
@@ -412,7 +456,7 @@ func (e *Engine) ReleasePlanCtx(ctx context.Context, n int, alphas []*big.Rat) (
 		}
 		parts[i] = ratKey(a)
 	}
-	key := fmt.Sprintf("n=%d|a=%s", n, strings.Join(parts, ","))
+	key := planKey(n, parts)
 	if p, ok, err := getCached[*release.Plan](ctx, e.plans, key); ok || err != nil {
 		return p, err
 	}
@@ -443,7 +487,7 @@ func (e *Engine) TailoredCtx(ctx context.Context, c *consumer.Consumer, n int, a
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("n=%d|a=%s|%s", n, ratKey(alpha), ck)
+	key := lpKey(n, alpha, ck)
 	if t, ok, err := getCached[*consumer.Tailored](ctx, e.tailored, key); ok || err != nil {
 		return t, err
 	}
@@ -476,7 +520,7 @@ func (e *Engine) InteractionCtx(ctx context.Context, c *consumer.Consumer, n int
 	if err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("n=%d|a=%s|%s", n, ratKey(alpha), ck)
+	key := lpKey(n, alpha, ck)
 	if in, ok, err := getCached[*consumer.Interaction](ctx, e.interactions, key); ok || err != nil {
 		return in, err
 	}

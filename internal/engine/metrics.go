@@ -74,10 +74,17 @@ func (h *histogram) snapshot() LatencyHistogram {
 // Misses count actual computations, so under request coalescing N
 // concurrent identical requests contribute N to Requests, 1 to
 // Misses, and N−1 to Coalesced.
+// StoreHits / StoreWrites / StoreErrors count the class's disk-store
+// traffic (all zero unless Config.Store is set): misses served by a
+// verified disk load instead of a computation, computed artifacts
+// persisted back, and non-fatal load/decode/write failures.
 type ArtifactStats struct {
 	Requests       uint64           `json:"requests"`
 	ComputeNanos   uint64           `json:"compute_nanos"`
 	Shed           uint64           `json:"shed"`
+	StoreHits      uint64           `json:"store_hits"`
+	StoreWrites    uint64           `json:"store_writes"`
+	StoreErrors    uint64           `json:"store_errors"`
 	ComputeLatency LatencyHistogram `json:"compute_latency"`
 	Cache          CacheStats       `json:"cache"`
 }
@@ -90,7 +97,12 @@ type ArtifactStats struct {
 // continued from that basis; a fallback means the full exact
 // two-phase simplex ran from scratch (float failure, infeasible or
 // unbounded verdicts, or a tied optimum — see lp.SolveStats).
+// Solves counts LP solver invocations (successful or not) across the
+// engine's lifetime; a warm boot that answers every request from the
+// disk store reports Solves == 0, which is exactly what the restart
+// smoke asserts.
 type LPSolveStats struct {
+	Solves           uint64 `json:"solves"`
 	WarmStartHits    uint64 `json:"warm_start_hits"`
 	CrossoverResumes uint64 `json:"crossover_resumes"`
 	Fallbacks        uint64 `json:"fallbacks"`
@@ -101,6 +113,7 @@ type LPSolveStats struct {
 
 // lpCounters is the live, atomically-updated form of LPSolveStats.
 type lpCounters struct {
+	solves           atomic.Uint64
 	warmStartHits    atomic.Uint64
 	crossoverResumes atomic.Uint64
 	fallbacks        atomic.Uint64
@@ -111,6 +124,7 @@ type lpCounters struct {
 
 func (c *lpCounters) snapshot() LPSolveStats {
 	return LPSolveStats{
+		Solves:           c.solves.Load(),
 		WarmStartHits:    c.warmStartHits.Load(),
 		CrossoverResumes: c.crossoverResumes.Load(),
 		Fallbacks:        c.fallbacks.Load(),
@@ -182,8 +196,9 @@ type store struct {
 	name   string // artifact class, used in trace events
 	cache  *cache
 	flight flightGroup
-	trace  TraceFunc // nil = tracing off
-	sem    *solveSem // nil = this class is never shed
+	trace  TraceFunc    // nil = tracing off
+	sem    *solveSem    // nil = this class is never shed
+	disk   *diskBinding // nil = this class is not persisted
 
 	requests     atomic.Uint64
 	hits         atomic.Uint64
@@ -191,6 +206,9 @@ type store struct {
 	coalesced    atomic.Uint64
 	evictions    atomic.Uint64
 	shed         atomic.Uint64
+	storeHits    atomic.Uint64
+	storeWrites  atomic.Uint64
+	storeErrors  atomic.Uint64
 	computeNanos atomic.Uint64
 	hist         histogram
 }
@@ -261,6 +279,16 @@ func (s *store) compute(ctx context.Context, key string, fn func(context.Context
 		}
 		s.misses.Add(1)
 		s.emit(TraceMiss, key)
+		// Disk probe between the in-memory miss and the solve: a
+		// verified load replaces the computation entirely, so it is
+		// never shed (no solve slot is needed) and records no solve
+		// latency. Load failures of any kind degrade to a normal miss.
+		if s.disk != nil {
+			if v, ok := s.diskLoad(key); ok {
+				s.evictions.Add(uint64(s.cache.put(key, v)))
+				return v, nil
+			}
+		}
 		if s.sem != nil {
 			if !s.sem.tryAcquire() {
 				s.shed.Add(1)
@@ -286,6 +314,9 @@ func (s *store) compute(ctx context.Context, key string, fn func(context.Context
 		s.computeNanos.Add(uint64(elapsed.Nanoseconds()))
 		s.hist.observe(elapsed)
 		s.evictions.Add(uint64(s.cache.put(key, v)))
+		if s.disk != nil {
+			s.diskSave(key, v)
+		}
 		return v, nil
 	})
 	if err != nil {
@@ -304,6 +335,9 @@ func (s *store) stats() ArtifactStats {
 		Requests:       s.requests.Load(),
 		ComputeNanos:   s.computeNanos.Load(),
 		Shed:           s.shed.Load(),
+		StoreHits:      s.storeHits.Load(),
+		StoreWrites:    s.storeWrites.Load(),
+		StoreErrors:    s.storeErrors.Load(),
 		ComputeLatency: s.hist.snapshot(),
 		Cache: CacheStats{
 			Size:      s.cache.size(),

@@ -1,0 +1,135 @@
+// Disk persistence bindings: the glue between the engine's in-memory
+// artifact stores and the content-addressed disk store
+// (internal/store, aliased diskstore here because the engine already
+// has an internal `store` type). Each persisted class gets a binding
+// holding its codec pair; the generic miss path in store.compute
+// probes the binding after an in-memory miss and writes back after a
+// successful computation, so warm-booting a process against a
+// populated store directory serves every previously computed artifact
+// — including the LP-backed tailored solutions — with zero solves.
+//
+// Persisted classes: mechanisms, transitions, plans, tailored,
+// samplers — the five classes whose keys are pure value parameters
+// (n, α ladder, loss name, side set). Inverses are cheap closed forms
+// served as clones, and interactions are recoverable from the
+// tailored optimum (Theorem 1), so neither earns disk space.
+//
+// Failure policy mirrors the disk store's: a binding that cannot
+// load, decode, or save an artifact counts a StoreError, emits
+// TraceStoreError, and lets the request proceed as if no store were
+// configured. Decode goes through the same validating constructors as
+// fresh computation (mechanism.FromStrings, release.PlanFromParts,
+// sample.DyadicAliasFromTables), so a checksum-valid but semantically
+// broken entry is rejected, not served.
+
+package engine
+
+import (
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/release"
+	diskstore "minimaxdp/internal/store"
+)
+
+// diskBinding couples one artifact class to its disk codec. enc must
+// accept exactly the concrete type the class caches; dec receives the
+// cache key so artifacts that embed engine state (samplers) can be
+// recompiled under their identity.
+type diskBinding struct {
+	db  *diskstore.Store
+	enc func(v any) ([]byte, error)
+	dec func(key string, payload []byte) (any, error)
+}
+
+// diskLoad probes the class's disk binding for key. A verified,
+// successfully decoded artifact counts a StoreHit; a decode failure
+// counts a StoreError (the envelope was intact — quarantining is the
+// store's job, rejecting impossible values is the codec's).
+func (s *store) diskLoad(key string) (any, bool) {
+	payload, ok := s.disk.db.Get(s.name, key)
+	if !ok {
+		return nil, false
+	}
+	v, err := s.disk.dec(key, payload)
+	if err != nil {
+		s.storeErrors.Add(1)
+		s.emit(TraceStoreError, key)
+		return nil, false
+	}
+	s.storeHits.Add(1)
+	s.emit(TraceStoreHit, key)
+	return v, true
+}
+
+// diskSave writes a freshly computed artifact back to the disk store.
+// Failures are counted and traced, never surfaced: the computation
+// already succeeded and the caller gets its artifact regardless.
+func (s *store) diskSave(key string, v any) {
+	payload, err := s.disk.enc(v)
+	if err == nil {
+		err = s.disk.db.Put(s.name, key, payload)
+	}
+	if err != nil {
+		s.storeErrors.Add(1)
+		s.emit(TraceStoreError, key)
+		return
+	}
+	s.storeWrites.Add(1)
+	s.emit(TraceStoreWrite, key)
+}
+
+// bindDisk attaches the disk store to the engine's persisted classes.
+// Called once from New; db is non-nil.
+func (e *Engine) bindDisk(db *diskstore.Store) {
+	e.mechanisms.disk = &diskBinding{
+		db: db,
+		enc: func(v any) ([]byte, error) {
+			return diskstore.EncodeMechanism(v.(*mechanism.Mechanism)), nil
+		},
+		dec: func(_ string, payload []byte) (any, error) {
+			return diskstore.DecodeMechanism(payload)
+		},
+	}
+	e.transitions.disk = &diskBinding{
+		db: db,
+		enc: func(v any) ([]byte, error) {
+			return diskstore.EncodeMatrix(v.(*matrix.Matrix)), nil
+		},
+		dec: func(_ string, payload []byte) (any, error) {
+			return diskstore.DecodeMatrix(payload)
+		},
+	}
+	e.plans.disk = &diskBinding{
+		db: db,
+		enc: func(v any) ([]byte, error) {
+			return diskstore.EncodePlan(v.(*release.Plan))
+		},
+		dec: func(_ string, payload []byte) (any, error) {
+			return diskstore.DecodePlan(payload)
+		},
+	}
+	e.tailored.disk = &diskBinding{
+		db: db,
+		enc: func(v any) ([]byte, error) {
+			return diskstore.EncodeTailored(v.(*consumer.Tailored)), nil
+		},
+		dec: func(_ string, payload []byte) (any, error) {
+			return diskstore.DecodeTailored(payload)
+		},
+	}
+	e.samplers.disk = &diskBinding{
+		db: db,
+		enc: func(v any) ([]byte, error) {
+			sp := v.(*Sampler)
+			return diskstore.EncodeAliasTables(sp.n, sp.aliasTables())
+		},
+		dec: func(key string, payload []byte) (any, error) {
+			n, rows, err := diskstore.DecodeAliasTables(payload)
+			if err != nil {
+				return nil, err
+			}
+			return newSamplerFromTables(e, key, n, rows)
+		},
+	}
+}

@@ -20,6 +20,43 @@ import (
 	"minimaxdp/internal/sample"
 )
 
+// aliasTables exports the per-row integer tables for persistence
+// (engine/persist.go).
+func (s *Sampler) aliasTables() []sample.AliasTables {
+	out := make([]sample.AliasTables, len(s.rows))
+	for i, r := range s.rows {
+		out[i] = r.Tables()
+	}
+	return out
+}
+
+// newSamplerFromTables recompiles a persisted sampler: the integer
+// alias tables are validated and re-wrapped around the engine's live
+// shard set under the original cache key. The mechanism itself is not
+// needed — the tables were certified against its rational rows when
+// first built, and they round-trip exactly.
+func newSamplerFromTables(e *Engine, key string, n int, rows []sample.AliasTables) (*Sampler, error) {
+	if len(rows) != n+1 {
+		return nil, fmt.Errorf("engine: %d sampler rows for n=%d", len(rows), n)
+	}
+	compiled := make([]*sample.DyadicAlias, len(rows))
+	for i := range rows {
+		d, err := sample.DyadicAliasFromTables(rows[i])
+		if err != nil {
+			return nil, fmt.Errorf("engine: sampler row %d: %w", i, err)
+		}
+		compiled[i] = d
+	}
+	return &Sampler{
+		n:      n,
+		rows:   compiled,
+		shards: e.shards,
+		hist:   &e.batchSizes,
+		trace:  e.trace,
+		key:    key,
+	}, nil
+}
+
 // Sampler draws from a fixed mechanism in O(1) per draw: one
 // certified dyadic alias table per mechanism row, precompiled at
 // construction. Unlike mechanism.Sample (which takes a caller-owned
@@ -155,7 +192,7 @@ func (e *Engine) Sampler(ctx context.Context, spec SamplerSpec) (*Sampler, error
 	if err := checkRat("alpha", spec.Alpha); err != nil {
 		return nil, err
 	}
-	key := fmt.Sprintf("n=%d|a=%s", spec.N, ratKey(spec.Alpha))
+	key := geometricKey(spec.N, spec.Alpha)
 	if s, ok, err := getCached[*Sampler](ctx, e.samplers, key); ok || err != nil {
 		return s, err
 	}
@@ -166,24 +203,4 @@ func (e *Engine) Sampler(ctx context.Context, spec SamplerSpec) (*Sampler, error
 		}
 		return newSampler(g, e, key)
 	})
-}
-
-// GeometricSampler returns the (shared, concurrency-safe) precompiled
-// sampler for G_{n,α}, building the alias tables at most once per
-// (n, α).
-//
-// Deprecated: use Sampler with SamplerSpec{N: n, Alpha: alpha}. Kept
-// as a thin wrapper for callers of the pre-/v1 API.
-func (e *Engine) GeometricSampler(n int, alpha *big.Rat) (*Sampler, error) {
-	return e.Sampler(context.Background(), SamplerSpec{N: n, Alpha: alpha})
-}
-
-// MechanismSampler precompiles a concurrency-safe sampler for an
-// arbitrary mechanism. The result is not cached (the engine cannot
-// key arbitrary mechanisms); callers should retain it.
-//
-// Deprecated: use Sampler with SamplerSpec{Mechanism: m}. Kept as a
-// thin wrapper for callers of the pre-/v1 API.
-func (e *Engine) MechanismSampler(m *mechanism.Mechanism) (*Sampler, error) {
-	return e.Sampler(context.Background(), SamplerSpec{Mechanism: m})
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -12,7 +13,7 @@ import (
 func TestGeometricSamplerDistribution(t *testing.T) {
 	e := New(Config{Seed: 7})
 	a := rational.MustParse("1/2")
-	s, err := e.GeometricSampler(8, a)
+	s, err := e.Sampler(context.Background(), SamplerSpec{N: 8, Alpha: a})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +44,11 @@ func TestGeometricSamplerDistribution(t *testing.T) {
 func TestSamplerCachedPerKey(t *testing.T) {
 	e := New(Config{})
 	a := rational.MustParse("1/3")
-	s1, err := e.GeometricSampler(6, a)
+	s1, err := e.Sampler(context.Background(), SamplerSpec{N: 6, Alpha: a})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := e.GeometricSampler(6, a)
+	s2, err := e.Sampler(context.Background(), SamplerSpec{N: 6, Alpha: a})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestSamplerCachedPerKey(t *testing.T) {
 
 func TestSamplerConcurrentDraws(t *testing.T) {
 	e := New(Config{Seed: 3})
-	s, err := e.GeometricSampler(10, rational.MustParse("2/3"))
+	s, err := e.Sampler(context.Background(), SamplerSpec{N: 10, Alpha: rational.MustParse("2/3")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestSamplerConcurrentDraws(t *testing.T) {
 
 func TestSamplerBoundsPanics(t *testing.T) {
 	e := New(Config{})
-	s, err := e.GeometricSampler(4, rational.MustParse("1/2"))
+	s, err := e.Sampler(context.Background(), SamplerSpec{N: 4, Alpha: rational.MustParse("1/2")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestMechanismSamplerArbitrary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := e.MechanismSampler(g)
+	s, err := e.Sampler(context.Background(), SamplerSpec{Mechanism: g})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSamplerBatchChiSquare(t *testing.T) {
 	const n, trials = 12, 200000
 	e := New(Config{Seed: 99})
 	a := rational.MustParse("1/3")
-	s, err := e.GeometricSampler(n, a)
+	s, err := e.Sampler(context.Background(), SamplerSpec{N: n, Alpha: a})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestSamplerBatchMetricsAndTrace(t *testing.T) {
 			mu.Unlock()
 		}
 	}})
-	s, err := e.GeometricSampler(6, rational.MustParse("1/2"))
+	s, err := e.Sampler(context.Background(), SamplerSpec{N: 6, Alpha: rational.MustParse("1/2")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestSamplerBatchMetricsAndTrace(t *testing.T) {
 // hot path (the acceptance criterion behind the <100ns single-draw
 // target: an allocation would dwarf the draw itself).
 func TestSampleIntoZeroAlloc(t *testing.T) {
-	s, err := New(Config{}).GeometricSampler(16, rational.MustParse("1/2"))
+	s, err := New(Config{}).Sampler(context.Background(), SamplerSpec{N: 16, Alpha: rational.MustParse("1/2")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestSampleIntoZeroAlloc(t *testing.T) {
 // the same seed and GOMAXPROCS.
 func TestSamplerSeedDeterminism(t *testing.T) {
 	draw := func() []int {
-		s, err := New(Config{Seed: 42}).GeometricSampler(8, rational.MustParse("1/2"))
+		s, err := New(Config{Seed: 42}).Sampler(context.Background(), SamplerSpec{N: 8, Alpha: rational.MustParse("1/2")})
 		if err != nil {
 			t.Fatal(err)
 		}

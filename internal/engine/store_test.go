@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"context"
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/loss"
+	"minimaxdp/internal/rational"
+	diskstore "minimaxdp/internal/store"
+)
+
+func openDisk(t testing.TB, dir string) *diskstore.Store {
+	t.Helper()
+	db, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// warmArtifacts drives one of every persisted artifact class through
+// an engine and returns the values, so cold and warm boots can be
+// compared exactly.
+type warmed struct {
+	tailoredLoss *big.Rat
+	geomProb     *big.Rat
+	planFirst    *big.Rat
+	transProb    *big.Rat
+	draws        []int
+}
+
+func driveArtifacts(t testing.TB, e *Engine) warmed {
+	t.Helper()
+	a, b := rational.MustParse("1/3"), rational.MustParse("1/2")
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	tl, err := e.TailoredMechanism(c, 6, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := e.Geometric(6, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Transition(6, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.ReleasePlan(6, []*big.Rat{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := p.Marginal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Sampler(context.Background(), SamplerSpec{N: 6, Alpha: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return warmed{
+		tailoredLoss: tl.Loss,
+		geomProb:     g.Prob(3, 3),
+		planFirst:    m1.Prob(0, 0),
+		transProb:    tr.At(2, 2),
+		draws:        s.SampleN(3, 32),
+	}
+}
+
+// TestEngineWarmBoot is the tentpole acceptance test: solve every
+// persisted artifact class against an empty store, then boot a fresh
+// engine on the same directory and re-request everything. The warm
+// engine must do ZERO LP solves and serve byte-exact rationals.
+func TestEngineWarmBoot(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := New(Config{Seed: 1, Store: openDisk(t, dir)})
+	want := driveArtifacts(t, cold)
+	cm := cold.Metrics()
+	if cm.LP.Solves == 0 {
+		t.Fatal("cold boot did no LP solves — test premise broken")
+	}
+	writes := cm.Mechanisms.StoreWrites + cm.Transitions.StoreWrites +
+		cm.Plans.StoreWrites + cm.Tailored.StoreWrites + cm.Samplers.StoreWrites
+	if writes == 0 {
+		t.Fatal("cold boot wrote nothing to the store")
+	}
+	if cm.Tailored.StoreWrites != 1 {
+		t.Errorf("tailored writes = %d, want 1", cm.Tailored.StoreWrites)
+	}
+
+	warm := New(Config{Seed: 1, Store: openDisk(t, dir)})
+	got := driveArtifacts(t, warm)
+	wm := warm.Metrics()
+	if wm.LP.Solves != 0 {
+		t.Errorf("warm boot did %d LP solves, want 0", wm.LP.Solves)
+	}
+	hits := wm.Mechanisms.StoreHits + wm.Transitions.StoreHits +
+		wm.Plans.StoreHits + wm.Tailored.StoreHits + wm.Samplers.StoreHits
+	if hits == 0 {
+		t.Error("warm boot hit the store zero times")
+	}
+	if wm.Tailored.StoreHits != 1 {
+		t.Errorf("tailored store hits = %d, want 1", wm.Tailored.StoreHits)
+	}
+	for _, cmp := range []struct {
+		name       string
+		cold, warm *big.Rat
+	}{
+		{"tailored loss", want.tailoredLoss, got.tailoredLoss},
+		{"geometric prob", want.geomProb, got.geomProb},
+		{"plan marginal", want.planFirst, got.planFirst},
+		{"transition prob", want.transProb, got.transProb},
+	} {
+		if cmp.cold.Cmp(cmp.warm) != 0 {
+			t.Errorf("%s: cold %s != warm %s", cmp.name, cmp.cold.RatString(), cmp.warm.RatString())
+		}
+	}
+	// Same seed, same tables, same shard streams: draw-for-draw equal.
+	for i := range want.draws {
+		if want.draws[i] != got.draws[i] {
+			t.Errorf("draw %d: cold %d != warm %d (sampler not faithfully reloaded)",
+				i, want.draws[i], got.draws[i])
+		}
+	}
+}
+
+// TestEngineStoreCorruptFallback flips bytes in every stored entry
+// and warm-boots: the engine must fall back to solving (correct
+// results, nonzero solves), never crash, and the store must
+// quarantine, not serve, the damage.
+func TestEngineStoreCorruptFallback(t *testing.T) {
+	dir := t.TempDir()
+	cold := New(Config{Seed: 1, Store: openDisk(t, dir)})
+	want := driveArtifacts(t, cold)
+
+	var corrupted int
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".art") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)/2] ^= 0xff
+		corrupted++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("no entries to corrupt")
+	}
+
+	db := openDisk(t, dir)
+	warm := New(Config{Seed: 1, Store: db})
+	got := driveArtifacts(t, warm)
+	if got.tailoredLoss.Cmp(want.tailoredLoss) != 0 {
+		t.Errorf("fallback solve got loss %s, want %s",
+			got.tailoredLoss.RatString(), want.tailoredLoss.RatString())
+	}
+	if wm := warm.Metrics(); wm.LP.Solves == 0 {
+		t.Error("corrupt store but zero solves — corrupt entries were served?")
+	}
+	if st := db.Stats(); st.Corrupt != uint64(corrupted) {
+		t.Errorf("quarantined %d entries, corrupted %d", st.Corrupt, corrupted)
+	}
+	// The write-back repaired the store: a third boot is warm again.
+	repaired := New(Config{Seed: 1, Store: openDisk(t, dir)})
+	driveArtifacts(t, repaired)
+	if rm := repaired.Metrics(); rm.LP.Solves != 0 {
+		t.Errorf("store not repaired by write-back: %d solves on third boot", rm.LP.Solves)
+	}
+}
+
+// TestEngineNoStoreUnchanged pins that a store-less engine still
+// works and reports zeroed store counters (the nil-binding path).
+func TestEngineNoStoreUnchanged(t *testing.T) {
+	e := New(Config{Seed: 1})
+	driveArtifacts(t, e)
+	m := e.Metrics()
+	if m.Tailored.StoreHits != 0 || m.Tailored.StoreWrites != 0 || m.Tailored.StoreErrors != 0 {
+		t.Errorf("store counters nonzero without a store: %+v", m.Tailored)
+	}
+	if m.LP.Solves == 0 {
+		t.Error("LP solve counter not incremented")
+	}
+}
+
+// BenchmarkStoreWarmBoot quantifies the warm-boot win: loading a
+// tailored LP solution from the artifact store vs re-running the
+// §2.5 solve. Each iteration boots a fresh engine so the in-memory
+// cache never short-circuits the path under test.
+func BenchmarkStoreWarmBoot(b *testing.B) {
+	a := rational.MustParse("1/2")
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	const n = 8
+
+	b.Run("cold-solve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := New(Config{})
+			if _, err := e.TailoredMechanism(c, n, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("store-load", func(b *testing.B) {
+		dir := b.TempDir()
+		seed := New(Config{Store: openDisk(b, dir)})
+		if _, err := seed.TailoredMechanism(c, n, a); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := New(Config{Store: openDisk(b, dir)})
+			if _, err := e.TailoredMechanism(c, n, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

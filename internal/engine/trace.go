@@ -25,6 +25,16 @@ const (
 	TraceWarmStartResume   TraceKind = "warmstart-resume"   // basis needed exact pivots to finish, no restart
 	TraceWarmStartFallback TraceKind = "warmstart-fallback" // full exact two-phase solve ran from scratch
 
+	// Disk-store traffic (Config.Store). A store hit replaces the
+	// solve entirely: the request emits TraceMiss then TraceStoreHit,
+	// and no solve-start/solve-done pair. A computed artifact's
+	// write-back emits TraceStoreWrite after TraceSolveDone; a failed
+	// load-decode or write emits TraceStoreError and the request
+	// proceeds as if the store did not exist.
+	TraceStoreHit   TraceKind = "store-hit"   // loaded and verified from the disk store
+	TraceStoreWrite TraceKind = "store-write" // computed artifact persisted to the disk store
+	TraceStoreError TraceKind = "store-error" // disk store load/decode/write failure (non-fatal)
+
 	// Sampler batch draws (Sampler.SampleInto / SampleN) emit one
 	// event per batch on the drawing goroutine, with Draws set to the
 	// batch size. Single-draw Sample calls are deliberately untraced:

@@ -43,24 +43,36 @@ type Plan struct {
 // increasing within (0,1).
 var ErrBadLevels = errors.New("release: privacy levels must be strictly increasing within (0,1)")
 
-// NewPlan validates the levels α₁ < … < α_k (all in (0,1)) and
-// precomputes the release chain of Algorithm 1.
-func NewPlan(n int, alphas []*big.Rat) (*Plan, error) {
+// validateLevels checks the shared Plan preconditions: n ≥ 1 and a
+// non-empty ladder of strictly increasing levels within (0,1).
+func validateLevels(n int, alphas []*big.Rat) error {
 	if n < 1 {
-		return nil, fmt.Errorf("release: n must be ≥ 1, got %d", n)
+		return fmt.Errorf("release: n must be ≥ 1, got %d", n)
 	}
 	if len(alphas) == 0 {
-		return nil, fmt.Errorf("release: at least one privacy level required")
+		return fmt.Errorf("release: at least one privacy level required")
 	}
 	one := rational.One()
 	for i, a := range alphas {
+		if a == nil {
+			return fmt.Errorf("%w: level %d is nil", ErrBadLevels, i+1)
+		}
 		if a.Sign() <= 0 || a.Cmp(one) >= 0 {
-			return nil, fmt.Errorf("%w: level %d is %s", ErrBadLevels, i+1, a.RatString())
+			return fmt.Errorf("%w: level %d is %s", ErrBadLevels, i+1, a.RatString())
 		}
 		if i > 0 && a.Cmp(alphas[i-1]) <= 0 {
-			return nil, fmt.Errorf("%w: level %d (%s) ≤ level %d (%s)",
+			return fmt.Errorf("%w: level %d (%s) ≤ level %d (%s)",
 				ErrBadLevels, i+1, a.RatString(), i, alphas[i-1].RatString())
 		}
+	}
+	return nil
+}
+
+// NewPlan validates the levels α₁ < … < α_k (all in (0,1)) and
+// precomputes the release chain of Algorithm 1.
+func NewPlan(n int, alphas []*big.Rat) (*Plan, error) {
+	if err := validateLevels(n, alphas); err != nil {
+		return nil, err
 	}
 	p := &Plan{n: n}
 	for _, a := range alphas {
@@ -84,6 +96,50 @@ func NewPlan(n int, alphas []*big.Rat) (*Plan, error) {
 		}
 		p.marginals = append(p.marginals, g)
 	}
+	return p, nil
+}
+
+// PlanFromParts reassembles a Plan from its persisted parts — the
+// level ladder and the Lemma 3 transition chain — without re-deriving
+// the transitions (the expensive step: each T_{αᵢ,αᵢ₊₁} costs an
+// exact inverse-and-multiply, while the marginal mechanisms G_{n,αᵢ}
+// have a cheap closed form and are rebuilt here). It validates the
+// ladder exactly as NewPlan does and additionally checks the chain's
+// shape: k−1 transitions, each a row-stochastic (n+1)×(n+1) matrix.
+// The transitions are cloned, so the caller's matrices stay private.
+//
+// PlanFromParts trusts that transitions[i] really is T_{αᵢ,αᵢ₊₁}
+// (verifying would mean re-deriving it); callers reassembling from
+// untrusted bytes must pair this with checksummed storage.
+func PlanFromParts(n int, alphas []*big.Rat, transitions []*matrix.Matrix) (*Plan, error) {
+	if err := validateLevels(n, alphas); err != nil {
+		return nil, err
+	}
+	if len(transitions) != len(alphas)-1 {
+		return nil, fmt.Errorf("release: %d levels need %d transitions, got %d",
+			len(alphas), len(alphas)-1, len(transitions))
+	}
+	p := &Plan{n: n}
+	for _, a := range alphas {
+		p.alphas = append(p.alphas, rational.Clone(a))
+	}
+	for i, tr := range transitions {
+		if tr == nil || tr.Rows() != n+1 || tr.Cols() != n+1 {
+			return nil, fmt.Errorf("release: transition %d is not (n+1)×(n+1)", i+1)
+		}
+		if !tr.IsStochastic() {
+			return nil, fmt.Errorf("release: transition %d is not row-stochastic", i+1)
+		}
+		p.transitions = append(p.transitions, tr.Clone())
+	}
+	for i, a := range p.alphas {
+		g, err := mechanism.Geometric(n, a)
+		if err != nil {
+			return nil, fmt.Errorf("release: rebuilding marginal %d: %w", i+1, err)
+		}
+		p.marginals = append(p.marginals, g)
+	}
+	p.first = p.marginals[0]
 	return p, nil
 }
 

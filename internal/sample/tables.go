@@ -1,0 +1,87 @@
+// Portable table form of the dyadic alias kernel, for the disk-backed
+// artifact store: a certified DyadicAlias is pure integer data (one
+// threshold, one outcome, one alias per slot), so it serializes and
+// round-trips exactly — no floats, no rationals, no re-certification
+// cost on load.
+
+package sample
+
+import "fmt"
+
+// AliasTables is the portable integer form of one DyadicAlias: the
+// table exponent K (the table holds 2^K slots) plus the three slot
+// arrays. The slices are owned by the holder; Tables returns copies
+// and DyadicAliasFromTables copies again, so a decoded kernel never
+// aliases the caller's buffers.
+type AliasTables struct {
+	K       uint
+	Thresh  []uint64
+	Outcome []int32
+	Alias   []int32
+}
+
+// Tables exports the kernel's integer tables as a deep copy.
+func (d *DyadicAlias) Tables() AliasTables {
+	t := AliasTables{
+		K:       d.k,
+		Thresh:  make([]uint64, len(d.thresh)),
+		Outcome: make([]int32, len(d.outcome)),
+		Alias:   make([]int32, len(d.alias)),
+	}
+	copy(t.Thresh, d.thresh)
+	copy(t.Outcome, d.outcome)
+	copy(t.Alias, d.alias)
+	return t
+}
+
+// DyadicAliasFromTables rebuilds a kernel from its portable table
+// form, validating every structural invariant NewDyadicAlias
+// establishes: consistent table geometry (all three arrays hold
+// exactly 2^K entries, K within the MaxDyadicOutcomes bound),
+// thresholds within the 2^(64−K) acceptance scale, and outcome/alias
+// indices inside the table. It cannot re-certify against the original
+// rational weights (they are not part of the table form); integrity
+// against bit rot is the storage layer's job (checksums), this
+// constructor's job is rejecting structurally impossible tables.
+func DyadicAliasFromTables(t AliasTables) (*DyadicAlias, error) {
+	maxK := uint(0)
+	for 1<<(maxK+1) <= MaxDyadicOutcomes {
+		maxK++
+	}
+	if t.K > maxK {
+		return nil, fmt.Errorf("sample: table exponent %d exceeds max %d", t.K, maxK)
+	}
+	m := 1 << t.K
+	if len(t.Thresh) != m || len(t.Outcome) != m || len(t.Alias) != m {
+		return nil, fmt.Errorf("sample: table lengths %d/%d/%d do not match 2^%d slots",
+			len(t.Thresh), len(t.Outcome), len(t.Alias), t.K)
+	}
+	// "Always accept" is 2^(64−K), except at K=0 where it saturates to
+	// ^0 (see NewDyadicAlias); both are ≤ the bound below.
+	full := ^uint64(0)
+	if t.K > 0 {
+		full = uint64(1) << (64 - t.K)
+	}
+	d := &DyadicAlias{
+		k:       t.K,
+		mask:    uint64(m - 1),
+		thresh:  make([]uint64, m),
+		outcome: make([]int32, m),
+		alias:   make([]int32, m),
+	}
+	for i := 0; i < m; i++ {
+		if t.Thresh[i] > full {
+			return nil, fmt.Errorf("sample: slot %d threshold %d exceeds scale 2^(64-%d)", i, t.Thresh[i], t.K)
+		}
+		if t.Outcome[i] < 0 || int(t.Outcome[i]) >= m {
+			return nil, fmt.Errorf("sample: slot %d outcome %d outside table [0,%d)", i, t.Outcome[i], m)
+		}
+		if t.Alias[i] < 0 || int(t.Alias[i]) >= m {
+			return nil, fmt.Errorf("sample: slot %d alias %d outside table [0,%d)", i, t.Alias[i], m)
+		}
+		d.thresh[i] = t.Thresh[i]
+		d.outcome[i] = t.Outcome[i]
+		d.alias[i] = t.Alias[i]
+	}
+	return d, nil
+}

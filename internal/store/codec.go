@@ -1,0 +1,468 @@
+// Canonical payload codecs for the artifact classes the engine
+// persists. Every codec is deterministic and exact: rationals render
+// as big.Rat.RatString() (always lowest terms, so equal rationals
+// encode identically), integers in decimal, rows newline-separated,
+// entries space-separated. Decoders re-validate the mathematical
+// invariants the in-memory constructors enforce (stochastic rows,
+// ladder ordering, table geometry), so a decoded artifact is exactly
+// as trustworthy as a freshly computed one — the envelope checksum
+// rules out bit rot, the constructors rule out structurally invalid
+// data that was checksummed correctly.
+
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"minimaxdp/internal/consumer"
+	"minimaxdp/internal/matrix"
+	"minimaxdp/internal/mechanism"
+	"minimaxdp/internal/rational"
+	"minimaxdp/internal/release"
+	"minimaxdp/internal/sample"
+)
+
+// appendRatRows appends one line per row, entries as RatStrings.
+func appendRatRows(b *bytes.Buffer, rows [][]*big.Rat) {
+	for _, row := range rows {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(v.RatString())
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// matrixRows renders m as a slice of row slices (borrowed, read-only).
+func matrixRows(m *matrix.Matrix) [][]*big.Rat {
+	rows := make([][]*big.Rat, m.Rows())
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
+}
+
+// lineReader walks a payload line by line. Payloads are in-memory
+// (they already passed the envelope), so splitting eagerly is fine
+// and avoids bufio.Scanner's token-size limit — a single row of a
+// large-n mechanism can exceed 64KiB.
+type lineReader struct {
+	lines []string
+	next  int
+}
+
+func newLineReader(payload []byte) *lineReader {
+	s := strings.TrimSuffix(string(payload), "\n")
+	return &lineReader{lines: strings.Split(s, "\n")}
+}
+
+func (r *lineReader) line() (string, error) {
+	if r.next >= len(r.lines) {
+		return "", fmt.Errorf("store: payload truncated at line %d", r.next+1)
+	}
+	l := r.lines[r.next]
+	r.next++
+	return l, nil
+}
+
+func (r *lineReader) done() error {
+	if r.next != len(r.lines) {
+		return fmt.Errorf("store: %d trailing payload lines", len(r.lines)-r.next)
+	}
+	return nil
+}
+
+// header reads a line and checks its first field, returning the rest.
+func (r *lineReader) header(want string, argc int) ([]string, error) {
+	l, err := r.line()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(l)
+	if len(fields) != argc+1 || fields[0] != want {
+		return nil, fmt.Errorf("store: expected %q header with %d args, got %q", want, argc, l)
+	}
+	return fields[1:], nil
+}
+
+// ratStrings reads count lines of width space-separated entries each.
+func (r *lineReader) ratStrings(count, width int) ([][]string, error) {
+	out := make([][]string, count)
+	for i := 0; i < count; i++ {
+		l, err := r.line()
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(l)
+		if len(fields) != width {
+			return nil, fmt.Errorf("store: row %d has %d entries, want %d", i, len(fields), width)
+		}
+		out[i] = fields
+	}
+	return out, nil
+}
+
+func parseCount(s, what string, min, max int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < min || (max >= 0 && v > max) {
+		return 0, fmt.Errorf("store: bad %s %q", what, s)
+	}
+	return v, nil
+}
+
+// maxDecodeDim bounds decoded matrix/mechanism dimensions, so a
+// well-checksummed but absurd header cannot drive an allocation bomb.
+const maxDecodeDim = 1 << 16
+
+// --- matrix (T_{α,β} transitions) ----------------------------------------
+
+// EncodeMatrix renders a matrix payload (class "transitions" uses
+// this, but the codec is shape-generic).
+func EncodeMatrix(m *matrix.Matrix) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "matrix %d %d\n", m.Rows(), m.Cols())
+	appendRatRows(&b, matrixRows(m))
+	return b.Bytes()
+}
+
+// DecodeMatrix parses EncodeMatrix output. The transition matrices
+// the engine persists are additionally row-stochastic; that invariant
+// is checked by the plan/transition consumers (release.PlanFromParts,
+// mechanism.PostProcess), not here, since raw matrices are not
+// necessarily stochastic.
+func DecodeMatrix(payload []byte) (*matrix.Matrix, error) {
+	r := newLineReader(payload)
+	args, err := r.header("matrix", 2)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := parseCount(args[0], "row count", 1, maxDecodeDim)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := parseCount(args[1], "column count", 1, maxDecodeDim)
+	if err != nil {
+		return nil, err
+	}
+	strs, err := r.ratStrings(rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return matrix.FromStrings(strs)
+}
+
+// --- mechanism ------------------------------------------------------------
+
+// EncodeMechanism renders a mechanism payload: the domain bound n and
+// the (n+1)×(n+1) stochastic matrix.
+func EncodeMechanism(mc *mechanism.Mechanism) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "mechanism %d\n", mc.N())
+	rows := make([][]*big.Rat, mc.Size())
+	for i := range rows {
+		rows[i] = mc.Row(i)
+	}
+	appendRatRows(&b, rows)
+	return b.Bytes()
+}
+
+// DecodeMechanism parses EncodeMechanism output; row-stochasticity is
+// re-checked by mechanism.FromStrings.
+func DecodeMechanism(payload []byte) (*mechanism.Mechanism, error) {
+	r := newLineReader(payload)
+	args, err := r.header("mechanism", 1)
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseCount(args[0], "domain bound", 0, maxDecodeDim)
+	if err != nil {
+		return nil, err
+	}
+	strs, err := r.ratStrings(n+1, n+1)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return mechanism.FromStrings(strs)
+}
+
+// --- tailored LP solutions ------------------------------------------------
+
+// EncodeTailored renders a §2.5 tailored optimum: the minimax loss
+// value plus the optimal mechanism.
+func EncodeTailored(t *consumer.Tailored) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "tailored %d\nloss %s\n", t.Mechanism.N(), t.Loss.RatString())
+	rows := make([][]*big.Rat, t.Mechanism.Size())
+	for i := range rows {
+		rows[i] = t.Mechanism.Row(i)
+	}
+	appendRatRows(&b, rows)
+	return b.Bytes()
+}
+
+// DecodeTailored parses EncodeTailored output.
+func DecodeTailored(payload []byte) (*consumer.Tailored, error) {
+	r := newLineReader(payload)
+	args, err := r.header("tailored", 1)
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseCount(args[0], "domain bound", 0, maxDecodeDim)
+	if err != nil {
+		return nil, err
+	}
+	lossArgs, err := r.header("loss", 1)
+	if err != nil {
+		return nil, err
+	}
+	lossVal, err := rational.Parse(lossArgs[0])
+	if err != nil {
+		return nil, fmt.Errorf("store: bad loss value: %w", err)
+	}
+	if lossVal.Sign() < 0 {
+		return nil, fmt.Errorf("store: negative minimax loss %s", lossVal.RatString())
+	}
+	strs, err := r.ratStrings(n+1, n+1)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	mc, err := mechanism.FromStrings(strs)
+	if err != nil {
+		return nil, err
+	}
+	return &consumer.Tailored{Mechanism: mc, Loss: lossVal}, nil
+}
+
+// --- release plans --------------------------------------------------------
+
+// EncodePlan renders an Algorithm 1 release plan: n, the α-ladder,
+// and the Lemma 3 transition chain. The marginal mechanisms G_{n,αᵢ}
+// are deliberately NOT stored — they have a cheap closed form and
+// release.PlanFromParts rebuilds them exactly, so the payload holds
+// only the artifacts that are expensive to derive.
+func EncodePlan(p *release.Plan) ([]byte, error) {
+	var b bytes.Buffer
+	k := p.Levels()
+	fmt.Fprintf(&b, "plan %d %d\nalphas", p.N(), k)
+	for lvl := 1; lvl <= k; lvl++ {
+		a, err := p.Alpha(lvl)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteByte(' ')
+		b.WriteString(a.RatString())
+	}
+	b.WriteByte('\n')
+	for lvl := 1; lvl < k; lvl++ {
+		tr, err := p.Transition(lvl)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "transition %d\n", lvl)
+		appendRatRows(&b, matrixRows(tr))
+	}
+	return b.Bytes(), nil
+}
+
+// DecodePlan parses EncodePlan output and reassembles the plan via
+// release.PlanFromParts (which re-validates the ladder and the
+// stochasticity of every transition).
+func DecodePlan(payload []byte) (*release.Plan, error) {
+	r := newLineReader(payload)
+	args, err := r.header("plan", 2)
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseCount(args[0], "domain bound", 1, maxDecodeDim)
+	if err != nil {
+		return nil, err
+	}
+	k, err := parseCount(args[1], "level count", 1, maxDecodeDim)
+	if err != nil {
+		return nil, err
+	}
+	l, err := r.line()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(l)
+	if len(fields) != k+1 || fields[0] != "alphas" {
+		return nil, fmt.Errorf("store: expected %d alphas, got %q", k, l)
+	}
+	alphas := make([]*big.Rat, k)
+	for i, s := range fields[1:] {
+		alphas[i], err = rational.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("store: bad alpha %d: %w", i+1, err)
+		}
+	}
+	transitions := make([]*matrix.Matrix, 0, k-1)
+	for lvl := 1; lvl < k; lvl++ {
+		trArgs, err := r.header("transition", 1)
+		if err != nil {
+			return nil, err
+		}
+		if trArgs[0] != strconv.Itoa(lvl) {
+			return nil, fmt.Errorf("store: transition %s out of order (want %d)", trArgs[0], lvl)
+		}
+		strs, err := r.ratStrings(n+1, n+1)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := matrix.FromStrings(strs)
+		if err != nil {
+			return nil, err
+		}
+		transitions = append(transitions, tr)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return release.PlanFromParts(n, alphas, transitions)
+}
+
+// --- dyadic alias sampler tables ------------------------------------------
+
+// EncodeAliasTables renders the precompiled sampler tables for a
+// mechanism on {0..n}: one certified integer alias kernel per input
+// row. Pure integer data — the exactness of the tables was certified
+// against the rational rows at construction and survives untouched.
+func EncodeAliasTables(n int, rows []sample.AliasTables) ([]byte, error) {
+	if len(rows) != n+1 {
+		return nil, fmt.Errorf("store: %d alias rows for n=%d (want %d)", len(rows), n, n+1)
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "sampler %d\n", n)
+	for i := range rows {
+		t := &rows[i]
+		fmt.Fprintf(&b, "row %d\n", t.K)
+		appendUint64Line(&b, "thresh", t.Thresh)
+		appendInt32Line(&b, "outcome", t.Outcome)
+		appendInt32Line(&b, "alias", t.Alias)
+	}
+	return b.Bytes(), nil
+}
+
+func appendUint64Line(b *bytes.Buffer, name string, vs []uint64) {
+	b.WriteString(name)
+	for _, v := range vs {
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(v, 10))
+	}
+	b.WriteByte('\n')
+}
+
+func appendInt32Line(b *bytes.Buffer, name string, vs []int32) {
+	b.WriteString(name)
+	for _, v := range vs {
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(int64(v), 10))
+	}
+	b.WriteByte('\n')
+}
+
+// DecodeAliasTables parses EncodeAliasTables output. Structural
+// validation of each table (geometry, threshold scale, index ranges)
+// happens in sample.DyadicAliasFromTables when the caller compiles
+// the kernel.
+func DecodeAliasTables(payload []byte) (n int, rows []sample.AliasTables, err error) {
+	r := newLineReader(payload)
+	args, err := r.header("sampler", 1)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err = parseCount(args[0], "domain bound", 0, maxDecodeDim)
+	if err != nil {
+		return 0, nil, err
+	}
+	rows = make([]sample.AliasTables, n+1)
+	for i := 0; i <= n; i++ {
+		rowArgs, err := r.header("row", 1)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Bound matches sample.MaxDyadicOutcomes = 2^24: larger
+		// exponents are impossible for certified tables and 1<<k must
+		// not overflow.
+		k, err := parseCount(rowArgs[0], "table exponent", 0, 24)
+		if err != nil {
+			return 0, nil, err
+		}
+		slots := 1 << uint(k)
+		thresh, err := r.uint64Line("thresh", slots)
+		if err != nil {
+			return 0, nil, err
+		}
+		outcome, err := r.int32Line("outcome", slots)
+		if err != nil {
+			return 0, nil, err
+		}
+		alias, err := r.int32Line("alias", slots)
+		if err != nil {
+			return 0, nil, err
+		}
+		rows[i] = sample.AliasTables{K: uint(k), Thresh: thresh, Outcome: outcome, Alias: alias}
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return n, rows, nil
+}
+
+func (r *lineReader) uint64Line(name string, count int) ([]uint64, error) {
+	fields, err := r.namedFields(name, count)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, count)
+	for i, f := range fields {
+		out[i], err = strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: bad %s entry %q", name, f)
+		}
+	}
+	return out, nil
+}
+
+func (r *lineReader) int32Line(name string, count int) ([]int32, error) {
+	fields, err := r.namedFields(name, count)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, count)
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("store: bad %s entry %q", name, f)
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}
+
+func (r *lineReader) namedFields(name string, count int) ([]string, error) {
+	l, err := r.line()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(l)
+	if len(fields) != count+1 || fields[0] != name {
+		return nil, fmt.Errorf("store: expected %q line with %d entries, got %d fields", name, count, len(fields))
+	}
+	return fields[1:], nil
+}

@@ -1,0 +1,79 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrDuplicateID is returned by Registry.Add for an id that is
+// already registered (wrapped with the offending id).
+var ErrDuplicateID = errors.New("tenant: id already registered")
+
+// Registry is a concurrency-safe map of live tenants. It owns tenant
+// identity only — engines, caches, and HTTP wiring live in the
+// serving layer, so the registry stays trivially testable.
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]*Tenant)}
+}
+
+// Add registers t, rejecting duplicates: a tenant's accounting state
+// must never be silently reset by re-registration.
+func (r *Registry) Add(t *Tenant) error {
+	if t == nil {
+		return fmt.Errorf("tenant: cannot register nil tenant")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[t.id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, t.id)
+	}
+	r.tenants[t.id] = t
+	return nil
+}
+
+// Get returns the tenant with the given id, or false.
+func (r *Registry) Get(id string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tenants[id]
+	return t, ok
+}
+
+// Delete removes the tenant with the given id, reporting whether it
+// existed.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[id]; !ok {
+		return false
+	}
+	delete(r.tenants, id)
+	return true
+}
+
+// IDs returns the registered tenant ids in sorted order.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.tenants))
+	for id := range r.tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of registered tenants.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}

@@ -60,6 +60,7 @@ import (
 	"minimaxdp/internal/rational"
 	"minimaxdp/internal/release"
 	"minimaxdp/internal/sample"
+	"minimaxdp/internal/store"
 )
 
 // Mechanism is an oblivious privacy mechanism for a count query on
@@ -334,3 +335,20 @@ var ErrEngineSaturated = engine.ErrSaturated
 
 // NewEngine builds a serving engine from cfg (zero value fine).
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// ArtifactStore is the content-addressed disk store for exact
+// artifacts (mechanisms, transitions, release plans, tailored
+// solutions, alias tables). Payloads are deterministic canonical
+// rational encodings — no floats touch disk — and every read is
+// checksum-verified: a corrupt entry is quarantined and reported as a
+// miss, never returned. Install one via EngineConfig.Store and a
+// restarted engine warm-boots from disk with zero LP solves.
+type ArtifactStore = store.Store
+
+// ArtifactStoreStats is an ArtifactStore's counter snapshot (hits,
+// misses, writes, write errors, quarantined corrupt entries).
+type ArtifactStoreStats = store.Stats
+
+// OpenArtifactStore opens (creating if needed) a disk-backed artifact
+// store rooted at dir.
+func OpenArtifactStore(dir string) (*ArtifactStore, error) { return store.Open(dir) }

@@ -1,6 +1,7 @@
 package minimaxdp
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -204,7 +205,7 @@ func TestPublicEngine(t *testing.T) {
 	if tl.Loss.Cmp(inter.Loss) != 0 {
 		t.Errorf("tailored loss %s != interaction loss %s", tl.Loss.RatString(), inter.Loss.RatString())
 	}
-	s, err := e.GeometricSampler(6, alpha)
+	s, err := e.Sampler(context.Background(), SamplerSpec{N: 6, Alpha: alpha})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,21 +10,27 @@
 #                      (internal/sample), sharded single/batch/parallel
 #                      draws (internal/engine), and the /v1/sample
 #                      HTTP handler (cmd/dpserver).
+#   BENCH_store.json   the artifact-store warm-boot path: cold LP solve
+#                      vs loading the persisted tailored solution from
+#                      the content-addressed disk store
+#                      (internal/engine BenchmarkStoreWarmBoot).
 #
-# CI re-runs both suites through scripts/bench_regression.sh and fails
+# CI re-runs the suites through scripts/bench_regression.sh and fails
 # on >2x regressions against the committed files. For refreshing the
 # baselines, run longer than the smoke default:
 #
 #   BENCHTIME=2s ./scripts/bench_json.sh
 #
 # Environment: BENCHTIME (go test -benchtime, default 1x),
-# OUT_LP / OUT_SAMPLE (output paths, default the committed names).
+# OUT_LP / OUT_SAMPLE / OUT_STORE (output paths, default the committed
+# names).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 OUT_LP="${OUT_LP:-BENCH_lp.json}"
 OUT_SAMPLE="${OUT_SAMPLE:-BENCH_sample.json}"
+OUT_STORE="${OUT_STORE:-BENCH_store.json}"
 raw="$(mktemp)"
 trap 'rm -f "${raw}"' EXIT
 
@@ -72,3 +78,9 @@ go test -run='^$' -bench='EngineSampler' -benchmem -benchtime="${BENCHTIME}" \
 go test -run='^$' -bench='HandleSample' -benchmem -benchtime="${BENCHTIME}" \
     ./cmd/dpserver | tee -a "${raw}"
 distill "${raw}" "${OUT_SAMPLE}"
+
+# --- artifact-store suite -------------------------------------------------
+: >"${raw}"
+go test -run='^$' -bench='StoreWarmBoot' -benchmem -benchtime="${BENCHTIME}" \
+    ./internal/engine | tee -a "${raw}"
+distill "${raw}" "${OUT_STORE}"

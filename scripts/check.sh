@@ -53,38 +53,73 @@ go test -run='^$' -fuzz='^FuzzParseLevels$' -fuzztime="${FUZZTIME}" ./cmd/dpserv
 go test -run='^$' -fuzz='^FuzzWarmStartMatchesExact$' -fuzztime="${FUZZTIME}" ./internal/lp
 go test -run='^$' -fuzz='^FuzzDyadicAlias$' -fuzztime="${FUZZTIME}" ./internal/sample
 
-echo "==> dpserver end-to-end smoke (ephemeral port, /healthz + /v1/tailored, graceful stop)"
+echo "==> dpserver end-to-end smoke (store-backed run, tenant release, warm-boot restart)"
 smokedir="$(mktemp -d)"
 trap 'rm -rf "${smokedir}"' EXIT
 go build -o "${smokedir}/dpserver" ./cmd/dpserver
-"${smokedir}/dpserver" -addr 127.0.0.1:0 -n 60 -max-tailored-n 8 \
-    >"${smokedir}/dpserver.log" 2>&1 &
-srv_pid=$!
-# The server logs its real address once the listener is up.
-base=""
-for _ in $(seq 1 50); do
-    base="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "${smokedir}/dpserver.log" | head -1)"
-    [ -n "${base}" ] && break
-    sleep 0.1
-done
-if [ -z "${base}" ]; then
-    echo "dpserver smoke: server never reported its address" >&2
-    cat "${smokedir}/dpserver.log" >&2
-    kill "${srv_pid}" 2>/dev/null || true
-    exit 1
-fi
+cat >"${smokedir}/tenants.json" <<'EOF'
+{"tenants": [{"id": "smoke", "n": 8, "truth": 3, "levels": ["1/3", "1/2"], "seed": 7}]}
+EOF
+
+# start_server <log>: launch against the shared store dir + tenant
+# config and echo the real address once the listener is up.
+start_server() {
+    local log="$1"
+    "${smokedir}/dpserver" -addr 127.0.0.1:0 -n 60 -max-tailored-n 8 \
+        -store-dir "${smokedir}/store" -tenants-config "${smokedir}/tenants.json" \
+        >"${log}" 2>&1 &
+    srv_pid=$!
+    base=""
+    for _ in $(seq 1 50); do
+        base="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "${log}" | head -1)"
+        [ -n "${base}" ] && break
+        sleep 0.1
+    done
+    if [ -z "${base}" ]; then
+        echo "dpserver smoke: server never reported its address" >&2
+        cat "${log}" >&2
+        kill "${srv_pid}" 2>/dev/null || true
+        exit 1
+    fi
+}
+
+# stop_server <log>: SIGTERM and require a clean graceful stop.
+stop_server() {
+    local log="$1"
+    kill -TERM "${srv_pid}"
+    if ! wait "${srv_pid}"; then
+        echo "dpserver smoke: server exited non-zero after SIGTERM" >&2
+        cat "${log}" >&2
+        exit 1
+    fi
+    grep -q "dpserver: stopped" "${log}"
+}
+
+# Run 1 (cold): exercise the LP-backed surface and a tenant cascaded
+# release so the artifact store is populated.
+start_server "${smokedir}/dpserver.log"
 curl -fsS "http://${base}/healthz" | grep -q ok
 curl -fsS "http://${base}/readyz" | grep -q ok
 curl -fsS "http://${base}/v1/tailored?loss=absolute&n=6&level=1" | grep -q minimax_loss
 # The tailored solve above must have gone through the float-guided
 # warm-start path: the engine metrics report at least one hit.
 curl -fsS "http://${base}/v1/metrics" | grep -q '"warm_start_hits":[1-9]'
-kill -TERM "${srv_pid}"
-if ! wait "${srv_pid}"; then
-    echo "dpserver smoke: server exited non-zero after SIGTERM" >&2
-    cat "${smokedir}/dpserver.log" >&2
+curl -fsS "http://${base}/v1/tenants" | grep -q '"smoke"'
+curl -fsS "http://${base}/v1/tenants/smoke/release?level=2" | grep -q '"result"'
+curl -fsS "http://${base}/v1/tenants/smoke/accounting" | grep -q '"spent_alpha":"1/3"'
+stop_server "${smokedir}/dpserver.log"
+
+# Run 2 (warm boot): same store dir and tenant config. The whole
+# surface — tailored solve included — must come off disk: the engine
+# metrics report zero LP solves.
+start_server "${smokedir}/dpserver2.log"
+curl -fsS "http://${base}/v1/tailored?loss=absolute&n=6&level=1" | grep -q minimax_loss
+curl -fsS "http://${base}/v1/tenants/smoke/release?level=1" | grep -q '"result"'
+if ! curl -fsS "http://${base}/v1/metrics" | grep -q '"solves":0'; then
+    echo "dpserver smoke: warm boot performed LP solves (store not used)" >&2
+    curl -fsS "http://${base}/v1/metrics" >&2 || true
     exit 1
 fi
-grep -q "dpserver: stopped" "${smokedir}/dpserver.log"
+stop_server "${smokedir}/dpserver2.log"
 
 echo "==> all checks passed"
