@@ -41,10 +41,11 @@ dpvet-sarif:
 bench:
 	go test -run='^$$' -bench=Engine -benchtime=1x ./internal/engine
 
-## bench-json: run the LP and sampling benchmark suites and write
-## BENCH_lp.json + BENCH_sample.json (op, ns/op, allocs/op per
-## benchmark). BENCHTIME=1x default; use `BENCHTIME=2s make bench-json`
-## when refreshing the committed baselines.
+## bench-json: run the benchmark suites and write the committed
+## baselines BENCH_lp.json + BENCH_sample.json + BENCH_store.json +
+## BENCH_compare.json (op, ns/op, allocs/op per benchmark).
+## BENCHTIME=1x default; use `BENCHTIME=2s make bench-json` when
+## refreshing the committed baselines.
 bench-json:
 	./scripts/bench_json.sh
 

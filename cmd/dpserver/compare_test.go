@@ -1,0 +1,279 @@
+// Tests for POST /v1/compare: the wire contract of the optimality-gap
+// scorecard, the Theorem 1 zero-gap guarantee as served JSON, cache
+// visibility through /v1/metrics, and the error envelope paths of the
+// shared consumer-spec codec.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// compareWire mirrors the POST /v1/compare response body.
+type compareWire struct {
+	N            int    `json:"n"`
+	Alpha        string `json:"alpha"`
+	Model        string `json:"model"`
+	TailoredLoss string `json:"tailored_loss"`
+	Baselines    []struct {
+		Baseline        string `json:"baseline"`
+		Loss            string `json:"loss"`
+		InteractionLoss string `json:"interaction_loss"`
+		Gap             string `json:"gap"`
+		BestAlpha       string `json:"best_alpha"`
+	} `json:"baselines"`
+}
+
+func postCompare(t *testing.T, mux http.Handler, body string) (*httptest.ResponseRecorder, compareWire) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/compare", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	var out compareWire
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad compare response: %v\n%s", err, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+// TestCompareZeroGapServed: Theorem 1 part 2 on the wire — for minimax
+// consumers across losses and side sets, the geometric baseline's gap
+// is the exact string "0" at the paper's demonstration sizes.
+func TestCompareZeroGapServed(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	for _, body := range []string{
+		`{"n":3,"alpha":"1/4","consumer":{"loss":"absolute"}}`,
+		`{"n":4,"alpha":"1/3","consumer":{"loss":"squared"}}`,
+		`{"n":4,"level":2,"consumer":{"loss":"zero-one","side":"1-3"}}`,
+		`{"n":3,"consumer":{"model":"minimax","loss":"deadband","width":"1"}}`,
+	} {
+		rec, out := postCompare(t, mux, body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", body, rec.Code, rec.Body.String())
+		}
+		if out.Model != "minimax" {
+			t.Fatalf("%s: model %q", body, out.Model)
+		}
+		var sawGeometric bool
+		for _, e := range out.Baselines {
+			if e.Baseline != "geometric" {
+				continue
+			}
+			sawGeometric = true
+			if e.Gap != "0" {
+				t.Errorf("%s: geometric gap = %q, want exactly \"0\"", body, e.Gap)
+			}
+			if e.InteractionLoss != out.TailoredLoss {
+				t.Errorf("%s: interaction %s != tailored %s",
+					body, e.InteractionLoss, out.TailoredLoss)
+			}
+			if e.BestAlpha != out.Alpha {
+				t.Errorf("%s: geometric best_alpha %s, want %s", body, e.BestAlpha, out.Alpha)
+			}
+		}
+		if !sawGeometric {
+			t.Fatalf("%s: no geometric entry in %v", body, out.Baselines)
+		}
+	}
+}
+
+// TestCompareDefaultSetAndBaselines: an empty baseline list serves the
+// default trio, and an explicit list is honored in canonical order.
+func TestCompareDefaultSetAndBaselines(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	rec, out := postCompare(t, mux, `{"n":3,"alpha":"1/3","consumer":{}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	got := make([]string, len(out.Baselines))
+	for i, e := range out.Baselines {
+		got[i] = e.Baseline
+	}
+	if fmt.Sprint(got) != "[geometric laplace staircase]" {
+		t.Errorf("default baseline set = %v", got)
+	}
+	rec, out = postCompare(t, mux,
+		`{"n":3,"alpha":"1/3","consumer":{},"baselines":["staircase:3","geometric"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explicit baselines: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(out.Baselines) != 2 || out.Baselines[0].Baseline != "geometric" ||
+		out.Baselines[1].Baseline != "staircase:3" {
+		t.Errorf("explicit baselines = %+v", out.Baselines)
+	}
+}
+
+// TestCompareBayesianServed: the Bayesian model flows through the same
+// route, with uniform default prior and explicit rational priors.
+func TestCompareBayesianServed(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	rec, out := postCompare(t, mux,
+		`{"n":3,"alpha":"1/4","consumer":{"model":"bayesian","loss":"absolute"}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out.Model != "bayesian" {
+		t.Fatalf("model = %q", out.Model)
+	}
+	for _, e := range out.Baselines {
+		if e.Baseline == "laplace" {
+			continue // not α-DP; may undercut the α-DP tailored floor
+		}
+		if strings.HasPrefix(e.Gap, "-") {
+			t.Errorf("%s: negative Bayesian gap %s for an α-DP baseline", e.Baseline, e.Gap)
+		}
+	}
+	rec, _ = postCompare(t, mux,
+		`{"n":2,"alpha":"1/4","consumer":{"model":"bayesian","prior":["1/2","1/4","1/4"]}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explicit prior: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestCompareCacheHitVisible: a repeat POST is served from the engine's
+// compare cache, and /v1/metrics shows the hit.
+func TestCompareCacheHitVisible(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	body := `{"n":3,"alpha":"1/2","consumer":{"loss":"absolute"}}`
+	for i := 0; i < 2; i++ {
+		if rec, _ := postCompare(t, mux, body); rec.Code != http.StatusOK {
+			t.Fatalf("POST %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/metrics", nil))
+	var m struct {
+		Engine struct {
+			Compares struct {
+				Requests uint64 `json:"requests"`
+				Cache    struct {
+					Hits   uint64 `json:"hits"`
+					Misses uint64 `json:"misses"`
+				} `json:"cache"`
+			} `json:"compares"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Engine.Compares
+	if c.Requests != 2 || c.Cache.Hits != 1 || c.Cache.Misses != 1 {
+		t.Errorf("compare metrics = %+v, want 2 requests / 1 hit / 1 miss", c)
+	}
+}
+
+// TestCompareErrors drives every 4xx path of the route and pins the
+// envelope codes; the unknown-loss message must quote the canonical
+// name list from the registry.
+func TestCompareErrors(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"consumer":{},"bogus":1}`},
+		{"trailing data", `{"consumer":{}} {"consumer":{}}`},
+		{"negative n", `{"n":-2,"consumer":{}}`},
+		{"n over cap", `{"n":9999,"consumer":{}}`},
+		{"bad alpha", `{"alpha":"zzz","consumer":{}}`},
+		{"bad level", `{"level":99,"consumer":{}}`},
+		{"unknown loss", `{"n":3,"consumer":{"loss":"nope"}}`},
+		{"width on absolute", `{"n":3,"consumer":{"loss":"absolute","width":"2"}}`},
+		{"bad side", `{"n":3,"consumer":{"side":"9-2"}}`},
+		{"prior on minimax", `{"n":3,"consumer":{"prior":["1/2","1/2"]}}`},
+		{"side on bayesian", `{"n":3,"consumer":{"model":"bayesian","side":"1-2"}}`},
+		{"bad prior entry", `{"n":3,"consumer":{"model":"bayesian","prior":["x"]}}`},
+		{"prior length mismatch", `{"n":3,"consumer":{"model":"bayesian","prior":["1/2","1/2"]}}`},
+		{"unknown model", `{"n":3,"consumer":{"model":"frequentist"}}`},
+		{"unknown baseline", `{"n":3,"consumer":{},"baselines":["gauss"]}`},
+		{"baseline bad width", `{"n":3,"consumer":{},"baselines":["staircase:0"]}`},
+	}
+	for _, tc := range cases {
+		rec, _ := postCompare(t, mux, tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, rec.Code, rec.Body.String())
+			continue
+		}
+		if code := decodeEnvelope(t, rec); code != "invalid_argument" {
+			t.Errorf("%s: code %q", tc.name, code)
+		}
+	}
+	rec, _ := postCompare(t, mux, `{"n":3,"consumer":{"loss":"nope"}}`)
+	for _, canonical := range []string{"absolute", "squared", "zero-one", "deadband"} {
+		if !strings.Contains(rec.Body.String(), canonical) {
+			t.Errorf("unknown-loss envelope missing canonical name %q: %s",
+				canonical, rec.Body.String())
+		}
+	}
+
+	// Wrong method: typed 405 with an Allow header.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/compare", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/compare: status %d", rec.Code)
+	}
+	if code := decodeEnvelope(t, rec); code != "method_not_allowed" {
+		t.Errorf("GET /v1/compare: code %q", code)
+	}
+	if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+
+	// No legacy tombstone: /compare never existed unversioned, so it is
+	// a plain 404, not a 410.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/compare", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("POST /compare: status %d, want 404", rec.Code)
+	}
+}
+
+// TestTailoredBayesianQuery: the shared codec gives the GET route the
+// bayesian model too, and the response names the loss correctly.
+func TestTailoredBayesianQuery(t *testing.T) {
+	s := newTestServer(t)
+	mux := s.handler()
+	rec, body := get(t, mux, "/v1/tailored?model=bayesian&loss=absolute&n=3&alpha=1/4")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["model"] != "bayesian" {
+		t.Errorf("model = %v", body["model"])
+	}
+	if _, ok := body["expected_loss"]; !ok {
+		t.Errorf("bayesian tailored response missing expected_loss: %v", body)
+	}
+	if _, ok := body["minimax_loss"]; ok {
+		t.Errorf("bayesian tailored response carries minimax_loss: %v", body)
+	}
+	// Explicit prior via comma-separated query form.
+	rec, _ = get(t, mux, "/v1/tailored?model=bayesian&n=2&alpha=1/4&prior=1/2,1/4,1/4")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("prior query: status %d: %s", rec.Code, rec.Body.String())
+	}
+	// Minimax responses are unchanged by the codec swap.
+	rec, body = get(t, mux, "/v1/tailored?loss=absolute&n=3&alpha=1/4")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("minimax: status %d", rec.Code)
+	}
+	if body["model"] != "minimax" || body["loss"] != "absolute" {
+		t.Errorf("minimax response = %v", body)
+	}
+	if _, ok := body["minimax_loss"]; !ok {
+		t.Errorf("minimax tailored response missing minimax_loss: %v", body)
+	}
+}

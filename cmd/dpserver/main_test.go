@@ -65,22 +65,27 @@ func TestParseLossAndSide(t *testing.T) {
 		"": "absolute", "absolute": "absolute", "squared": "squared",
 		"zero-one": "zero-one", "deadband": "deadband(1)",
 	} {
-		lf, err := parseLoss(name, "")
+		_, lf, err := (consumerSpec{Loss: name}).build(8)
 		if err != nil {
-			t.Fatalf("parseLoss(%q): %v", name, err)
+			t.Fatalf("build(loss=%q): %v", name, err)
 		}
 		if lf.Name() != want {
-			t.Errorf("parseLoss(%q).Name() = %q, want %q", name, lf.Name(), want)
+			t.Errorf("build(loss=%q).Name() = %q, want %q", name, lf.Name(), want)
 		}
 	}
-	if lf, err := parseLoss("deadband", "3"); err != nil || lf.Name() != "deadband(3)" {
+	if _, lf, err := (consumerSpec{Loss: "deadband", Width: "3"}).build(8); err != nil || lf.Name() != "deadband(3)" {
 		t.Errorf("deadband width 3: %v %v", lf, err)
 	}
-	if _, err := parseLoss("deadband", "-1"); err == nil {
+	if _, _, err := (consumerSpec{Loss: "deadband", Width: "-1"}).build(8); err == nil {
 		t.Error("negative width accepted")
 	}
-	if _, err := parseLoss("nope", ""); err == nil {
+	if _, _, err := (consumerSpec{Loss: "nope"}).build(8); err == nil {
 		t.Error("unknown loss accepted")
+	}
+	// A width on a width-less family is refused, not silently dropped —
+	// the registry owns that rule for every surface.
+	if _, _, err := (consumerSpec{Loss: "absolute", Width: "2"}).build(8); err == nil {
+		t.Error("width on absolute accepted")
 	}
 	side, err := parseSide("3-6")
 	if err != nil || len(side) != 4 || side[0] != 3 {

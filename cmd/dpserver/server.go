@@ -153,29 +153,19 @@ func parseLevels(s string) ([]*big.Rat, error) {
 	return out, nil
 }
 
-// parseLoss resolves the /v1/tailored loss parameter. width applies
-// only to the deadband family.
-func parseLoss(name, width string) (loss.Function, error) {
-	switch name {
-	case "", "absolute", "abs":
-		return loss.Absolute{}, nil
-	case "squared", "sq":
-		return loss.Squared{}, nil
-	case "zero-one", "zeroone", "01":
-		return loss.ZeroOne{}, nil
-	case "deadband":
-		w := 1
-		if width != "" {
-			var err error
-			w, err = strconv.Atoi(width)
-			if err != nil || w < 0 {
-				return nil, fmt.Errorf("width must be a non-negative integer, got %q", width)
-			}
-		}
-		return loss.Deadband{Width: w}, nil
-	default:
-		return nil, fmt.Errorf("unknown loss %q (absolute, squared, zero-one, deadband)", name)
+// lossFromConfig resolves a stored (name, width) loss pair — the
+// tenant-config form — through the loss registry. The integer width
+// is a wire parameter of the deadband family only; a nonzero width on
+// any other family is a spec error (loss.ParseSpec owns that rule;
+// the old per-surface parser silently ignored it).
+func lossFromConfig(name string, width int) (loss.Function, error) {
+	ws := ""
+	if width != 0 {
+		ws = strconv.Itoa(width)
+	} else if c, err := loss.CanonicalName(name); err == nil && c == "deadband" {
+		ws = "0"
 	}
+	return loss.ParseSpec(name, ws)
 }
 
 // parseSide resolves a "lo-hi" side-information interval; empty means
@@ -394,6 +384,10 @@ func (s *server) handler() http.Handler {
 		legacy := strings.TrimPrefix(rt.path, "/v1")
 		mux.HandleFunc(legacy, s.instrument(legacy, goneAlias(rt.path)))
 	}
+	// POST /v1/compare is new with the workbench API — it never had an
+	// unversioned form, so it gets no legacy tombstone.
+	mux.HandleFunc("/v1/compare", s.instrument("/v1/compare",
+		requireMethod(http.MethodPost, s.handleCompare)))
 	// The tenant tree dispatches methods inside the handlers (not via
 	// "METHOD /path" patterns) so wrong-method requests get the typed
 	// 405 envelope with an Allow header instead of the stdlib page.
@@ -505,7 +499,8 @@ func (s *server) handleRoot(w http.ResponseWriter, r *http.Request) {
 			"GET /v1/levels":                         "privacy levels and their α values",
 			"POST /v1/epoch":                         "advance to a fresh correlated draw",
 			"GET /v1/mechanism?level=K":              "exact marginal mechanism G_{n,α_K} (public knowledge)",
-			"GET /v1/tailored?loss=L&side=lo-hi&n=N": "engine-cached §2.5 tailored-optimum solve",
+			"GET /v1/tailored?loss=L&side=lo-hi&n=N": "engine-cached tailored-optimum solve (minimax §2.5 or model=bayesian)",
+			"POST /v1/compare":                       "optimality-gap scorecard: baseline mechanisms vs the consumer's tailored optimum (JSON spec body)",
 			"GET /v1/sample?level=K&input=i&count=M": "fresh draws of the public mechanism at a claimed input",
 			"GET /v1/metrics":                        "serving, engine-cache, artifact-store, and tenant counters",
 			"GET|POST /v1/tenants":                   "list / register tenants (own n, α-ladder, loss, budget)",
@@ -610,31 +605,50 @@ func (s *server) solveContext(r *http.Request) (context.Context, context.CancelF
 	return context.WithTimeout(r.Context(), s.solveTimeout)
 }
 
+// resolveAlpha picks the privacy level for an LP-backed request: an
+// explicit rational alpha wins, otherwise the 1-based ladder level
+// (default 1). Both arrive as wire strings so the GET query and POST
+// body surfaces share the exact validation.
+func (s *server) resolveAlpha(alphaStr, levelStr string) (*big.Rat, error) {
+	if alphaStr != "" {
+		a, err := rational.Parse(alphaStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad alpha: %w", err)
+		}
+		return a, nil
+	}
+	if levelStr == "" {
+		levelStr = "1"
+	}
+	lvl, err := strconv.Atoi(levelStr)
+	if err != nil || lvl < 1 {
+		return nil, fmt.Errorf("level must be a positive integer")
+	}
+	if lvl > len(s.alphas) {
+		return nil, fmt.Errorf("level %d out of range 1..%d", lvl, len(s.alphas))
+	}
+	return rational.Clone(s.alphas[lvl-1]), nil
+}
+
 // handleTailored answers "what is the optimal α-DP mechanism for this
-// consumer?" via the engine-cached §2.5 LP. The solve is keyed by
-// (n, α, loss, side), so repeat queries — the common case for a
-// public dashboard — are cache lookups, and concurrent identical
-// first-time queries are coalesced into one solve. The solve runs
-// under the request context: client disconnects cancel it (503), the
+// consumer?" via the engine-cached tailored solve (§2.5 LP for the
+// default minimax model, the Ghosh-et-al. analogue for
+// model=bayesian). The consumer arrives through the shared
+// consumerSpec codec — the same one POST /v1/compare reads from its
+// body — and the solve is keyed by (n, α, consumer identity), so
+// repeat queries are cache lookups and concurrent identical
+// first-time queries coalesce into one solve. The solve runs under
+// the request context: client disconnects cancel it (503), the
 // server's solve timeout bounds it (504), and the engine's in-flight
 // bound sheds excess load (429).
 func (s *server) handleTailored(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	lf, err := parseLoss(q.Get("loss"), q.Get("width"))
-	if err != nil {
-		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
-		return
-	}
-	side, err := parseSide(q.Get("side"))
-	if err != nil {
-		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
-		return
-	}
 	n := s.plan.N()
 	if n > s.maxTailoredN {
 		n = s.maxTailoredN
 	}
 	if nStr := q.Get("n"); nStr != "" {
+		var err error
 		n, err = strconv.Atoi(nStr)
 		if err != nil || n < 1 {
 			writeAPIError(w, http.StatusBadRequest, "invalid_argument", "n must be a positive integer")
@@ -646,34 +660,35 @@ func (s *server) handleTailored(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	var alpha *big.Rat
-	if aStr := q.Get("alpha"); aStr != "" {
-		alpha, err = rational.Parse(aStr)
-		if err != nil {
-			writeAPIError(w, http.StatusBadRequest, "invalid_argument", "bad alpha: %v", err)
-			return
-		}
-	} else {
-		lvl, err := s.parseLevel(r)
-		if err != nil {
-			writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
-			return
-		}
-		alpha = s.alphas[lvl-1]
+	model, lf, err := consumerSpecFromQuery(q).build(n)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
+		return
+	}
+	alpha, err := s.resolveAlpha(q.Get("alpha"), q.Get("level"))
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
+		return
 	}
 	ctx, cancel := s.solveContext(r)
 	defer cancel()
-	c := &consumer.Consumer{Loss: lf, Side: side}
-	tl, err := s.eng.TailoredCtx(ctx, c, n, alpha)
+	tl, err := s.eng.TailoredCtx(ctx, model, n, alpha)
 	if err != nil {
 		writeSolveError(w, err)
 		return
 	}
 	resp := map[string]interface{}{
-		"n":            n,
-		"alpha":        alpha.RatString(),
-		"loss":         lf.Name(),
-		"minimax_loss": tl.Loss.RatString(),
+		"n":     n,
+		"alpha": alpha.RatString(),
+		"model": model.ModelName(),
+		"loss":  lf.Name(),
+	}
+	// Field name says what the number is: worst-case loss over the
+	// side set for minimax, prior-weighted expectation for Bayesian.
+	if model.ModelName() == "bayesian" {
+		resp["expected_loss"] = tl.Loss.RatString()
+	} else {
+		resp["minimax_loss"] = tl.Loss.RatString()
 	}
 	if sideStr := q.Get("side"); sideStr != "" {
 		resp["side"] = sideStr

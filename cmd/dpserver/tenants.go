@@ -79,7 +79,7 @@ func (sp *tenantSpec) toConfig() (tenant.Config, error) {
 	}
 	// Parse eagerly so config-file typos fail registration, not the
 	// first tailored query.
-	if _, err := parseLoss(sp.Loss, strconv.Itoa(sp.Width)); err != nil {
+	if _, err := lossFromConfig(sp.Loss, sp.Width); err != nil {
 		return cfg, fmt.Errorf("tenant %q: %w", sp.ID, err)
 	}
 	side, err := parseSide(sp.Side)
@@ -522,7 +522,7 @@ func (s *server) handleTenantTailored(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lossName, width := t.Loss()
-	lf, err := parseLoss(lossName, strconv.Itoa(width))
+	lf, err := lossFromConfig(lossName, width)
 	if err != nil {
 		writeAPIError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return

@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-run all|F1,T1,...] [-seed 1] [-trials 20000] [-o out.txt]
+//	experiments [-mode paper|gap] [-run all|F1,T1,...] [-seed 1] [-trials 20000] [-o out.txt]
+//
+// -mode=gap skips the registry and runs the optimality-gap sweep
+// (gap.go): baseline mechanisms scored against tailored optima over a
+// consumer grid, hard-failing unless every minimax geometric gap is
+// exactly zero (the Theorem 1 certificate).
 //
 // Experiment IDs: F1 (Figure 1), T1 (Table 1), T2 (Table 2),
 // EB (Appendix B), ETh2 (Theorem 2 equivalence), EL1 (Lemma 1),
@@ -56,12 +61,18 @@ var registry = []experiment{
 }
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-	seed := flag.Int64("seed", 1, "PRNG seed for Monte-Carlo experiments")
-	trials := flag.Int("trials", 20000, "Monte-Carlo trials per arm")
+	mode := flag.String("mode", "paper", "paper = run the experiment registry; gap = optimality-gap sweep with the Theorem 1 zero-gap certificate")
+	runFlag := flag.String("run", "all", "comma-separated experiment IDs, or 'all' (paper mode)")
+	seed := flag.Int64("seed", 1, "PRNG seed for Monte-Carlo experiments and the gap-sweep consumer grid")
+	trials := flag.Int("trials", 20000, "Monte-Carlo trials per arm (paper mode)")
 	out := flag.String("o", "", "write output to file instead of stdout")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
+
+	if *mode != "paper" && *mode != "gap" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown mode %q (want paper or gap)\n", *mode)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range registry {
@@ -80,6 +91,21 @@ func main() {
 		}
 		outFile = f
 		w = f
+	}
+
+	cfg := config{seed: *seed, trials: *trials}
+	if *mode == "gap" {
+		err := runGapSweep(w, cfg)
+		if outFile != nil {
+			if cerr := outFile.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	want := map[string]bool{}
@@ -104,7 +130,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := config{seed: *seed, trials: *trials}
 	failed := 0
 	for _, e := range registry {
 		if len(want) > 0 && !want[e.id] {

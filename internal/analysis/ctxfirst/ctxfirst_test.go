@@ -34,6 +34,8 @@ func TestServingLayersNotExempt(t *testing.T) {
 	for _, p := range []string{
 		"minimaxdp/internal/store",
 		"minimaxdp/internal/tenant",
+		"minimaxdp/internal/baseline",
+		"minimaxdp/internal/loss",
 	} {
 		for _, allowed := range ctxfirst.DefaultAllow {
 			if allowed == p {

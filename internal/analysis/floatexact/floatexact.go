@@ -46,6 +46,11 @@ var DefaultScope = []string{
 	// quantization with a rational certificate, so not even the draw
 	// path needs a float exemption. See DESIGN.md §11.
 	"minimaxdp/internal/engine",
+	// The compare workbench: baseline mechanism builders (staircase and
+	// truncated Laplace are exact-rational constructions by design) and
+	// the loss registry behind every consumer-spec codec.
+	"minimaxdp/internal/baseline",
+	"minimaxdp/internal/loss",
 	// The analyzer's own fixture package counts as exact-arithmetic so
 	// that the production binary demonstrably fires when pointed at it
 	// (`go run ./cmd/dpvet ./internal/analysis/floatexact/testdata/src/floatexact`).

@@ -45,6 +45,18 @@ func TestScopeHandoff(t *testing.T) {
 	if analysis.PathMatches("minimaxdp/internal/lp", floatexact.DefaultScope) {
 		t.Fatal("minimaxdp/internal/lp is back in floatexact.DefaultScope; it belongs to floatflow (DESIGN.md §12)")
 	}
+	// The compare workbench's packages are exact-rational by design:
+	// the baseline builders (staircase, truncated Laplace) feed gap
+	// arithmetic that must be a true equality at the Theorem 1 oracle,
+	// and the loss registry is instantiated into every LP objective.
+	for _, p := range []string{
+		"minimaxdp/internal/baseline",
+		"minimaxdp/internal/loss",
+	} {
+		if !analysis.PathMatches(p, floatexact.DefaultScope) {
+			t.Errorf("%s missing from floatexact.DefaultScope; a float literal there would corrupt exact gaps", p)
+		}
+	}
 }
 
 // rawRun applies the analyzer to the fixture without consulting want

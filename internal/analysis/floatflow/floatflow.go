@@ -62,6 +62,8 @@ var DefaultScope = []string{
 	"minimaxdp/internal/engine",
 	"minimaxdp/internal/store",
 	"minimaxdp/internal/tenant",
+	"minimaxdp/internal/baseline",
+	"minimaxdp/internal/loss",
 	// Fixture package; wildcard patterns never descend into testdata,
 	// so this entry is inert for ./... runs.
 	"testdata/src/floatflow",
@@ -83,6 +85,8 @@ var exactWorld = []string{
 	"internal/engine",
 	"internal/store",
 	"internal/tenant",
+	"internal/baseline",
+	"internal/loss",
 }
 
 // Analyzer is the production instance.

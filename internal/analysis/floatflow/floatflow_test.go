@@ -63,3 +63,23 @@ func TestServingLayersInScope(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkbenchLayersInScope is a change detector for the compare
+// workbench packages: the baseline builders construct exact-rational
+// mechanisms (a float seed would corrupt every downstream gap), and
+// the loss registry is the shared spec codec for every serving
+// surface. Both must stay inside the policed scope and the exact-world
+// taint boundary.
+func TestWorkbenchLayersInScope(t *testing.T) {
+	for _, p := range []string{
+		"minimaxdp/internal/baseline",
+		"minimaxdp/internal/loss",
+	} {
+		if !analysis.PathMatches(p, DefaultScope) {
+			t.Errorf("%s left floatflow's scope; its rationals would be unpoliced", p)
+		}
+		if !analysis.PathMatches(p, exactWorld) {
+			t.Errorf("%s left floatflow's exact world; tainted floats could cross into it", p)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// The compare artifact: the value class cached by the engine and
+// served by POST /v1/compare. It lives here rather than in
+// internal/engine so the disk-store codec (internal/store) can
+// encode/decode it without importing the engine.
+
+package baseline
+
+import (
+	"fmt"
+	"math/big"
+
+	"minimaxdp/internal/rational"
+)
+
+// Entry is one baseline's scorecard under a fixed consumer model:
+// the mechanism's raw loss, the loss after the consumer's optimal
+// post-processing, and the gap between that and the tailored optimum.
+// All values are exact rationals.
+type Entry struct {
+	// Spec is the canonical wire name of the baseline ("geometric",
+	// "staircase:3", "laplace").
+	Spec string
+	// Loss is the consumer's loss for the mechanism used as-is.
+	Loss *big.Rat
+	// InteractionLoss is the loss after the consumer's optimal
+	// post-processing of the mechanism (Section 2.4.3 LP for minimax,
+	// deterministic remap for Bayesian).
+	InteractionLoss *big.Rat
+	// Gap = InteractionLoss − TailoredLoss. Theorem 1 part 2 says
+	// this is exactly 0 for the geometric baseline under every
+	// minimax consumer; for mechanisms that are not α-DP (laplace)
+	// it can be negative, because they buy loss with privacy.
+	Gap *big.Rat
+	// BestAlpha is the largest α' for which the baseline is α'-DP —
+	// the privacy level it actually achieves. Equal to the request α
+	// for geometric and staircase; strictly smaller (a weaker
+	// guarantee) for the truncated Laplace.
+	BestAlpha *big.Rat
+}
+
+// Comparison is the full compare artifact for one (n, α, consumer
+// model, baseline set): the tailored-optimal loss plus one Entry per
+// baseline in canonical order.
+type Comparison struct {
+	N     int
+	Alpha *big.Rat
+	// Model is the consumer model family ("minimax", "bayesian").
+	Model string
+	// TailoredLoss is the consumer's loss under the α-DP mechanism
+	// tailored to it (the optimality-gap yardstick).
+	TailoredLoss *big.Rat
+	Entries      []Entry
+}
+
+// Validate re-checks the artifact's internal arithmetic identity
+// (Gap = InteractionLoss − TailoredLoss for every entry); decode
+// paths run it so corrupted persisted artifacts cannot re-enter the
+// cache.
+func (c *Comparison) Validate() error {
+	if c.TailoredLoss == nil || c.Alpha == nil {
+		return fmt.Errorf("baseline: comparison missing alpha or tailored loss")
+	}
+	for i, e := range c.Entries {
+		if e.Loss == nil || e.InteractionLoss == nil || e.Gap == nil || e.BestAlpha == nil {
+			return fmt.Errorf("baseline: comparison entry %d (%s) has missing fields", i, e.Spec)
+		}
+		want := rational.Sub(e.InteractionLoss, c.TailoredLoss)
+		if e.Gap.Cmp(want) != 0 {
+			return fmt.Errorf("baseline: comparison entry %d (%s) gap %s ≠ interaction − tailored = %s",
+				i, e.Spec, e.Gap.RatString(), want.RatString())
+		}
+	}
+	return nil
+}

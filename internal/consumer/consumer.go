@@ -104,14 +104,18 @@ func (c *Consumer) MinimaxLoss(m *mechanism.Mechanism) (*big.Rat, error) {
 	return worst, nil
 }
 
-// Interaction is the result of solving the Section 2.4.3 LP: the
-// consumer's optimal randomized reinterpretation T of a deployed
-// mechanism's outputs, the induced mechanism y·T, and its minimax
-// loss.
+// Interaction is a consumer's optimal reaction to a deployed
+// mechanism: the reinterpretation T of its outputs, the induced
+// mechanism y·T, and the induced loss under that consumer's own
+// objective. For minimax consumers this is the solution of the
+// Section 2.4.3 LP and T is randomized; for Bayesian consumers the
+// optimal reaction is a deterministic posterior remap and Remap
+// records it (Remap is non-nil exactly in the deterministic case).
 type Interaction struct {
 	T       *matrix.Matrix
 	Induced *mechanism.Mechanism
 	Loss    *big.Rat
+	Remap   []int
 }
 
 // OptimalInteraction solves the consumer's post-processing LP against
@@ -376,12 +380,31 @@ type BayesianInteraction struct {
 }
 
 // OptimalBayesianInteraction computes the Bayes-optimal deterministic
-// remap of the deployed mechanism's outputs: for each output r,
+// remap of the deployed mechanism's outputs. It is
+// OptimalBayesianInteractionCtx with a background context.
+func OptimalBayesianInteraction(b *Bayesian, deployed *mechanism.Mechanism) (*BayesianInteraction, error) {
+	return OptimalBayesianInteractionCtx(context.Background(), b, deployed)
+}
+
+// OptimalBayesianInteractionCtx computes the Bayes-optimal
+// deterministic remap of the deployed mechanism's outputs: for each
+// output r,
 //
 //	remap(r) = argmin_{r'} Σ_i prior[i]·y[i][r]·l(i,r')
 //
 // (posterior expected loss; ties broken toward the smallest r').
-func OptimalBayesianInteraction(b *Bayesian, deployed *mechanism.Mechanism) (*BayesianInteraction, error) {
+// The scan is O(n²) rational work per output; ctx cancellation aborts
+// it between outputs and returns ctx.Err().
+func OptimalBayesianInteractionCtx(ctx context.Context, b *Bayesian, deployed *mechanism.Mechanism) (*BayesianInteraction, error) {
+	return OptimalBayesianInteractionOpts(ctx, b, deployed, lp.SolveOpts{})
+}
+
+// OptimalBayesianInteractionOpts is OptimalBayesianInteractionCtx with
+// explicit LP solver options, accepted for uniformity with the minimax
+// API (consumer.Model threads one option set through every optimum).
+// The Bayesian remap is an argmin scan rather than an LP, so the
+// options are ignored.
+func OptimalBayesianInteractionOpts(ctx context.Context, b *Bayesian, deployed *mechanism.Mechanism, _ lp.SolveOpts) (*BayesianInteraction, error) {
 	n := deployed.N()
 	if err := b.ValidatePrior(n); err != nil {
 		return nil, err
@@ -389,6 +412,9 @@ func OptimalBayesianInteraction(b *Bayesian, deployed *mechanism.Mechanism) (*Ba
 	remap := make([]int, n+1)
 	tmp := rational.Zero()
 	for r := 0; r <= n; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var bestVal *big.Rat
 		best := 0
 		for rp := 0; rp <= n; rp++ {
@@ -424,8 +450,38 @@ func OptimalBayesianInteraction(b *Bayesian, deployed *mechanism.Mechanism) (*Ba
 
 // OptimalBayesianMechanism solves the Ghosh-et-al. analogue of the
 // Section 2.5 LP: minimize prior-weighted expected loss over all
-// oblivious α-DP mechanisms.
+// oblivious α-DP mechanisms. It is OptimalBayesianMechanismCtx with a
+// background context.
 func OptimalBayesianMechanism(b *Bayesian, n int, alpha *big.Rat) (*Tailored, error) {
+	return OptimalBayesianMechanismCtx(context.Background(), b, n, alpha)
+}
+
+// OptimalBayesianMechanismCtx solves the Ghosh-et-al. analogue of the
+// Section 2.5 LP over all oblivious α-DP mechanisms on {0..n}:
+//
+//	minimize  Σ_i prior[i]·Σ_r x[i][r]·l(i,r)
+//	s.t.      x[i][r] − α·x[i+1][r] ≥ 0             ∀ i < n, r
+//	          x[i+1][r] − α·x[i][r] ≥ 0             ∀ i < n, r
+//	          Σ_r x[i][r] = 1                        ∀ i
+//	          x ≥ 0.
+//
+// The LP is the same size as the minimax tailored LP (minus the
+// epigraph variable); ctx cancellation aborts it between simplex
+// pivots and returns ctx.Err().
+func OptimalBayesianMechanismCtx(ctx context.Context, b *Bayesian, n int, alpha *big.Rat) (*Tailored, error) {
+	return OptimalBayesianMechanismOpts(ctx, b, n, alpha, lp.SolveOpts{})
+}
+
+// OptimalBayesianMechanismOpts is OptimalBayesianMechanismCtx with
+// explicit LP solver options: strategy selection (warm-start vs pure
+// exact) and per-solve statistics for the serving layer's metrics.
+func OptimalBayesianMechanismOpts(ctx context.Context, b *Bayesian, n int, alpha *big.Rat, opts lp.SolveOpts) (*Tailored, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("consumer: n must be ≥ 1, got %d", n)
+	}
+	if alpha.Sign() < 0 || alpha.Cmp(rational.One()) > 0 {
+		return nil, fmt.Errorf("consumer: α must be in [0,1], got %s", alpha.RatString())
+	}
 	if err := b.ValidatePrior(n); err != nil {
 		return nil, err
 	}
@@ -461,7 +517,7 @@ func OptimalBayesianMechanism(b *Bayesian, n int, alpha *big.Rat) (*Tailored, er
 		}
 		p.AddConstraint(terms, lp.EQ, rational.One())
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveWithOpts(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

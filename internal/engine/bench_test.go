@@ -156,3 +156,29 @@ func BenchmarkEngineSamplerVsCDF(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEngineCompare measures the cached compare scorecard path —
+// the POST /v1/compare hot path once the first request has paid for
+// the nested LP solves. The warm request is a single cache probe on
+// the compares class; the regression gate (BENCH_compare.json) pins
+// it beside the other cached artifact reads.
+func BenchmarkEngineCompare(b *testing.B) {
+	e := New(Config{})
+	spec := CompareSpec{
+		N:     8,
+		Alpha: rational.MustParse("1/2"),
+		Model: &consumer.Consumer{Loss: loss.Absolute{}},
+	}
+	if _, err := e.Compare(spec); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Compare(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -59,10 +59,9 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"sort"
-	"strconv"
 	"strings"
 
+	"minimaxdp/internal/baseline"
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/derive"
 	"minimaxdp/internal/lp"
@@ -162,6 +161,7 @@ type Engine struct {
 	plans        *store
 	tailored     *store
 	interactions *store
+	compares     *store
 	samplers     *store
 
 	solves     *solveSem // nil when shedding is disabled
@@ -183,6 +183,7 @@ func New(cfg Config) *Engine {
 		plans:        newStore("plans", cfg.MatrixCacheSize),
 		tailored:     newStore("tailored", cfg.LPCacheSize),
 		interactions: newStore("interactions", cfg.LPCacheSize),
+		compares:     newStore("compares", cfg.LPCacheSize),
 		samplers:     newStore("samplers", cfg.SamplerCacheSize),
 		shards:       newShardSet(cfg.Seed),
 		trace:        cfg.Trace,
@@ -195,13 +196,17 @@ func New(cfg Config) *Engine {
 		}
 		e.solves = newSolveSem(bound)
 		// Only the LP-backed classes are expensive enough to shed;
-		// matrix artifacts compute in microseconds.
+		// matrix artifacts compute in microseconds. The compares class
+		// carries no semaphore of its own: its nested tailored and
+		// interaction solves pass through those classes' sheddable
+		// stores, and double-counting slots for the composite would
+		// deadlock a saturated engine against itself.
 		e.tailored.sem = e.solves
 		e.interactions.sem = e.solves
 	}
 	for _, s := range []*store{
 		e.mechanisms, e.inverses, e.transitions, e.plans,
-		e.tailored, e.interactions, e.samplers,
+		e.tailored, e.interactions, e.compares, e.samplers,
 	} {
 		s.trace = cfg.Trace
 	}
@@ -278,40 +283,16 @@ func lpKey(n int, alpha *big.Rat, ck string) string {
 	return fmt.Sprintf("n=%d|a=%s|%s", n, ratKey(alpha), ck)
 }
 
-// consumerKey canonicalizes the cache-relevant identity of a minimax
-// consumer on {0..n}: the loss function's name plus the sorted,
-// deduplicated side-information set clipped to the domain (matching
-// how the LP builders themselves normalize side information). The
-// display Name of the consumer is deliberately excluded.
-func consumerKey(c *consumer.Consumer, n int) (string, error) {
-	if c == nil || c.Loss == nil {
+// consumerKey canonicalizes the cache-relevant identity of a consumer
+// model on {0..n}. The Model implementations own the format
+// (consumer.(*Consumer).Key, consumer.(*Bayesian).Key); for minimax
+// consumers it is the historical "loss=…|side=…" string, so artifacts
+// persisted before the Model unification keep their disk addresses.
+func consumerKey(m consumer.Model, n int) (string, error) {
+	if m == nil {
 		return "", fmt.Errorf("engine: consumer with a loss function required")
 	}
-	var b strings.Builder
-	b.WriteString("loss=")
-	b.WriteString(c.Loss.Name())
-	b.WriteString("|side=")
-	if len(c.Side) == 0 {
-		b.WriteString("full")
-		return b.String(), nil
-	}
-	side := make([]int, 0, len(c.Side))
-	seen := make(map[int]bool, len(c.Side))
-	for _, i := range c.Side {
-		if i < 0 || i > n || seen[i] {
-			continue
-		}
-		seen[i] = true
-		side = append(side, i)
-	}
-	sort.Ints(side)
-	for k, i := range side {
-		if k > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(i))
-	}
-	return b.String(), nil
+	return m.Key(n)
 }
 
 // --- LP solver plumbing ---------------------------------------------------
@@ -465,12 +446,13 @@ func (e *Engine) ReleasePlanCtx(ctx context.Context, n int, alphas []*big.Rat) (
 	})
 }
 
-// TailoredMechanism solves (once per key) the §2.5 LP: the optimal
-// α-DP mechanism for consumer c on {0..n}. The returned Tailored is
-// shared between callers and must be treated as read-only. It is
-// TailoredCtx(context.Background(), ...).
-func (e *Engine) TailoredMechanism(c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Tailored, error) {
-	return e.TailoredCtx(context.Background(), c, n, alpha)
+// TailoredMechanism solves (once per key) the tailored-optimum
+// problem for consumer model m on {0..n}: the §2.5 LP for minimax
+// consumers, the Ghosh-et-al. analogue for Bayesian ones. The
+// returned Tailored is shared between callers and must be treated as
+// read-only. It is TailoredCtx(context.Background(), ...).
+func (e *Engine) TailoredMechanism(m consumer.Model, n int, alpha *big.Rat) (*consumer.Tailored, error) {
+	return e.TailoredCtx(context.Background(), m, n, alpha)
 }
 
 // TailoredCtx is TailoredMechanism under a context. The context
@@ -479,61 +461,40 @@ func (e *Engine) TailoredMechanism(c *consumer.Consumer, n int, alpha *big.Rat) 
 // then only this caller detaches). A canceled solve is never cached;
 // the next request recomputes from scratch. When the engine's
 // in-flight solve bound is hit, the error wraps ErrSaturated.
-func (e *Engine) TailoredCtx(ctx context.Context, c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Tailored, error) {
+func (e *Engine) TailoredCtx(ctx context.Context, m consumer.Model, n int, alpha *big.Rat) (*consumer.Tailored, error) {
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
-	ck, err := consumerKey(c, n)
+	ck, err := consumerKey(m, n)
 	if err != nil {
 		return nil, err
 	}
-	key := lpKey(n, alpha, ck)
-	if t, ok, err := getCached[*consumer.Tailored](ctx, e.tailored, key); ok || err != nil {
-		return t, err
-	}
-	return getTyped(ctx, e.tailored, key, func(solveCtx context.Context) (*consumer.Tailored, error) {
-		opts, stats := e.lpOpts()
-		t, err := consumer.OptimalMechanismOpts(solveCtx, c, n, alpha, opts)
-		e.recordLP(e.tailored, key, stats)
-		return t, err
-	})
+	return e.modelTailoredCtx(ctx, m, ck, n, alpha)
 }
 
-// OptimalInteraction solves (once per key) the §2.4.3 LP: consumer
-// c's optimal post-processing of the deployed geometric mechanism
-// G_{n,α}. By Theorem 1 its Loss equals the tailored optimum, so a
-// warm engine can answer "what does consumer c lose at level α?"
-// from cache along either route. The returned Interaction is shared
-// and must be treated as read-only. It is
-// InteractionCtx(context.Background(), ...).
-func (e *Engine) OptimalInteraction(c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Interaction, error) {
-	return e.InteractionCtx(context.Background(), c, n, alpha)
+// OptimalInteraction solves (once per key) the consumer model's
+// optimal reaction to the deployed geometric mechanism G_{n,α}: the
+// §2.4.3 post-processing LP for minimax consumers, the deterministic
+// posterior remap for Bayesian ones. By Theorem 1 a minimax model's
+// Loss here equals the tailored optimum, so a warm engine can answer
+// "what does this consumer lose at level α?" from cache along either
+// route. The returned Interaction is shared and must be treated as
+// read-only. It is InteractionCtx(context.Background(), ...).
+func (e *Engine) OptimalInteraction(m consumer.Model, n int, alpha *big.Rat) (*consumer.Interaction, error) {
+	return e.InteractionCtx(context.Background(), m, n, alpha)
 }
 
 // InteractionCtx is OptimalInteraction under a context, with the same
 // cancellation and load-shedding behavior as TailoredCtx.
-func (e *Engine) InteractionCtx(ctx context.Context, c *consumer.Consumer, n int, alpha *big.Rat) (*consumer.Interaction, error) {
+func (e *Engine) InteractionCtx(ctx context.Context, m consumer.Model, n int, alpha *big.Rat) (*consumer.Interaction, error) {
 	if err := checkRat("alpha", alpha); err != nil {
 		return nil, err
 	}
-	ck, err := consumerKey(c, n)
+	ck, err := consumerKey(m, n)
 	if err != nil {
 		return nil, err
 	}
-	key := lpKey(n, alpha, ck)
-	if in, ok, err := getCached[*consumer.Interaction](ctx, e.interactions, key); ok || err != nil {
-		return in, err
-	}
-	return getTyped(ctx, e.interactions, key, func(solveCtx context.Context) (*consumer.Interaction, error) {
-		deployed, err := e.GeometricCtx(solveCtx, n, alpha)
-		if err != nil {
-			return nil, err
-		}
-		opts, stats := e.lpOpts()
-		in, err := consumer.OptimalInteractionOpts(solveCtx, c, deployed, opts)
-		e.recordLP(e.interactions, key, stats)
-		return in, err
-	})
+	return e.modelInteractionCtx(ctx, m, ck, baseline.Spec{Kind: baseline.Geometric}, n, alpha)
 }
 
 // Metrics snapshots the engine's counters (see Metrics for the JSON
@@ -546,6 +507,7 @@ func (e *Engine) Metrics() Metrics {
 		Plans:             e.plans.stats(),
 		Tailored:          e.tailored.stats(),
 		Interactions:      e.interactions.stats(),
+		Compares:          e.compares.stats(),
 		Samplers:          e.samplers.stats(),
 		SamplerDraws:      e.shards.drawCount(),
 		SamplerBatches:    e.shards.batchCount(),

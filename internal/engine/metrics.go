@@ -146,6 +146,7 @@ type Metrics struct {
 	Plans        ArtifactStats `json:"plans"`
 	Tailored     ArtifactStats `json:"tailored"`
 	Interactions ArtifactStats `json:"interactions"`
+	Compares     ArtifactStats `json:"compares"`
 	Samplers     ArtifactStats `json:"samplers"`
 	// SamplerDraws counts individual draws across every sampler the
 	// engine compiled; SamplerBatches counts batch-API calls

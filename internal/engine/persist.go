@@ -9,10 +9,11 @@
 // — including the LP-backed tailored solutions — with zero solves.
 //
 // Persisted classes: mechanisms, transitions, plans, tailored,
-// samplers — the five classes whose keys are pure value parameters
-// (n, α ladder, loss name, side set). Inverses are cheap closed forms
-// served as clones, and interactions are recoverable from the
-// tailored optimum (Theorem 1), so neither earns disk space.
+// compares, samplers — the classes whose keys are pure value
+// parameters (n, α ladder, loss name, side set, prior, baseline set).
+// Inverses are cheap closed forms served as clones, and interactions
+// are recoverable from the tailored optimum (Theorem 1), so neither
+// earns disk space.
 //
 // Failure policy mirrors the disk store's: a binding that cannot
 // load, decode, or save an artifact counts a StoreError, emits
@@ -25,6 +26,7 @@
 package engine
 
 import (
+	"minimaxdp/internal/baseline"
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/matrix"
 	"minimaxdp/internal/mechanism"
@@ -116,6 +118,15 @@ func (e *Engine) bindDisk(db *diskstore.Store) {
 		},
 		dec: func(_ string, payload []byte) (any, error) {
 			return diskstore.DecodeTailored(payload)
+		},
+	}
+	e.compares.disk = &diskBinding{
+		db: db,
+		enc: func(v any) ([]byte, error) {
+			return diskstore.EncodeCompare(v.(*baseline.Comparison)), nil
+		},
+		dec: func(_ string, payload []byte) (any, error) {
+			return diskstore.DecodeCompare(payload)
 		},
 	}
 	e.samplers.disk = &diskBinding{

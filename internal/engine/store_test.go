@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"minimaxdp/internal/baseline"
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/loss"
 	"minimaxdp/internal/rational"
@@ -31,6 +32,7 @@ type warmed struct {
 	geomProb     *big.Rat
 	planFirst    *big.Rat
 	transProb    *big.Rat
+	compareGap   *big.Rat
 	draws        []int
 }
 
@@ -62,11 +64,22 @@ func driveArtifacts(t testing.TB, e *Engine) warmed {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Geometric-only baseline set: the compare shares the tailored
+	// solve above and adds exactly one interaction solve, keeping the
+	// cold drive fast while still exercising the persisted class.
+	cmp, err := e.Compare(CompareSpec{
+		N: 6, Alpha: a, Model: c,
+		Baselines: []baseline.Spec{{Kind: baseline.Geometric}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return warmed{
 		tailoredLoss: tl.Loss,
 		geomProb:     g.Prob(3, 3),
 		planFirst:    m1.Prob(0, 0),
 		transProb:    tr.At(2, 2),
+		compareGap:   cmp.Entries[0].Gap,
 		draws:        s.SampleN(3, 32),
 	}
 }
@@ -104,6 +117,9 @@ func TestEngineWarmBoot(t *testing.T) {
 	if hits == 0 {
 		t.Error("warm boot hit the store zero times")
 	}
+	if wm.Compares.StoreHits != 1 {
+		t.Errorf("compare store hits = %d, want 1", wm.Compares.StoreHits)
+	}
 	if wm.Tailored.StoreHits != 1 {
 		t.Errorf("tailored store hits = %d, want 1", wm.Tailored.StoreHits)
 	}
@@ -115,6 +131,7 @@ func TestEngineWarmBoot(t *testing.T) {
 		{"geometric prob", want.geomProb, got.geomProb},
 		{"plan marginal", want.planFirst, got.planFirst},
 		{"transition prob", want.transProb, got.transProb},
+		{"compare gap", want.compareGap, got.compareGap},
 	} {
 		if cmp.cold.Cmp(cmp.warm) != 0 {
 			t.Errorf("%s: cold %s != warm %s", cmp.name, cmp.cold.RatString(), cmp.warm.RatString())

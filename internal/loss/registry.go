@@ -1,0 +1,153 @@
+// The loss-name registry: one canonical table mapping wire names to
+// loss constructors, shared by every serving surface (the GET query
+// routes and the POST /v1/compare body codec in cmd/dpserver, and the
+// experiments CLI). Before this registry each surface carried its own
+// name switch, which is exactly how two surfaces drift apart; now the
+// accepted names, their aliases, and the canonical list rendered into
+// invalid_argument envelopes all come from here.
+
+package loss
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// specEntry is one registry row: the canonical name, its accepted
+// aliases, and the constructor. width is the raw width parameter
+// (empty = default); only parameterized families consume it.
+type specEntry struct {
+	canonical string
+	aliases   []string
+	build     func(width string) (Function, error)
+}
+
+// registry is the single source of truth for wire-facing loss names.
+// Order fixes the canonical listing in error messages and /v1 docs.
+var registry = []specEntry{
+	{
+		canonical: "absolute",
+		aliases:   []string{"abs", ""},
+		build: func(width string) (Function, error) {
+			if err := rejectWidth("absolute", width); err != nil {
+				return nil, err
+			}
+			return Absolute{}, nil
+		},
+	},
+	{
+		canonical: "squared",
+		aliases:   []string{"sq"},
+		build: func(width string) (Function, error) {
+			if err := rejectWidth("squared", width); err != nil {
+				return nil, err
+			}
+			return Squared{}, nil
+		},
+	},
+	{
+		canonical: "zero-one",
+		aliases:   []string{"zeroone", "01"},
+		build: func(width string) (Function, error) {
+			if err := rejectWidth("zero-one", width); err != nil {
+				return nil, err
+			}
+			return ZeroOne{}, nil
+		},
+	},
+	{
+		canonical: "deadband",
+		build: func(width string) (Function, error) {
+			w := 1
+			if width != "" {
+				var err error
+				w, err = strconv.Atoi(width)
+				if err != nil || w < 0 {
+					return nil, fmt.Errorf("loss: width must be a non-negative integer, got %q", width)
+				}
+			}
+			return Deadband{Width: w}, nil
+		},
+	},
+}
+
+// rejectWidth fails when a width parameter reaches a loss family that
+// has none — a silently ignored parameter is a spec typo the caller
+// should hear about.
+func rejectWidth(name, width string) error {
+	if width != "" {
+		return fmt.Errorf("loss: %q takes no width parameter (got %q)", name, width)
+	}
+	return nil
+}
+
+// Names returns the canonical loss names in registry order, the list
+// quoted by invalid_argument error envelopes and route docs.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.canonical
+	}
+	return out
+}
+
+// ParseSpec resolves a wire-facing loss name (canonical or alias;
+// empty means absolute) plus its raw width parameter into a Function.
+// The error for an unknown name carries the canonical name list so
+// serving layers can return it verbatim.
+func ParseSpec(name, width string) (Function, error) {
+	for _, e := range registry {
+		if name == e.canonical {
+			return e.build(width)
+		}
+		for _, a := range e.aliases {
+			if name == a {
+				return e.build(width)
+			}
+		}
+	}
+	return nil, fmt.Errorf("loss: unknown loss %q (want one of %v)", name, Names())
+}
+
+// CanonicalName resolves a name or alias to its canonical form
+// without building the function; unknown names return an error with
+// the canonical list.
+func CanonicalName(name string) (string, error) {
+	for _, e := range registry {
+		if name == e.canonical {
+			return e.canonical, nil
+		}
+		for _, a := range e.aliases {
+			if name == a {
+				return e.canonical, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("loss: unknown loss %q (want one of %v)", name, Names())
+}
+
+// aliasIndex is used by tests to assert the registry stays
+// well-formed (no duplicate wire names across rows).
+func aliasIndex() map[string]string {
+	idx := make(map[string]string)
+	for _, e := range registry {
+		idx[e.canonical] = e.canonical
+		for _, a := range e.aliases {
+			idx[a] = e.canonical
+		}
+	}
+	return idx
+}
+
+// sortedWireNames returns every accepted wire name, sorted; test
+// helper for change detection.
+func sortedWireNames() []string {
+	idx := aliasIndex()
+	out := make([]string, 0, len(idx))
+	for k := range idx {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

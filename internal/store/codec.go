@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"minimaxdp/internal/baseline"
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/matrix"
 	"minimaxdp/internal/mechanism"
@@ -246,6 +247,100 @@ func DecodeTailored(payload []byte) (*consumer.Tailored, error) {
 		return nil, err
 	}
 	return &consumer.Tailored{Mechanism: mc, Loss: lossVal}, nil
+}
+
+// --- compare scorecards ---------------------------------------------------
+
+// EncodeCompare renders an optimality-gap scorecard: the header fixes
+// the domain bound, consumer model name, privacy level, and entry
+// count; then the tailored-optimal loss and one line per baseline.
+// Baseline spec strings and model names are space-free by
+// construction, so the line format stays field-splittable.
+func EncodeCompare(c *baseline.Comparison) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "compare %d %s %s %d\n", c.N, c.Model, c.Alpha.RatString(), len(c.Entries))
+	fmt.Fprintf(&b, "tailored %s\n", c.TailoredLoss.RatString())
+	for _, e := range c.Entries {
+		fmt.Fprintf(&b, "entry %s %s %s %s %s\n",
+			e.Spec, e.Loss.RatString(), e.InteractionLoss.RatString(),
+			e.Gap.RatString(), e.BestAlpha.RatString())
+	}
+	return b.Bytes()
+}
+
+// DecodeCompare parses EncodeCompare output. Beyond the per-field
+// rational parses it re-validates the scorecard's arithmetic identity
+// (Gap = InteractionLoss − TailoredLoss per entry, via
+// baseline.Comparison.Validate), so a checksum-valid but internally
+// inconsistent entry is rejected rather than served.
+func DecodeCompare(payload []byte) (*baseline.Comparison, error) {
+	r := newLineReader(payload)
+	args, err := r.header("compare", 4)
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseCount(args[0], "domain bound", 0, maxDecodeDim)
+	if err != nil {
+		return nil, err
+	}
+	model := args[1]
+	if model == "" {
+		return nil, fmt.Errorf("store: empty compare model")
+	}
+	alpha, err := rational.Parse(args[2])
+	if err != nil {
+		return nil, fmt.Errorf("store: bad compare alpha: %w", err)
+	}
+	count, err := parseCount(args[3], "entry count", 1, maxDecodeDim)
+	if err != nil {
+		return nil, err
+	}
+	tailoredArgs, err := r.header("tailored", 1)
+	if err != nil {
+		return nil, err
+	}
+	tailoredLoss, err := rational.Parse(tailoredArgs[0])
+	if err != nil {
+		return nil, fmt.Errorf("store: bad tailored loss: %w", err)
+	}
+	out := &baseline.Comparison{
+		N:            n,
+		Alpha:        alpha,
+		Model:        model,
+		TailoredLoss: tailoredLoss,
+		Entries:      make([]baseline.Entry, 0, count),
+	}
+	for i := 0; i < count; i++ {
+		fields, err := r.header("entry", 5)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := baseline.ParseSpec(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("store: compare entry %d: %w", i, err)
+		}
+		vals := make([]*big.Rat, 4)
+		for j, f := range fields[1:] {
+			vals[j], err = rational.Parse(f)
+			if err != nil {
+				return nil, fmt.Errorf("store: compare entry %d field %d: %w", i, j+1, err)
+			}
+		}
+		out.Entries = append(out.Entries, baseline.Entry{
+			Spec:            spec.String(),
+			Loss:            vals[0],
+			InteractionLoss: vals[1],
+			Gap:             vals[2],
+			BestAlpha:       vals[3],
+		})
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // --- release plans --------------------------------------------------------

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"minimaxdp/internal/baseline"
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/matrix"
 	"minimaxdp/internal/mechanism"
@@ -406,5 +407,69 @@ func TestStoredArtifactFullCycle(t *testing.T) {
 	}
 	if !dec.Equal(g) {
 		t.Fatal("mechanism changed through the store")
+	}
+}
+
+func TestCompareCodecRoundTrip(t *testing.T) {
+	c := &baseline.Comparison{
+		N:            3,
+		Alpha:        rational.MustParse("1/4"),
+		Model:        "minimax",
+		TailoredLoss: rational.MustParse("5/7"),
+		Entries: []baseline.Entry{
+			{
+				Spec:            "geometric",
+				Loss:            rational.MustParse("6/7"),
+				InteractionLoss: rational.MustParse("5/7"),
+				Gap:             rational.MustParse("0"),
+				BestAlpha:       rational.MustParse("1/4"),
+			},
+			{
+				Spec:            "staircase:3",
+				Loss:            rational.MustParse("9/7"),
+				InteractionLoss: rational.MustParse("6/7"),
+				Gap:             rational.MustParse("1/7"),
+				BestAlpha:       rational.MustParse("1/4"),
+			},
+		},
+	}
+	enc := EncodeCompare(c)
+	dec, err := DecodeCompare(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.N != c.N || dec.Model != c.Model || dec.Alpha.Cmp(c.Alpha) != 0 ||
+		dec.TailoredLoss.Cmp(c.TailoredLoss) != 0 || len(dec.Entries) != len(c.Entries) {
+		t.Fatalf("decoded comparison differs: %+v", dec)
+	}
+	for i := range c.Entries {
+		if dec.Entries[i].Spec != c.Entries[i].Spec ||
+			dec.Entries[i].Gap.Cmp(c.Entries[i].Gap) != 0 ||
+			dec.Entries[i].BestAlpha.Cmp(c.Entries[i].BestAlpha) != 0 {
+			t.Fatalf("entry %d differs: %+v", i, dec.Entries[i])
+		}
+	}
+	if !bytes.Equal(EncodeCompare(dec), enc) {
+		t.Fatal("re-encode not byte-identical")
+	}
+}
+
+// A checksum-valid compare payload whose gap arithmetic does not hold
+// must be rejected by the decoder, not served.
+func TestCompareCodecRejectsInconsistentGap(t *testing.T) {
+	bad := []byte("compare 3 minimax 1/4 1\n" +
+		"tailored 5/7\n" +
+		"entry geometric 6/7 5/7 1/100 1/4\n")
+	if _, err := DecodeCompare(bad); err == nil {
+		t.Fatal("inconsistent gap accepted")
+	}
+	unknown := []byte("compare 3 minimax 1/4 1\n" +
+		"tailored 5/7\n" +
+		"entry gauss 6/7 5/7 0 1/4\n")
+	if _, err := DecodeCompare(unknown); err == nil {
+		t.Fatal("unknown baseline spec accepted")
+	}
+	if _, err := DecodeCompare([]byte("compare 3 minimax 1/4 0\ntailored 5/7\n")); err == nil {
+		t.Fatal("zero-entry comparison accepted")
 	}
 }

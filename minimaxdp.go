@@ -51,6 +51,7 @@ import (
 	"math/big"
 	"math/rand"
 
+	"minimaxdp/internal/baseline"
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/derive"
 	"minimaxdp/internal/engine"
@@ -79,6 +80,15 @@ type Consumer = consumer.Consumer
 // et al. (STOC 2009), used for the Section 2.7 comparison: a prior
 // over true results plus a loss function.
 type Bayesian = consumer.Bayesian
+
+// ConsumerModel is the unified consumer-model abstraction: anything
+// that can score a mechanism exactly (EvalLoss), react optimally to a
+// deployed one (OptimalInteractionCtx), and name its tailored optimum
+// (OptimalMechanismCtx). *Consumer (minimax) and *Bayesian implement
+// it, and every LP-backed serving surface — Engine.TailoredCtx,
+// Engine.InteractionCtx, Engine.Compare, POST /v1/compare — accepts
+// either through this one interface.
+type ConsumerModel = consumer.Model
 
 // Interaction is a consumer's optimal post-processing of a deployed
 // mechanism: the reinterpretation matrix T, the induced mechanism y·T,
@@ -201,16 +211,32 @@ func OptimalMechanismCtx(ctx context.Context, c *Consumer, n int, alpha *big.Rat
 	return consumer.OptimalMechanismCtx(ctx, c, n, alpha)
 }
 
+// BayesianInteraction is a Bayesian consumer's optimal reaction to a
+// deployed mechanism: a deterministic posterior remap.
+type BayesianInteraction = consumer.BayesianInteraction
+
 // OptimalBayesianInteraction computes the Bayes-optimal deterministic
 // remap of a deployed mechanism's outputs (Section 2.7 comparison).
-func OptimalBayesianInteraction(b *Bayesian, deployed *Mechanism) (*consumer.BayesianInteraction, error) {
+func OptimalBayesianInteraction(b *Bayesian, deployed *Mechanism) (*BayesianInteraction, error) {
 	return consumer.OptimalBayesianInteraction(b, deployed)
+}
+
+// OptimalBayesianInteractionCtx is OptimalBayesianInteraction under a
+// context; see OptimalInteractionCtx for the cancellation contract.
+func OptimalBayesianInteractionCtx(ctx context.Context, b *Bayesian, deployed *Mechanism) (*BayesianInteraction, error) {
+	return consumer.OptimalBayesianInteractionCtx(ctx, b, deployed)
 }
 
 // OptimalBayesianMechanism solves the Bayesian analogue of the
 // Section 2.5 LP (Ghosh et al.'s objective).
 func OptimalBayesianMechanism(b *Bayesian, n int, alpha *big.Rat) (*Tailored, error) {
 	return consumer.OptimalBayesianMechanism(b, n, alpha)
+}
+
+// OptimalBayesianMechanismCtx is OptimalBayesianMechanism under a
+// context; see OptimalInteractionCtx for the cancellation contract.
+func OptimalBayesianMechanismCtx(ctx context.Context, b *Bayesian, n int, alpha *big.Rat) (*Tailored, error) {
+	return consumer.OptimalBayesianMechanismCtx(ctx, b, n, alpha)
 }
 
 // UniformPrior returns the uniform prior on {0..n} for Bayesian
@@ -275,6 +301,69 @@ func DerivableFrom(x, y *Mechanism) (*Matrix, error) { return derive.DerivableFr
 func OptimalDeterministicInteraction(c *Consumer, deployed *Mechanism) (*Interaction, error) {
 	return consumer.OptimalDeterministicInteraction(c, deployed)
 }
+
+// --- baseline mechanisms and the compare workbench ------------------------
+
+// BaselineKind names a baseline mechanism family for the compare
+// workbench; see the Baseline* constants.
+type BaselineKind = baseline.Kind
+
+// Baseline mechanism families scored by the compare workbench.
+const (
+	// BaselineGeometric is G_{n,α} — by Theorem 1, its gap is exactly
+	// zero for every minimax consumer.
+	BaselineGeometric = baseline.Geometric
+	// BaselineStaircase is the Geng–Viswanath banded staircase family;
+	// width 1 coincides with the geometric mechanism.
+	BaselineStaircase = baseline.KindStaircase
+	// BaselineLaplace is the truncated-and-renormalized discrete
+	// Laplace. Renormalization breaks the α-DP band, so its BestAlpha
+	// is strictly below the construction α.
+	BaselineLaplace = baseline.KindLaplace
+)
+
+// BaselineSpec selects one baseline mechanism (a kind plus the
+// staircase width, where applicable).
+type BaselineSpec = baseline.Spec
+
+// ParseBaselineSpec parses a wire-format baseline spec such as
+// "geometric", "laplace", or "staircase:3".
+func ParseBaselineSpec(s string) (BaselineSpec, error) { return baseline.ParseSpec(s) }
+
+// DefaultBaselines returns the default comparison set: geometric,
+// staircase (default width), and truncated Laplace.
+func DefaultBaselines() []BaselineSpec { return baseline.DefaultSet() }
+
+// StaircaseMechanism returns the width-w staircase mechanism on
+// {0..n}: geometric decay across bands of w equal-probability steps,
+// built exactly in rationals. It is exactly α-DP; width 1 coincides
+// with Geometric(n, alpha).
+func StaircaseMechanism(n int, alpha *big.Rat, w int) (*Mechanism, error) {
+	return baseline.Staircase(n, alpha, w)
+}
+
+// TruncatedLaplaceMechanism returns the discrete Laplace distribution
+// truncated to [0,n] and renormalized. NOTE: renormalization makes it
+// NOT α-DP — its actual privacy level (Mechanism.BestAlpha) is
+// strictly below the construction α. It is included as the classical
+// "clip the noise" strawman the paper's clamping construction fixes.
+func TruncatedLaplaceMechanism(n int, alpha *big.Rat) (*Mechanism, error) {
+	return baseline.TruncatedLaplace(n, alpha)
+}
+
+// Comparison is one consumer's optimality-gap scorecard: the tailored
+// LP optimum plus, per baseline, the raw loss, the loss after the
+// consumer's optimal post-processing, and the gap to tailored — all
+// exact rationals. Produced by Engine.Compare.
+type Comparison = baseline.Comparison
+
+// CompareEntry is one baseline's row in a Comparison.
+type CompareEntry = baseline.Entry
+
+// CompareSpec asks Engine.Compare for a cached Comparison: domain
+// size, privacy level, a ConsumerModel (minimax or Bayesian), and the
+// baseline set (nil means DefaultBaselines).
+type CompareSpec = engine.CompareSpec
 
 // --- the serving engine ---------------------------------------------------
 

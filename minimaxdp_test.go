@@ -217,3 +217,67 @@ func TestPublicEngine(t *testing.T) {
 		t.Errorf("metrics = %+v", m)
 	}
 }
+
+// The compare workbench through the facade: ConsumerModel unifies
+// minimax and Bayesian consumers, the baseline constructors build
+// exact mechanisms, and Engine.Compare produces the gap scorecard with
+// the Theorem 1 zero geometric gap.
+func TestPublicCompareWorkbench(t *testing.T) {
+	alpha := MustRat("1/2")
+
+	st, err := StaircaseMechanism(4, alpha, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.IsDP(alpha) {
+		t.Error("staircase not α-DP")
+	}
+	lap, err := TruncatedLaplaceMechanism(4, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lap.IsDP(alpha) {
+		t.Error("truncated Laplace should NOT be α-DP (renormalization breaks the band)")
+	}
+
+	sp, err := ParseBaselineSpec("staircase:3")
+	if err != nil || sp.Kind != BaselineStaircase || sp.Width != 3 {
+		t.Errorf("ParseBaselineSpec = %+v, %v", sp, err)
+	}
+	if got := len(DefaultBaselines()); got != 3 {
+		t.Errorf("DefaultBaselines has %d entries, want 3", got)
+	}
+
+	e := NewEngine(EngineConfig{})
+	models := []ConsumerModel{
+		&Consumer{Loss: AbsoluteLoss(), Side: SideInterval(1, 3)},
+		&Bayesian{Loss: SquaredLoss(), Prior: UniformPrior(4)},
+	}
+	for _, m := range models {
+		var cmp *Comparison
+		cmp, err = e.Compare(CompareSpec{N: 4, Alpha: alpha, Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err = cmp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		var geo *CompareEntry
+		for i := range cmp.Entries {
+			if cmp.Entries[i].Spec == string(BaselineGeometric) {
+				geo = &cmp.Entries[i]
+			}
+		}
+		if geo == nil {
+			t.Fatal("no geometric entry in default baseline set")
+		}
+		if cmp.Model == "minimax" && geo.Gap.Sign() != 0 {
+			t.Errorf("minimax geometric gap = %s, want exactly 0", geo.Gap.RatString())
+		}
+	}
+
+	// The unified engine surface accepts either model directly.
+	if _, err = e.TailoredMechanism(models[1], 4, alpha); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,9 @@
 #                      vs loading the persisted tailored solution from
 #                      the content-addressed disk store
 #                      (internal/engine BenchmarkStoreWarmBoot).
+#   BENCH_compare.json the compare workbench: the warm POST /v1/compare
+#                      scorecard read off the compares cache
+#                      (internal/engine BenchmarkEngineCompare).
 #
 # CI re-runs the suites through scripts/bench_regression.sh and fails
 # on >2x regressions against the committed files. For refreshing the
@@ -22,8 +25,8 @@
 #   BENCHTIME=2s ./scripts/bench_json.sh
 #
 # Environment: BENCHTIME (go test -benchtime, default 1x),
-# OUT_LP / OUT_SAMPLE / OUT_STORE (output paths, default the committed
-# names).
+# OUT_LP / OUT_SAMPLE / OUT_STORE / OUT_COMPARE (output paths, default
+# the committed names).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +34,7 @@ BENCHTIME="${BENCHTIME:-1x}"
 OUT_LP="${OUT_LP:-BENCH_lp.json}"
 OUT_SAMPLE="${OUT_SAMPLE:-BENCH_sample.json}"
 OUT_STORE="${OUT_STORE:-BENCH_store.json}"
+OUT_COMPARE="${OUT_COMPARE:-BENCH_compare.json}"
 raw="$(mktemp)"
 trap 'rm -f "${raw}"' EXIT
 
@@ -84,3 +88,9 @@ distill "${raw}" "${OUT_SAMPLE}"
 go test -run='^$' -bench='StoreWarmBoot' -benchmem -benchtime="${BENCHTIME}" \
     ./internal/engine | tee -a "${raw}"
 distill "${raw}" "${OUT_STORE}"
+
+# --- compare workbench suite ----------------------------------------------
+: >"${raw}"
+go test -run='^$' -bench='EngineCompare' -benchmem -benchtime="${BENCHTIME}" \
+    ./internal/engine | tee -a "${raw}"
+distill "${raw}" "${OUT_COMPARE}"

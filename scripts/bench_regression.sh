@@ -2,7 +2,7 @@
 # bench_regression.sh — the bench-regression smoke for check.sh:
 # re-run the JSON bench suites and fail if any op regressed more than
 # 2x against its committed baseline (BENCH_lp.json / BENCH_sample.json /
-# BENCH_store.json).
+# BENCH_store.json / BENCH_compare.json).
 #
 # The gate compares per-op ns/op with a 2x ratio plus an absolute
 # slack floor: nanosecond-scale ops (the dyadic kernel is ~3ns) jitter
@@ -23,7 +23,8 @@ tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
 
 BENCHTIME="${BENCHTIME}" OUT_LP="${tmpdir}/lp.json" OUT_SAMPLE="${tmpdir}/sample.json" \
-    OUT_STORE="${tmpdir}/store.json" ./scripts/bench_json.sh >/dev/null
+    OUT_STORE="${tmpdir}/store.json" OUT_COMPARE="${tmpdir}/compare.json" \
+    ./scripts/bench_json.sh >/dev/null
 
 # compare <baseline> <fresh>: extract "op ns" pairs from both JSON
 # files (the shape is one benchmark object per line, written by
@@ -64,8 +65,9 @@ status=0
 compare BENCH_lp.json "${tmpdir}/lp.json" || status=1
 compare BENCH_sample.json "${tmpdir}/sample.json" || status=1
 compare BENCH_store.json "${tmpdir}/store.json" || status=1
+compare BENCH_compare.json "${tmpdir}/compare.json" || status=1
 if [ "${status}" -ne 0 ]; then
-    echo "bench regression gate FAILED (baselines: BENCH_lp.json, BENCH_sample.json, BENCH_store.json)" >&2
+    echo "bench regression gate FAILED (baselines: BENCH_lp.json, BENCH_sample.json, BENCH_store.json, BENCH_compare.json)" >&2
     exit 1
 fi
 echo "bench regression gate passed (threshold: 2x + ${SLACK_NS}ns per op)"

@@ -107,6 +107,16 @@ curl -fsS "http://${base}/v1/metrics" | grep -q '"warm_start_hits":[1-9]'
 curl -fsS "http://${base}/v1/tenants" | grep -q '"smoke"'
 curl -fsS "http://${base}/v1/tenants/smoke/release?level=2" | grep -q '"result"'
 curl -fsS "http://${base}/v1/tenants/smoke/accounting" | grep -q '"spent_alpha":"1/3"'
+# Compare workbench: the minimax geometric gap must be EXACTLY the
+# string "0" (Theorem 1 part 2 — an exact equality, not a tolerance),
+# and the identical second POST must be served from the compares
+# cache, visible as a hit in the engine metrics.
+compare_spec='{"n": 6, "alpha": "1/2", "consumer": {"loss": "absolute", "side": "1-4"}, "baselines": ["geometric", "staircase"]}'
+curl -fsS -X POST -d "${compare_spec}" "http://${base}/v1/compare" \
+    | grep -q '"baseline":"geometric","loss":"[0-9/]*","interaction_loss":"[0-9/]*","gap":"0"'
+curl -fsS -X POST -d "${compare_spec}" "http://${base}/v1/compare" >/dev/null
+curl -fsS "http://${base}/v1/metrics" \
+    | sed -n 's/.*"compares":\(.*\)"samplers".*/\1/p' | grep -q '"hits":[1-9]'
 stop_server "${smokedir}/dpserver.log"
 
 # Run 2 (warm boot): same store dir and tenant config. The whole
