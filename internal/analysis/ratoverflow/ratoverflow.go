@@ -31,8 +31,10 @@ import (
 )
 
 // DefaultScope covers internal/rational (and, by suffix matching, the
-// fixture mirror under testdata).
-var DefaultScope = []string{"internal/rational"}
+// fixture mirror under testdata) plus internal/lp, whose revised
+// simplex carries the hybrid Small/big.Rat scalar (revised.go) and is
+// therefore bound by the same raw-arithmetic discipline.
+var DefaultScope = []string{"internal/rational", "internal/lp"}
 
 // DefaultKernels names the only functions allowed to perform raw
 // fixed-width arithmetic. Keep in lockstep with internal/rational's

@@ -26,6 +26,21 @@ func TestOutOfScope(t *testing.T) {
 	}
 }
 
+// TestScopeCoversHybridKernels pins the analyzer scope: the hybrid
+// Small/big.Rat scalar lives in internal/lp (revised.go), so both
+// packages must stay policed. Shrinking this list silently reopens
+// the raw-arithmetic hole.
+func TestScopeCoversHybridKernels(t *testing.T) {
+	for _, p := range []string{"minimaxdp/internal/rational", "minimaxdp/internal/lp"} {
+		if !analysis.PathMatches(p, DefaultScope) {
+			t.Errorf("%s missing from ratoverflow.DefaultScope; unchecked int64 arithmetic there would overflow silently", p)
+		}
+	}
+	if len(DefaultScope) != 2 {
+		t.Errorf("DefaultScope = %v, want exactly the two exact-arithmetic packages", DefaultScope)
+	}
+}
+
 // TestKernelAllowlistStaysMinimal pins the kernel and constructor
 // allowlists: every entry is a hole in the overflow fence, so growing
 // either list must be a reviewed, deliberate change.

@@ -46,6 +46,22 @@ func BenchmarkEngineTailoredUncached(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineTailoredUncachedN16 is the large-n cold solve the
+// revised-simplex pipeline made servable (it exceeded the old
+// full-tableau solver's practical range): the float-guided basis plus
+// exact dual-simplex repair at n=16. Roughly 50× the n=8 cost — the
+// scale BENCH_lp.json tracks so the large-n serving cap stays honest.
+func BenchmarkEngineTailoredUncachedN16(b *testing.B) {
+	a := rational.MustParse("1/2")
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := consumer.OptimalMechanism(c, 16, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEngineGeometricCached(b *testing.B) {
 	e := New(Config{})
 	a := rational.MustParse("1/2")

@@ -138,6 +138,9 @@ func (e *Engine) buildComparison(ctx context.Context, m consumer.Model, mk strin
 // validated by the caller; for minimax consumers the resulting cache
 // key is identical to TailoredCtx's, so the two routes share entries.
 func (e *Engine) modelTailoredCtx(ctx context.Context, m consumer.Model, mk string, n int, alpha *big.Rat) (*consumer.Tailored, error) {
+	if err := e.checkLPDomain(n); err != nil {
+		return nil, err
+	}
 	key := lpKey(n, alpha, mk)
 	if t, ok, err := getCached[*consumer.Tailored](ctx, e.tailored, key); ok || err != nil {
 		return t, err
@@ -156,6 +159,9 @@ func (e *Engine) modelTailoredCtx(ctx context.Context, m consumer.Model, mk stri
 // so compare requests and /v1/interaction requests coalesce onto one
 // solve; other baselines append their spec.
 func (e *Engine) modelInteractionCtx(ctx context.Context, m consumer.Model, mk string, bs baseline.Spec, n int, alpha *big.Rat) (*consumer.Interaction, error) {
+	if err := e.checkLPDomain(n); err != nil {
+		return nil, err
+	}
 	key := lpKey(n, alpha, mk)
 	if bs.Kind != baseline.Geometric {
 		key += "|vs=" + bs.String()

@@ -457,3 +457,36 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within 10s")
 }
+
+// --- LP domain cap --------------------------------------------------------
+
+// TestLPDomainCap: every LP-backed route fails fast with
+// ErrDomainTooLarge above Config.MaxLPDomainN, a negative cap
+// disables the guard, and the non-LP routes are unaffected.
+func TestLPDomainCap(t *testing.T) {
+	e := New(Config{MaxLPDomainN: 4})
+	c := absConsumer()
+	half := big.NewRat(1, 2)
+
+	if _, err := e.TailoredCtx(context.Background(), c, 5, half); !errors.Is(err, ErrDomainTooLarge) {
+		t.Errorf("TailoredCtx(n=5) err = %v, want ErrDomainTooLarge", err)
+	}
+	if _, err := e.InteractionCtx(context.Background(), c, 5, half); !errors.Is(err, ErrDomainTooLarge) {
+		t.Errorf("InteractionCtx(n=5) err = %v, want ErrDomainTooLarge", err)
+	}
+	if _, err := e.CompareCtx(context.Background(), CompareSpec{N: 5, Alpha: half, Model: c}); !errors.Is(err, ErrDomainTooLarge) {
+		t.Errorf("CompareCtx(n=5) err = %v, want ErrDomainTooLarge", err)
+	}
+	if _, err := e.TailoredCtx(context.Background(), c, 4, half); err != nil {
+		t.Errorf("TailoredCtx(n=4) under the cap failed: %v", err)
+	}
+	// Geometric is a matrix artifact, not LP-backed: no cap.
+	if _, err := e.Geometric(5, half); err != nil {
+		t.Errorf("Geometric(n=5) hit the LP cap: %v", err)
+	}
+
+	unguarded := New(Config{MaxLPDomainN: -1})
+	if _, err := unguarded.TailoredCtx(context.Background(), c, 5, half); err != nil {
+		t.Errorf("unguarded TailoredCtx(n=5) failed: %v", err)
+	}
+}

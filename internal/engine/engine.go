@@ -91,6 +91,21 @@ const DefaultMaxInFlightSolves = 16
 // rejected before any work started; it is safe to retry after backoff.
 var ErrSaturated = errors.New("engine: too many LP solves in flight")
 
+// DefaultMaxLPDomainN bounds the domain size n of LP-backed artifacts
+// when Config.MaxLPDomainN is zero. Even on the presolved float-guided
+// revised-simplex path a cold tailored solve scales steeply in n
+// (~3ms at n=8, ~0.15s at n=16, ~20s at n=24, ~3.6min at n=32 on the
+// dev box), so an unbounded n from untrusted input could pin a solver
+// slot for minutes. 32 is the largest size whose worst case is still
+// plausibly interactive.
+const DefaultMaxLPDomainN = 32
+
+// ErrDomainTooLarge is returned (wrapped) by the LP-backed artifact
+// methods when the requested domain size n exceeds Config.MaxLPDomainN.
+// The request was rejected before any work started; it will never
+// succeed without reconfiguring the engine.
+var ErrDomainTooLarge = errors.New("engine: LP domain size exceeds cap")
+
 // Config tunes an Engine. The zero value is ready to use: every
 // capacity defaults to the package constants and the sampler pool
 // seeds from Seed (default 1).
@@ -107,6 +122,12 @@ type Config struct {
 	// the tailored and interaction classes combined. Zero means
 	// DefaultMaxInFlightSolves; negative disables shedding entirely.
 	MaxInFlightSolves int
+	// MaxLPDomainN bounds the domain size n accepted by the LP-backed
+	// artifact methods (TailoredMechanism, OptimalInteraction, Compare
+	// and their Ctx forms): larger n fails fast with ErrDomainTooLarge
+	// before touching cache or solver. Zero means DefaultMaxLPDomainN;
+	// negative disables the guard.
+	MaxLPDomainN int
 	// ExactLPOnly disables the float-guided warm-start path: every LP
 	// solve runs the pure exact two-phase simplex from scratch. The
 	// default (false) uses lp.StrategyWarmStart. Results are identical
@@ -145,6 +166,9 @@ func (c Config) withDefaults() Config {
 	if c.SamplerCacheSize <= 0 {
 		c.SamplerCacheSize = DefaultSamplerCacheSize
 	}
+	if c.MaxLPDomainN == 0 {
+		c.MaxLPDomainN = DefaultMaxLPDomainN
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -171,6 +195,7 @@ type Engine struct {
 
 	lp        lpCounters
 	exactOnly bool
+	maxLPN    int // < 0 = unguarded
 }
 
 // New builds an Engine from cfg (zero value fine; see Config).
@@ -188,6 +213,7 @@ func New(cfg Config) *Engine {
 		shards:       newShardSet(cfg.Seed),
 		trace:        cfg.Trace,
 		exactOnly:    cfg.ExactLPOnly,
+		maxLPN:       cfg.MaxLPDomainN,
 	}
 	if cfg.MaxInFlightSolves >= 0 {
 		bound := cfg.MaxInFlightSolves
@@ -320,7 +346,12 @@ func (e *Engine) recordLP(s *store, key string, stats *lp.SolveStats) {
 	e.lp.solves.Add(1)
 	e.lp.floatPivots.Add(uint64(stats.FloatPivots))
 	e.lp.exactPivots.Add(uint64(stats.ExactPivots))
+	e.lp.revisedPivots.Add(uint64(stats.RevisedPivots))
 	e.lp.parallelPivots.Add(uint64(stats.ParallelPivots))
+	e.lp.smallOps.Add(uint64(stats.SmallOps))
+	e.lp.smallFallbacks.Add(uint64(stats.SmallFallbacks))
+	e.lp.presolveRows.Add(uint64(stats.PresolveRows))
+	e.lp.presolveCols.Add(uint64(stats.PresolveCols))
 	switch {
 	case stats.WarmStartHit:
 		e.lp.warmStartHits.Add(1)
@@ -444,6 +475,17 @@ func (e *Engine) ReleasePlanCtx(ctx context.Context, n int, alphas []*big.Rat) (
 	return getTyped(ctx, e.plans, key, func(context.Context) (*release.Plan, error) {
 		return release.NewPlan(n, alphas)
 	})
+}
+
+// checkLPDomain enforces the engine-side domain-size cap on the
+// LP-backed routes (Config.MaxLPDomainN). It runs before the cache
+// probe: a cap change must apply uniformly, not depend on what some
+// earlier, larger-capped engine happened to leave in a shared store.
+func (e *Engine) checkLPDomain(n int) error {
+	if e.maxLPN >= 0 && n > e.maxLPN {
+		return fmt.Errorf("engine: n %d exceeds the LP domain cap %d: %w", n, e.maxLPN, ErrDomainTooLarge)
+	}
+	return nil
 }
 
 // TailoredMechanism solves (once per key) the tailored-optimum

@@ -108,7 +108,20 @@ type LPSolveStats struct {
 	Fallbacks        uint64 `json:"fallbacks"`
 	FloatPivots      uint64 `json:"float_pivots"`
 	ExactPivots      uint64 `json:"exact_pivots"`
+	RevisedPivots    uint64 `json:"revised_pivots"`
 	ParallelPivots   uint64 `json:"parallel_pivots"`
+
+	// Hybrid-kernel split for the sparse LU / revised-simplex path:
+	// exact rational operations served by the int64 rational.Small
+	// fast path vs. demoted to big.Rat. SmallOps/(SmallOps+
+	// SmallFallbacks) is the fleet-wide fast-path hit rate.
+	SmallOps       uint64 `json:"small_ops"`
+	SmallFallbacks uint64 `json:"small_fallbacks"`
+
+	// Presolve reductions applied before solves: constraint rows and
+	// variables eliminated exactly (lp/presolve.go).
+	PresolveRows uint64 `json:"presolve_rows_removed"`
+	PresolveCols uint64 `json:"presolve_cols_removed"`
 }
 
 // lpCounters is the live, atomically-updated form of LPSolveStats.
@@ -119,7 +132,12 @@ type lpCounters struct {
 	fallbacks        atomic.Uint64
 	floatPivots      atomic.Uint64
 	exactPivots      atomic.Uint64
+	revisedPivots    atomic.Uint64
 	parallelPivots   atomic.Uint64
+	smallOps         atomic.Uint64
+	smallFallbacks   atomic.Uint64
+	presolveRows     atomic.Uint64
+	presolveCols     atomic.Uint64
 }
 
 func (c *lpCounters) snapshot() LPSolveStats {
@@ -130,7 +148,12 @@ func (c *lpCounters) snapshot() LPSolveStats {
 		Fallbacks:        c.fallbacks.Load(),
 		FloatPivots:      c.floatPivots.Load(),
 		ExactPivots:      c.exactPivots.Load(),
+		RevisedPivots:    c.revisedPivots.Load(),
 		ParallelPivots:   c.parallelPivots.Load(),
+		SmallOps:         c.smallOps.Load(),
+		SmallFallbacks:   c.smallFallbacks.Load(),
+		PresolveRows:     c.presolveRows.Load(),
+		PresolveCols:     c.presolveCols.Load(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"minimaxdp/internal/consumer"
 	"minimaxdp/internal/loss"
+	"minimaxdp/internal/lp"
 )
 
 // TestWarmStartColdPathGate compares a default (warm-started) engine
@@ -39,6 +40,9 @@ func TestWarmStartColdPathGate(t *testing.T) {
 	if mw.FloatPivots == 0 {
 		t.Error("warm engine reports zero float pivots")
 	}
+	if mw.SmallOps == 0 {
+		t.Error("warm-start hit reports zero Small fast-path ops; the hybrid LU kernels should dominate certification")
+	}
 
 	exact := New(Config{ExactLPOnly: true})
 	start = time.Now()
@@ -68,6 +72,35 @@ func TestWarmStartColdPathGate(t *testing.T) {
 	if factor < 2 {
 		t.Errorf("warm-started solve only %.2f× faster than exact (exact %v, warm %v); expected ≥2× at this size",
 			factor, exactDur, warmDur)
+	}
+}
+
+// TestRecordLPFoldsAllCounters feeds recordLP a synthetic stats block
+// with every field set and reads the full set back through the JSON
+// metrics surface: a counter added to lp.SolveStats but not plumbed
+// into lpCounters/snapshot would silently report zero forever.
+func TestRecordLPFoldsAllCounters(t *testing.T) {
+	e := New(Config{})
+	e.recordLP(e.tailored, "synthetic", &lp.SolveStats{
+		FloatPivots:    3,
+		ExactPivots:    5,
+		RevisedPivots:  7,
+		ParallelPivots: 2,
+		SmallOps:       11,
+		SmallFallbacks: 13,
+		PresolveRows:   17,
+		PresolveCols:   19,
+		Fallback:       true,
+	})
+	m := e.Metrics().LP
+	want := LPSolveStats{
+		Solves: 1, Fallbacks: 1,
+		FloatPivots: 3, ExactPivots: 5, RevisedPivots: 7, ParallelPivots: 2,
+		SmallOps: 11, SmallFallbacks: 13,
+		PresolveRows: 17, PresolveCols: 19,
+	}
+	if m != want {
+		t.Fatalf("LP metrics after synthetic fold = %+v, want %+v", m, want)
 	}
 }
 

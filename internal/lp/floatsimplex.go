@@ -16,6 +16,21 @@ type FloatSolution struct {
 
 const floatEps = 1e-9
 
+// perturbScale sets the anti-degeneracy right-hand-side perturbation
+// used by the warm-start candidate solve (floatCandidateBasis): row r
+// is shifted by perturbScale·(r+1)/nrows, giving every row a distinct
+// positive offset so ratio-test ties — the fuel of degenerate
+// stalling, which at tailored n ≳ 20 burned six-figure pivot counts
+// before hitting the cap — become strict comparisons. The offsets sit
+// far above floatEps (so they actually break ties) and far below the
+// problem data (so the located basis is a lexicographic-style basis
+// of the true LP). Nothing numeric escapes: the basis is re-certified
+// in exact arithmetic against the UNperturbed problem, and a basis
+// the perturbation steered wrong simply fails certification and falls
+// back. SolveFloat stays unperturbed — its objective values are
+// compared against the exact solver at 1e-9 in the ablation tests.
+const perturbScale = 1e-5
+
 // floatOutcome classifies a float simplex run. Unlike the exact
 // solver, the float solver can also give up: its ±1e-9 tolerances
 // void Bland's termination guarantee, so the pivot loop carries an
@@ -34,7 +49,9 @@ const (
 // is, in the overwhelmingly common case, exactly the basis the exact
 // solver would reach. That lockstep is what makes the warm-start
 // crossover (warmstart.go) produce byte-identical solutions to the
-// cold exact solve rather than merely equally-optimal ones.
+// cold exact solve rather than merely equally-optimal ones. (A devex
+// pricing experiment took *more* pivots on the tailored family than
+// Dantzig does, so lockstep costs nothing here.)
 type floatTab struct {
 	rows   [][]float64
 	basis  []int
@@ -43,12 +60,15 @@ type floatTab struct {
 	total  int // columns incl. artificials
 	ncols  int // columns excl. artificials (== standardForm.ncols)
 	pivots int
+	nz     []int     // pooled pivot-row nonzero list, reused across pivots
+	nzv    []float64 // pivot-row values at nz, gathered for sequential reads
 }
 
 // newFloatTab builds the phase-1 float tableau, seeding the basis
 // from slack columns exactly where the exact phase1 would and adding
-// artificials elsewhere.
-func (s *standardForm) newFloatTab() *floatTab {
+// artificials elsewhere. With perturb set, each right-hand side gets
+// its anti-degeneracy offset (see perturbScale).
+func (s *standardForm) newFloatTab(perturb bool) *floatTab {
 	basisFromSlack := s.initialBasis()
 	nart := 0
 	for r := 0; r < s.nrows; r++ {
@@ -62,13 +82,20 @@ func (s *standardForm) newFloatTab() *floatTab {
 		basis: make([]int, s.nrows),
 		rows:  make([][]float64, s.nrows),
 	}
+	// One flat slab for all rows: fewer allocations and sequential
+	// row-to-row memory, which the elimination loops below stream over.
+	width := ft.total + 1
+	slab := make([]float64, s.nrows*width)
 	artCol := s.ncols
 	for r := 0; r < s.nrows; r++ {
-		row := make([]float64, ft.total+1)
-		for j := 0; j < s.ncols; j++ {
-			row[j] = rational.Float(s.a[r][j])
+		row := slab[r*width : (r+1)*width : (r+1)*width]
+		for _, e := range s.rows[r] {
+			row[e.idx] = rational.Float(e.v)
 		}
 		row[ft.total] = rational.Float(s.b[r])
+		if perturb {
+			row[ft.total] += perturbScale * float64(r+1) / float64(s.nrows)
+		}
 		if basisFromSlack[r] >= 0 {
 			ft.basis[r] = basisFromSlack[r]
 		} else {
@@ -93,8 +120,8 @@ func (ft *floatTab) maxPivots() int {
 // false when the iteration cap was hit (the solve is then
 // inconclusive); otherwise st is the float solver's verdict and ft
 // holds the final tableau.
-func (s *standardForm) floatSolve() (st Status, ft *floatTab, ok bool) {
-	ft = s.newFloatTab()
+func (s *standardForm) floatSolve(perturb bool) (st Status, ft *floatTab, ok bool) {
+	ft = s.newFloatTab(perturb)
 	pivotCap := ft.maxPivots()
 
 	// Phase 1: minimize the artificial sum.
@@ -132,6 +159,32 @@ func (s *standardForm) floatSolve() (st Status, ft *floatTab, ok bool) {
 				ft.pivot(r, j)
 				break
 			}
+		}
+	}
+
+	// Artificials are dead past this point — phase 2 bans them from
+	// entering, so their columns only cost elimination sweeps. Unless
+	// one is stuck basic (a degenerate redundant row), chop them off:
+	// the right-hand side moves down into the first artificial slot and
+	// every row narrows to the structural columns. No pivot choice
+	// changes — banned columns were never consulted — so the pivot
+	// path, and hence the final basis, is identical to the uncompacted
+	// tableau's.
+	if ft.total > s.ncols {
+		stuck := false
+		for _, bi := range ft.basis {
+			if bi >= s.ncols {
+				stuck = true
+				break
+			}
+		}
+		if !stuck {
+			for r := range ft.rows {
+				row := ft.rows[r]
+				row[s.ncols] = row[ft.total]
+				ft.rows[r] = row[:s.ncols+1]
+			}
+			ft.total = s.ncols
 		}
 	}
 
@@ -180,7 +233,7 @@ func (s *standardForm) floatSolve() (st Status, ft *floatTab, ok bool) {
 // trusted — tolerance could fabricate either — so those also report
 // ok=false and the caller falls back to the exact two-phase solve.
 func (s *standardForm) floatCandidateBasis() (basis []int, pivots int, ok bool) {
-	st, ft, ok := s.floatSolve()
+	st, ft, ok := s.floatSolve(true)
 	pivots = ft.pivots
 	if !ok || st != Optimal {
 		return nil, pivots, false
@@ -203,7 +256,7 @@ func (p *Problem) SolveFloat() (*FloatSolution, error) {
 		return nil, errors.New("lp: no variables")
 	}
 	s := newStandardForm(p)
-	st, ft, ok := s.floatSolve()
+	st, ft, ok := s.floatSolve(false)
 	if !ok {
 		return nil, errors.New("lp: float simplex hit its iteration cap")
 	}
@@ -287,27 +340,61 @@ func (ft *floatTab) iterate(banned []bool, maxPivots int) floatOutcome {
 	}
 }
 
+// pivot mirrors tableau.pivot's sparsity trick: only the nonzero
+// columns of the pivot row participate in the elimination. Entries the
+// dense loop would have touched with pr[j] == 0 are no-ops (x − f·0 is
+// exactly x in IEEE arithmetic), so the produced tableau — and hence
+// the pivot path and final basis — is unchanged. Once the pivot row
+// has filled in past ~2/3 density the indirect nonzero walk loses to
+// a straight sequential sweep, so the elimination switches between
+// the two forms per pivot; both compute identical values.
 func (ft *floatTab) pivot(row, col int) {
 	ft.pivots++
 	pr := ft.rows[row]
 	inv := 1 / pr[col]
+	nz := ft.nz[:0]
+	nzv := ft.nzv[:0]
 	for j := range pr {
-		pr[j] *= inv
-	}
-	for r := range ft.rows {
-		if r == row || ft.rows[r][col] == 0 {
+		if pr[j] == 0 {
 			continue
 		}
-		f := ft.rows[r][col]
-		for j := range ft.rows[r] {
-			ft.rows[r][j] -= f * pr[j]
+		pr[j] *= inv
+		nz = append(nz, j)
+		nzv = append(nzv, pr[j])
+	}
+	ft.nz = nz
+	ft.nzv = nzv
+	dense := 3*len(nz) >= 2*len(pr)
+	for r := range ft.rows {
+		if r == row {
+			continue
+		}
+		tr := ft.rows[r]
+		f := tr[col]
+		if f == 0 {
+			continue
+		}
+		if dense {
+			tr := tr[:len(pr)] // bounds-check elimination for the sweep
+			for j, p := range pr {
+				tr[j] -= f * p
+			}
+		} else {
+			// The gathered nzv turns the pivot-row reads sequential;
+			// only the tr writes stay scattered.
+			for k, j := range nz {
+				tr[j] -= f * nzv[k]
+			}
 		}
 	}
 	if zf := ft.z[col]; zf != 0 {
-		for j := 0; j < ft.total; j++ {
-			ft.z[j] -= zf * pr[j]
+		for _, j := range nz {
+			if j < ft.total {
+				ft.z[j] -= zf * pr[j]
+			} else {
+				ft.obj -= zf * pr[j]
+			}
 		}
-		ft.obj -= zf * pr[ft.total]
 	}
 	ft.basis[row] = col
 }

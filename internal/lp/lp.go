@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math/big"
 	"runtime"
+	"sort"
 	"sync"
 
 	"minimaxdp/internal/rational"
@@ -212,18 +213,32 @@ func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 }
 
 // SolveWithOpts runs the exact solver under ctx with explicit
-// options. The zero SolveOpts is the production default: the
-// float-guided warm start locates a candidate basis, an exact
-// crossover certifies it (warmstart.go), and the full two-phase
-// rational simplex runs only as a fallback. StrategyExact forces the
-// cold two-phase solve (the ablation baseline). Whatever the
-// strategy, the returned Solution is certified by exact arithmetic.
+// options. The zero SolveOpts is the production default: an exact
+// presolve (presolve.go) strips rows and columns resolvable by
+// inspection, the float-guided warm start locates a candidate basis
+// for what remains, an exact crossover certifies it (warmstart.go),
+// and the full two-phase rational simplex runs only as a fallback.
+// StrategyExact forces the cold two-phase solve on the untouched
+// problem (the ablation baseline and byte-identity oracle). Whatever
+// the strategy, the returned Solution is certified by exact
+// arithmetic.
 func (p *Problem) SolveWithOpts(ctx context.Context, opts SolveOpts) (*Solution, error) {
 	if len(p.vars) == 0 {
 		return nil, errors.New("lp: no variables")
 	}
 	if opts.Stats != nil {
 		*opts.Stats = SolveStats{}
+	}
+	if opts.Strategy == StrategyWarmStart && !opts.NoPresolve {
+		sol, done, err := p.solvePresolved(ctx, &opts)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return sol, nil
+		}
+		// Presolve either fired nothing or could not certify a unique
+		// optimum through the reductions: solve the original problem.
 	}
 	s := newStandardForm(p)
 	if opts.Strategy == StrategyWarmStart {
@@ -258,9 +273,15 @@ func (p *Problem) SolveWithOpts(ctx context.Context, opts SolveOpts) (*Solution,
 // solution wraps an original-variable assignment as an Optimal
 // Solution, computing the objective in the problem's own sense.
 func (s *standardForm) solution(x []*big.Rat) *Solution {
+	return s.p.optimalSolution(x)
+}
+
+// optimalSolution wraps x as an Optimal Solution with the objective
+// evaluated over p's own coefficients and sense.
+func (p *Problem) optimalSolution(x []*big.Rat) *Solution {
 	obj := rational.Zero()
 	tmp := rational.Zero()
-	for i, c := range s.p.objective {
+	for i, c := range p.objective {
 		tmp.Mul(c, x[i])
 		obj.Add(obj, tmp)
 	}
@@ -269,24 +290,39 @@ func (s *standardForm) solution(x []*big.Rat) *Solution {
 
 // --- standard form and tableau ------------------------------------------
 
+// spTerm is one nonzero of a sparse standard-form row (idx = column)
+// or of the lazily built column view (idx = row). The *big.Rat values
+// are shared between the two views and are read-only after
+// construction: every consumer clones before mutating.
+type spTerm struct {
+	idx int
+	v   *big.Rat
+}
+
 // standardForm rewrites the problem as
 //
 //	min c·y   s.t.  A y = b,  y ≥ 0,  b ≥ 0
 //
 // with column bookkeeping mapping original variables to standard-form
-// columns (free variables split as y⁺ − y⁻).
+// columns (free variables split as y⁺ − y⁻). The constraint matrix is
+// stored sparsely — the paper's LPs have a handful of nonzeros per
+// row, and the dense [][]*big.Rat this replaces dominated the cost of
+// a warm-start solve just being allocated and scanned.
 type standardForm struct {
 	p          *Problem
 	ncols      int // structural + slack/surplus columns (artificials appended after)
 	nart       int
 	nrows      int
-	structural int   // number of structural columns; slack/surplus follow
-	colPos     []int // original var -> positive part column
-	colNeg     []int // original var -> negative part column (-1 if non-free)
-	a          [][]*big.Rat
+	structural int        // number of structural columns; slack/surplus follow
+	colPos     []int      // original var -> positive part column
+	colNeg     []int      // original var -> negative part column (-1 if non-free)
+	rows       [][]spTerm // sparse rows of A, sorted by column index
+	slack      []int      // per row: the +1 slack column seeding the basis, or -1
 	b          []*big.Rat
 	c          []*big.Rat // phase-2 cost over structural+slack columns, minimization sense
 	artOffset  int
+
+	cols [][]spTerm // lazy column view of rows (see columns)
 }
 
 func newStandardForm(p *Problem) *standardForm {
@@ -315,24 +351,23 @@ func newStandardForm(p *Problem) *standardForm {
 	s.ncols = col
 	s.nrows = len(p.cons)
 	s.artOffset = s.ncols
-	s.a = make([][]*big.Rat, s.nrows)
+	s.rows = make([][]spTerm, s.nrows)
+	s.slack = make([]int, s.nrows)
 	s.b = make([]*big.Rat, s.nrows)
 
+	// Per-row accumulation scratch over structural columns: entries are
+	// handed off into the sparse row and the slot nil'ed, so the scratch
+	// is clean for the next row without a dense sweep.
+	scratch := make([]*big.Rat, structural)
+	touched := make([]int, 0, 16)
+	seen := make([]int, structural) // duplicate-mention stamps, row index + 1
 	slackCol := structural
 	for r, con := range p.cons {
-		row := rational.Vector(s.ncols)
-		for _, t := range con.terms {
-			row[s.colPos[t.Var]].Add(row[s.colPos[t.Var]], t.Coeff)
-			if s.colNeg[t.Var] >= 0 {
-				row[s.colNeg[t.Var]].Sub(row[s.colNeg[t.Var]], t.Coeff)
-			}
-		}
 		rhs := rational.Clone(con.rhs)
 		op := con.op
+		neg := false
 		if rhs.Sign() < 0 {
-			for j := range row {
-				row[j].Neg(row[j])
-			}
+			neg = true
 			rhs.Neg(rhs)
 			switch op {
 			case LE:
@@ -346,20 +381,81 @@ func newStandardForm(p *Problem) *standardForm {
 		// artificial variable (and a phase-1 pivot) per such row. The
 		// optimal-mechanism LPs are dominated by these rows.
 		if op == GE && rhs.Sign() == 0 {
-			for j := range row {
-				row[j].Neg(row[j])
-			}
+			neg = !neg
 			op = LE
 		}
+		// Fast path: no duplicate variable mentions, no zero
+		// coefficients, and the row is not negated. Then every
+		// coefficient passes through unchanged, so the sparse row can
+		// alias the Problem's own *big.Rat values — spTerm values are
+		// read-only by contract — instead of paying an allocation and
+		// an Add per term. Free variables still clone their negated
+		// half. The optimal-mechanism LPs take this path on every row.
+		alias := !neg
+		if alias {
+			for _, t := range con.terms {
+				j := s.colPos[t.Var]
+				if t.Coeff.Sign() == 0 || seen[j] == r+1 {
+					alias = false
+					break
+				}
+				seen[j] = r + 1
+			}
+		}
+		var row []spTerm
+		if alias {
+			row = make([]spTerm, 0, 2*len(con.terms)+1)
+			for _, t := range con.terms {
+				row = append(row, spTerm{idx: s.colPos[t.Var], v: t.Coeff})
+				if jn := s.colNeg[t.Var]; jn >= 0 {
+					row = append(row, spTerm{idx: jn, v: rational.Neg(t.Coeff)})
+				}
+			}
+			sort.Slice(row, func(a, b int) bool { return row[a].idx < row[b].idx })
+		} else {
+			touched = touched[:0]
+			for _, t := range con.terms {
+				jp := s.colPos[t.Var]
+				if scratch[jp] == nil {
+					scratch[jp] = new(big.Rat)
+					touched = append(touched, jp)
+				}
+				scratch[jp].Add(scratch[jp], t.Coeff)
+				if jn := s.colNeg[t.Var]; jn >= 0 {
+					if scratch[jn] == nil {
+						scratch[jn] = new(big.Rat)
+						touched = append(touched, jn)
+					}
+					scratch[jn].Sub(scratch[jn], t.Coeff)
+				}
+			}
+			sort.Ints(touched)
+			row = make([]spTerm, 0, len(touched)+1)
+			for _, j := range touched {
+				v := scratch[j]
+				scratch[j] = nil
+				if v.Sign() == 0 {
+					continue
+				}
+				if neg {
+					v.Neg(v)
+				}
+				row = append(row, spTerm{idx: j, v: v})
+			}
+		}
+		s.slack[r] = -1
 		switch op {
 		case LE:
-			row[slackCol] = rational.One()
+			// The slack column index exceeds every structural index, so
+			// appending keeps the row sorted.
+			row = append(row, spTerm{idx: slackCol, v: rational.One()})
+			s.slack[r] = slackCol
 			slackCol++
 		case GE:
-			row[slackCol] = rational.New(-1, 1)
+			row = append(row, spTerm{idx: slackCol, v: rational.New(-1, 1)})
 			slackCol++
 		}
-		s.a[r] = row
+		s.rows[r] = row
 		s.b[r] = rhs
 	}
 
@@ -376,6 +472,22 @@ func newStandardForm(p *Problem) *standardForm {
 		}
 	}
 	return s
+}
+
+// columns returns the column view of the sparse constraint matrix,
+// building it on first use: cols[j] lists (row, value) pairs in
+// ascending row order, sharing the row view's *big.Rat values.
+func (s *standardForm) columns() [][]spTerm {
+	if s.cols == nil {
+		cols := make([][]spTerm, s.ncols)
+		for r, row := range s.rows {
+			for _, e := range row {
+				cols[e.idx] = append(cols[e.idx], spTerm{idx: r, v: e.v})
+			}
+		}
+		s.cols = cols
+	}
+	return s.cols
 }
 
 // tableau is a simplex dictionary: rows of [A | b] with basis indices
@@ -439,13 +551,13 @@ func (s *standardForm) phase1(ctx context.Context, opts *SolveOpts) (*tableau, S
 	artCol := s.ncols
 	for r := 0; r < s.nrows; r++ {
 		row := make([]*big.Rat, t.ncols+1)
-		for j := 0; j < s.ncols; j++ {
-			row[j] = rational.Clone(s.a[r][j])
+		for j := range row {
+			row[j] = new(big.Rat)
 		}
-		for j := s.ncols; j < t.ncols; j++ {
-			row[j] = rational.Zero()
+		for _, e := range s.rows[r] {
+			row[e.idx].Set(e.v)
 		}
-		row[t.ncols] = rational.Clone(s.b[r])
+		row[t.ncols].Set(s.b[r])
 		if basisFromSlack[r] >= 0 {
 			t.basis[r] = basisFromSlack[r]
 		} else {
@@ -513,30 +625,14 @@ func (s *standardForm) isSlackColumn(j int) bool {
 
 // initialBasis returns, per row, the slack column usable as that
 // row's initial basic variable, or −1 where the row needs an
-// artificial: a +1-coefficient slack appearing in no other row. Both
-// the exact phase 1 and the float solver seed their bases from this,
-// which keeps their pivot paths aligned for the warm-start crossover.
+// artificial. The candidate is recorded during construction: each
+// slack/surplus column appears in exactly one row, so a row's own
+// +1-coefficient slack (LE rows after sign normalization) is the
+// unique choice. Both the exact phase 1 and the float solver seed
+// their bases from this, which keeps their pivot paths aligned for
+// the warm-start crossover.
 func (s *standardForm) initialBasis() []int {
-	basis := make([]int, s.nrows)
-	for r := 0; r < s.nrows; r++ {
-		basis[r] = -1
-		for j := s.structural; j < s.ncols; j++ {
-			if s.a[r][j].Sign() > 0 && s.a[r][j].Cmp(rational.One()) == 0 && s.slackOnlyInRow(j, r) {
-				basis[r] = j
-				break
-			}
-		}
-	}
-	return basis
-}
-
-func (s *standardForm) slackOnlyInRow(j, r int) bool {
-	for rr := 0; rr < s.nrows; rr++ {
-		if rr != r && s.a[rr][j].Sign() != 0 {
-			return false
-		}
-	}
-	return true
+	return append([]int(nil), s.slack...)
 }
 
 // phase2 swaps in the real cost vector and re-optimizes, forbidding

@@ -1,0 +1,893 @@
+// Revised simplex over a sparse exact LU factorization.
+//
+// This file supplies the two pieces that turned the warm-start
+// crossover from "cheaper than a cold solve" into "microseconds":
+//
+//   - sparseLU, an exact PBQ = LU factorization of the basis columns
+//     that eliminates in fill-minimizing order (singleton columns
+//     first — the mechanism LPs' slack columns make most of the basis
+//     triangular for free) and stores only nonzeros. It replaces the
+//     dense m³/3 factorization warmstart.go used to build.
+//
+//   - solveRevised, a revised primal simplex that resumes exact
+//     phase-2 pivoting from a certified-feasible basis using
+//     BTRAN/FTRAN against the factorization plus product-form eta
+//     updates, instead of rebuilding and pivoting a dense tableau.
+//
+// Every scalar is an hval: a hybrid of rational.Small (an int64/int64
+// rational with overflow-*checked* kernels) and *big.Rat. Arithmetic
+// runs on the Small fast path while operands fit — on the paper's LPs
+// the basis entries are tiny, so effectively always — and falls back
+// to big.Rat exactly on overflow, re-entering the fast path as soon
+// as a result fits again. The fallback is exact, never approximate:
+// the hybrid changes the representation of a value, never the value.
+// All raw fixed-width arithmetic stays inside internal/rational's
+// checked kernels; the ratoverflow analyzer's scope covers this
+// package to keep it that way.
+//
+// Identity with the dense solver is certified, not assumed: the
+// revised path returns a Solution only when the final basis passes
+// the same strict (uniqueness) dual certificate as a warm-start hit.
+// A tied optimum falls back to the full-tableau solver, which remains
+// the oracle (FuzzPresolveMatchesDense, FuzzWarmStartMatchesExact).
+package lp
+
+import (
+	"context"
+	"math/big"
+
+	"minimaxdp/internal/rational"
+)
+
+// hval is a hybrid exact rational scalar. Invariant: r == nil means
+// the value is s (on the Small fast path); r != nil means the value
+// overflowed int64 and lives in r. hvals are immutable — operations
+// return fresh values and never mutate operands, so aliasing a shared
+// *big.Rat (e.g. a standardForm matrix entry) into r is safe.
+type hval struct {
+	s rational.Small
+	r *big.Rat
+}
+
+// hvRat wraps v, demoting to the Small fast path when it fits.
+func hvRat(v *big.Rat) hval {
+	if s, ok := rational.SmallFromRat(v); ok {
+		return hval{s: s}
+	}
+	return hval{r: v}
+}
+
+// rat returns the exact value as a *big.Rat. The result aliases r
+// when the value is big and must not be mutated by the caller.
+func (a hval) rat() *big.Rat {
+	if a.r != nil {
+		//dpvet:ignore ratmutate documented borrow: rat is the hot exit of the hybrid kernels (every big-path fms/quo calls it); hvals are immutable by contract and every escaping consumer (extractFromCols, solution) clones on write
+		return a.r
+	}
+	return a.s.Rat()
+}
+
+func (a hval) isZero() bool {
+	if a.r != nil {
+		return a.r.Sign() == 0
+	}
+	return a.s.IsZero()
+}
+
+func (a hval) sign() int {
+	if a.r != nil {
+		return a.r.Sign()
+	}
+	return a.s.Sign()
+}
+
+// cmp compares two hvals exactly. Small-vs-Small uses the 128-bit
+// cross-product comparison and allocates nothing.
+func (a hval) cmp(b hval) int {
+	if a.r == nil && b.r == nil {
+		return a.s.Cmp(b.s)
+	}
+	return a.rat().Cmp(b.rat())
+}
+
+// hstats counts hybrid-kernel operations: small is the Small
+// fast-path hits, big the exact big.Rat fallbacks (including
+// operations with an operand already in big form). The ratio is the
+// fast-path hit rate exported through SolveStats.
+type hstats struct {
+	small, big int64
+}
+
+func (h *hstats) fold(stats *SolveStats) {
+	if stats != nil {
+		//dpvet:ignore ratoverflow telemetry counter, not rational arithmetic; wraparound would skew stats, never results
+		stats.SmallOps += h.small
+		//dpvet:ignore ratoverflow telemetry counter, as above
+		stats.SmallFallbacks += h.big
+	}
+}
+
+// fms returns a − b·c.
+func (h *hstats) fms(a, b, c hval) hval {
+	if a.r == nil && b.r == nil && c.r == nil {
+		if v, ok := a.s.FMS(b.s, c.s); ok {
+			h.small++
+			return hval{s: v}
+		}
+		h.big++
+		return hvRat(rational.FMSRat(a.s, b.s, c.s))
+	}
+	h.big++
+	p := new(big.Rat).Mul(b.rat(), c.rat())
+	return hvRat(p.Sub(a.rat(), p))
+}
+
+// quo returns a/b for b != 0.
+func (h *hstats) quo(a, b hval) hval {
+	if a.r == nil && b.r == nil {
+		if v, ok := a.s.Quo(b.s); ok {
+			h.small++
+			return hval{s: v}
+		}
+		h.big++
+		return hvRat(rational.QuoRat(a.s, b.s))
+	}
+	h.big++
+	return hvRat(new(big.Rat).Quo(a.rat(), b.rat()))
+}
+
+// --- sparse LU ------------------------------------------------------------
+
+// hTerm is one nonzero of a sparse hval vector.
+type hTerm struct {
+	idx int32
+	v   hval
+}
+
+// eta is one product-form basis update: basis position p was replaced
+// by a column whose FTRAN image w had pivot element wp and the listed
+// off-pivot nonzeros.
+type eta struct {
+	p  int32
+	w  []hTerm // nonzeros of w excluding position p
+	wp hval
+}
+
+// sparseLU is an exact PBQ = LU factorization of the m×m basis-column
+// matrix (rows = constraint rows, columns = basis positions), stored
+// as per-elimination-step sparse rows, plus a stack of eta updates
+// applied by the revised simplex since the last refactorization.
+type sparseLU struct {
+	m       int
+	h       *hstats
+	rowPerm []int32   // step -> original row eliminated there
+	colPerm []int32   // step -> basis position eliminated there
+	rowStep []int32   // original row -> step
+	colStep []int32   // basis position -> step
+	uIdx    [][]int32 // per step: U-row basis positions (pivot excluded)
+	uVal    [][]hval
+	diag    []hval    // per step: the pivot value
+	lRow    [][]int32 // per step: original rows receiving a multiplier
+	lVal    [][]hval
+
+	etas []eta
+}
+
+// findPos binary-searches the sorted position list for c.
+func findPos(idx []int32, c int32) int {
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(idx) && idx[lo] == c {
+		return lo
+	}
+	return -1
+}
+
+// factorizeSparse LU-factorizes the basis columns in a
+// fill-minimizing elimination order: singleton columns are retired
+// first (they cost nothing — no other row holds the pivot column),
+// then a Markowitz-style scan picks the sparsest remaining column and
+// the sparsest row within it. Over exact rationals any nonzero pivot
+// is numerically valid, so the ordering is purely a sparsity choice.
+// ok=false reports a singular basis.
+func (s *standardForm) factorizeSparse(basis []int, h *hstats) (*sparseLU, bool) {
+	m := s.nrows
+	if len(basis) != m {
+		return nil, false
+	}
+	cols := s.columns()
+	// Active matrix, row-wise: basis positions (sorted) and values.
+	// A counting pass sizes every per-row list exactly — the appends
+	// below never reallocate, which matters because factorization is
+	// on the per-solve hot path (and, with dual repair, re-runs every
+	// revisedRefactorEvery pivots).
+	rowNNZ := make([]int32, m)
+	for _, j := range basis {
+		for _, e := range cols[j] {
+			rowNNZ[e.idx]++
+		}
+	}
+	rows := make([][]int32, m)
+	vals := make([][]hval, m)
+	for i, c := range rowNNZ {
+		rows[i] = make([]int32, 0, c)
+		vals[i] = make([]hval, 0, c)
+	}
+	for k, j := range basis {
+		for _, e := range cols[j] {
+			rows[e.idx] = append(rows[e.idx], int32(k))
+			vals[e.idx] = append(vals[e.idx], hvRat(e.v))
+		}
+	}
+	colCount := make([]int32, m)
+	colRows := make([][]int32, m) // membership lists; may go stale, filtered on use
+	for _, r := range rows {
+		for _, c := range r {
+			colCount[c]++
+		}
+	}
+	for c, n := range colCount {
+		colRows[c] = make([]int32, 0, n)
+	}
+	for i, r := range rows {
+		for _, c := range r {
+			colRows[c] = append(colRows[c], int32(i))
+		}
+	}
+	rowAlive := make([]bool, m)
+	colAlive := make([]bool, m)
+	singles := make([]int32, 0, m) // stack of candidate singleton columns
+	for c := 0; c < m; c++ {
+		rowAlive[c] = true
+		colAlive[c] = true
+		if colCount[c] == 1 {
+			singles = append(singles, int32(c))
+		}
+	}
+
+	f := &sparseLU{
+		m:       m,
+		h:       h,
+		rowPerm: make([]int32, m),
+		colPerm: make([]int32, m),
+		rowStep: make([]int32, m),
+		colStep: make([]int32, m),
+		uIdx:    make([][]int32, m),
+		uVal:    make([][]hval, m),
+		diag:    make([]hval, m),
+		lRow:    make([][]int32, m),
+		lVal:    make([][]hval, m),
+	}
+
+	for step := 0; step < m; step++ {
+		// Pick the pivot column: a singleton if one is queued, else the
+		// sparsest alive column.
+		pc := int32(-1)
+		for len(singles) > 0 {
+			c := singles[len(singles)-1]
+			singles = singles[:len(singles)-1]
+			if colAlive[c] && colCount[c] == 1 {
+				pc = c
+				break
+			}
+		}
+		if pc < 0 {
+			bestCount := int32(0)
+			for c := 0; c < m; c++ {
+				if !colAlive[c] {
+					continue
+				}
+				if colCount[c] == 0 {
+					return nil, false // structurally singular
+				}
+				if pc < 0 || colCount[c] < bestCount {
+					pc = int32(c)
+					bestCount = colCount[c]
+				}
+			}
+			if pc < 0 {
+				return nil, false
+			}
+		}
+		// Pick the sparsest alive row holding pc.
+		pr := int32(-1)
+		bestLen := 0
+		for _, ri := range colRows[pc] {
+			if !rowAlive[ri] || findPos(rows[ri], pc) < 0 {
+				continue
+			}
+			if pr < 0 || len(rows[ri]) < bestLen {
+				pr = ri
+				bestLen = len(rows[ri])
+			}
+		}
+		if pr < 0 {
+			return nil, false
+		}
+		pp := findPos(rows[pr], pc)
+		piv := vals[pr][pp]
+		// Eliminate pc from every other alive row holding it by a
+		// sorted merge against the pivot row.
+		var lr []int32
+		var lv []hval
+		for _, ri := range colRows[pc] {
+			i := int(ri)
+			if !rowAlive[i] || ri == pr {
+				continue
+			}
+			pos := findPos(rows[i], pc)
+			if pos < 0 {
+				continue // stale membership (entry canceled earlier)
+			}
+			l := h.quo(vals[i][pos], piv)
+			lr = append(lr, ri)
+			lv = append(lv, l)
+			ni := make([]int32, 0, len(rows[i])+len(rows[pr]))
+			nv := make([]hval, 0, len(rows[i])+len(rows[pr]))
+			a, b := 0, 0
+			ridx, rval := rows[i], vals[i]
+			for a < len(ridx) || b < len(rows[pr]) {
+				var ca, cb int32 = 1 << 30, 1 << 30
+				if a < len(ridx) {
+					ca = ridx[a]
+				}
+				if b < len(rows[pr]) {
+					cb = rows[pr][b]
+				}
+				switch {
+				case ca == pc:
+					a++ // the pivot-column entry is eliminated by construction
+				case cb == pc:
+					b++
+				case ca < cb:
+					ni = append(ni, ca)
+					nv = append(nv, rval[a])
+					a++
+				case cb < ca:
+					// Fill-in: 0 − l·pivot entry.
+					v := h.fms(hval{}, l, vals[pr][b])
+					ni = append(ni, cb)
+					nv = append(nv, v)
+					colCount[cb]++
+					colRows[cb] = append(colRows[cb], ri)
+					b++
+				default:
+					v := h.fms(rval[a], l, vals[pr][b])
+					if v.isZero() {
+						// Exact cancellation: the entry leaves the column.
+						colCount[ca]--
+						if colCount[ca] == 1 && colAlive[ca] {
+							singles = append(singles, ca)
+						}
+					} else {
+						ni = append(ni, ca)
+						nv = append(nv, v)
+					}
+					a++
+					b++
+				}
+			}
+			rows[i], vals[i] = ni, nv
+		}
+		colCount[pc] = 0
+		// Retire the pivot row: its entries leave the active submatrix;
+		// the off-pivot part becomes the U row for this step.
+		uIdx := make([]int32, 0, len(rows[pr])-1)
+		uVal := make([]hval, 0, len(rows[pr])-1)
+		for n, c := range rows[pr] {
+			if c == pc {
+				continue
+			}
+			uIdx = append(uIdx, c)
+			uVal = append(uVal, vals[pr][n])
+			colCount[c]--
+			if colCount[c] == 1 && colAlive[c] {
+				singles = append(singles, c)
+			}
+		}
+		rowAlive[pr] = false
+		colAlive[pc] = false
+		f.rowPerm[step] = pr
+		f.colPerm[step] = pc
+		f.rowStep[pr] = int32(step)
+		f.colStep[pc] = int32(step)
+		f.uIdx[step] = uIdx
+		f.uVal[step] = uVal
+		f.diag[step] = piv
+		f.lRow[step] = lr
+		f.lVal[step] = lv
+		rows[pr], vals[pr] = nil, nil
+	}
+	return f, true
+}
+
+// applyFactor solves L U x = t for the factorization alone (no etas).
+// t is indexed by original row and is consumed; the result is indexed
+// by basis position.
+func (f *sparseLU) applyFactor(t []hval) []hval {
+	h := f.h
+	// Forward substitution: multipliers recorded at step k apply the
+	// (final) value of the step's pivot row to rows eliminated later.
+	for k := 0; k < f.m; k++ {
+		tp := t[f.rowPerm[k]]
+		if tp.isZero() {
+			continue
+		}
+		for n, i := range f.lRow[k] {
+			t[i] = h.fms(t[i], f.lVal[k][n], tp)
+		}
+	}
+	// Back substitution on U.
+	x := make([]hval, f.m)
+	for k := f.m - 1; k >= 0; k-- {
+		acc := t[f.rowPerm[k]]
+		for n, c := range f.uIdx[k] {
+			xc := x[c]
+			if xc.isZero() {
+				continue
+			}
+			acc = h.fms(acc, f.uVal[k][n], xc)
+		}
+		if !acc.isZero() {
+			acc = h.quo(acc, f.diag[k])
+		}
+		x[f.colPerm[k]] = acc
+	}
+	return x
+}
+
+// applyEtas pushes x (indexed by basis position) through the eta
+// stack in application order: x_p ← x_p/w_p, then x_i ← x_i − w_i·x_p
+// for the off-pivot nonzeros of each eta's column image.
+func (f *sparseLU) applyEtas(x []hval) {
+	h := f.h
+	for i := range f.etas {
+		e := &f.etas[i]
+		xp := x[e.p]
+		if xp.isZero() {
+			continue
+		}
+		xp = h.quo(xp, e.wp)
+		x[e.p] = xp
+		for _, w := range e.w {
+			x[w.idx] = h.fms(x[w.idx], w.v, xp)
+		}
+	}
+}
+
+// ftran returns B⁻¹ a for the sparse column a (indexed by original
+// row); the result is indexed by basis position.
+func (f *sparseLU) ftran(col []hTerm) []hval {
+	t := make([]hval, f.m)
+	for _, e := range col {
+		t[e.idx] = e.v
+	}
+	x := f.applyFactor(t)
+	f.applyEtas(x)
+	return x
+}
+
+// solve returns x (by basis position) with B x = b, b indexed by
+// original row.
+func (f *sparseLU) solve(b []*big.Rat) []hval {
+	t := make([]hval, f.m)
+	for i, v := range b {
+		t[i] = hvRat(v)
+	}
+	x := f.applyFactor(t)
+	f.applyEtas(x)
+	return x
+}
+
+// solveTranspose returns y (by original row) with Bᵀ y = c, c indexed
+// by basis position: the BTRAN pass. Eta transposes apply in reverse
+// order before the factor transpose solve.
+func (f *sparseLU) solveTranspose(c []hval) []hval {
+	h := f.h
+	m := f.m
+	d := make([]hval, m)
+	copy(d, c)
+	for i := len(f.etas) - 1; i >= 0; i-- {
+		e := &f.etas[i]
+		acc := d[e.p]
+		for _, w := range e.w {
+			if dv := d[w.idx]; !dv.isZero() {
+				acc = h.fms(acc, w.v, dv)
+			}
+		}
+		d[e.p] = h.quo(acc, e.wp)
+	}
+	// Uᵀ forward substitution over steps (push style).
+	w := make([]hval, m)
+	for k := 0; k < m; k++ {
+		w[k] = d[f.colPerm[k]]
+	}
+	for j := 0; j < m; j++ {
+		if w[j].isZero() {
+			continue
+		}
+		w[j] = h.quo(w[j], f.diag[j])
+		wj := w[j]
+		if wj.isZero() {
+			continue
+		}
+		for n, c := range f.uIdx[j] {
+			k := f.colStep[c]
+			w[k] = h.fms(w[k], f.uVal[j][n], wj)
+		}
+	}
+	// Lᵀ back substitution (pull style, descending steps).
+	for k := m - 1; k >= 0; k-- {
+		acc := w[k]
+		for n, i := range f.lRow[k] {
+			vi := w[f.rowStep[i]]
+			if vi.isZero() {
+				continue
+			}
+			acc = h.fms(acc, f.lVal[k][n], vi)
+		}
+		w[k] = acc
+	}
+	y := make([]hval, m)
+	for k := 0; k < m; k++ {
+		y[f.rowPerm[k]] = w[k]
+	}
+	return y
+}
+
+// pushEta records the basis change at position p with FTRAN image w.
+func (f *sparseLU) pushEta(p int, w []hval) {
+	var nz []hTerm
+	for i, v := range w {
+		if i == p || v.isZero() {
+			continue
+		}
+		nz = append(nz, hTerm{idx: int32(i), v: v})
+	}
+	f.etas = append(f.etas, eta{p: int32(p), w: nz, wp: w[p]})
+}
+
+// --- revised iteration ----------------------------------------------------
+
+// revisedRefactorEvery bounds the eta stack: past it the basis is
+// refactorized from scratch. Sparse refactorization is cheap (the
+// singleton-first ordering keeps fill near zero on the mechanism
+// LPs), while FTRAN/BTRAN cost grows with every eta, so the cap stays
+// low.
+const revisedRefactorEvery = 24
+
+// dualRepairCap bounds dual-simplex repair pivots. Repair starts from
+// a strictly dual-feasible basis, so the first step is non-degenerate,
+// but dual degeneracy can develop mid-run; past the cap the solve
+// demotes to the dense fallback rather than risk cycling.
+const dualRepairCap = 400
+
+// solveDualRepair restores exact primal feasibility by dual-simplex
+// pivoting, starting from a basis that is strictly dual feasible but
+// primal infeasible — exactly the shape the perturbed float candidate
+// produces on heavily degenerate LPs (floatsimplex.go: the
+// anti-degeneracy offsets steer the float solve to a basis optimal
+// for the *perturbed* right-hand side, which can be infeasible for
+// the true one by a handful of basic variables). Each iteration picks
+// the most negative basic variable (ties toward the smaller basis
+// index), prices row p of B⁻¹A against every nonbasic column, and
+// enters the column minimizing the dual ratio z_j/(−α_pj) — the
+// choice that keeps every reduced cost nonnegative, so dual
+// feasibility is an invariant and the caller can re-run the strict
+// uniqueness certificate afterwards. Per iteration that costs one
+// BTRAN (the pricing row β) plus one FTRAN (the entering column); the
+// reduced costs and the basic solution are maintained by the standard
+// incremental updates z′ = z − θ_D·(−α_p·) and x′_B = x_B − θ_P·w
+// rather than recomputed, which is what keeps repair per-pivot cost
+// near the crossover's. All arithmetic is exact; ok is false when the
+// repair gives up (pivot cap, a singular refactorization, or a row
+// proving primal infeasibility — all demoted to the dense fallback,
+// whose verdict is canonical).
+func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hval, lu *sparseLU, h *hstats, opts *SolveOpts) (*sparseLU, []hval, bool, error) {
+	m := s.nrows
+	one := hvRat(rational.One())
+	cols := s.columns()
+	cvals := make([]hval, s.ncols)
+	for j, c := range s.c {
+		cvals[j] = hvRat(c)
+	}
+	hcols := make([][]hTerm, s.ncols)
+	colView := func(j int) []hTerm {
+		if hcols[j] == nil {
+			hc := make([]hTerm, len(cols[j]))
+			for n, e := range cols[j] {
+				hc[n] = hTerm{idx: int32(e.idx), v: hvRat(e.v)}
+			}
+			hcols[j] = hc
+		}
+		return hcols[j]
+	}
+	inBasis := make([]bool, s.ncols)
+	for _, j := range basis {
+		inBasis[j] = true
+	}
+	// Reduced costs z_j = c_j − y·A_j, computed once from a single
+	// BTRAN and thereafter maintained incrementally. Basic entries
+	// stay identically zero.
+	cB := make([]hval, m)
+	for k, j := range basis {
+		cB[k] = cvals[j]
+	}
+	y := lu.solveTranspose(cB)
+	z := make([]hval, s.ncols)
+	for j := 0; j < s.ncols; j++ {
+		if inBasis[j] {
+			continue
+		}
+		zj := cvals[j]
+		for _, e := range colView(j) {
+			if yv := y[e.idx]; !yv.isZero() {
+				zj = h.fms(zj, e.v, yv)
+			}
+		}
+		z[j] = zj
+	}
+	ep := make([]hval, m)
+	negAlpha := make([]hval, s.ncols) // −α_pj for the current pricing row
+	for pivots := 0; ; pivots++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, false, err
+		}
+		// Leaving row: most negative basic, ties toward the smaller
+		// basis index (deterministic, like the primal ratio test).
+		leave := -1
+		for k := 0; k < m; k++ {
+			if xB[k].sign() >= 0 {
+				continue
+			}
+			if leave < 0 || xB[k].cmp(xB[leave]) < 0 ||
+				(xB[k].cmp(xB[leave]) == 0 && basis[k] < basis[leave]) {
+				leave = k
+			}
+		}
+		if leave < 0 {
+			return lu, xB, true, nil // primal feasible: repaired
+		}
+		if pivots >= dualRepairCap {
+			return nil, nil, false, nil
+		}
+		// Row `leave` of B⁻¹A: βᵀ = e_leaveᵀ B⁻¹ via BTRAN, then one
+		// sparse dot per nonbasic column. fms accumulates
+		// −Σ a_ij·β_i = −α_pj directly — exactly the ratio denominator.
+		for k := range ep {
+			ep[k] = hval{}
+		}
+		ep[leave] = one
+		beta := lu.solveTranspose(ep)
+		enter := -1
+		var bestNum, bestDen hval // best ratio z/(−α) as a fraction, bestDen > 0
+		for j := 0; j < s.ncols; j++ {
+			negAlpha[j] = hval{}
+			if inBasis[j] {
+				continue
+			}
+			var na hval
+			for _, e := range colView(j) {
+				if bv := beta[e.idx]; !bv.isZero() {
+					na = h.fms(na, e.v, bv)
+				}
+			}
+			negAlpha[j] = na
+			if na.sign() <= 0 {
+				continue // only α_pj < 0 columns can absorb the deficit
+			}
+			if enter < 0 {
+				enter, bestNum, bestDen = j, z[j], na
+				continue
+			}
+			// z/na < bestNum/bestDen ⟺ z·bestDen < bestNum·na (positive
+			// denominators); cross-multiply via fms negation. First-wins
+			// keeps ties on the smaller column index.
+			lhs := h.fms(hval{}, z[j], bestDen) // −z·bestDen
+			rhs := h.fms(hval{}, bestNum, na)   // −bestNum·na
+			if lhs.cmp(rhs) > 0 {
+				enter, bestNum, bestDen = j, z[j], na
+			}
+		}
+		if enter < 0 {
+			// Row `leave` proves infeasibility; let the dense path
+			// derive the canonical verdict.
+			return nil, nil, false, nil
+		}
+		w := lu.ftran(colView(enter))
+		if w[leave].sign() >= 0 {
+			// w[leave] is α_p,enter and must be negative; anything else
+			// means the factorization and the pricing row disagree.
+			return nil, nil, false, nil
+		}
+		// Dual update: θ_D = z_enter/(−α_p,enter) ≥ 0, and for every
+		// nonbasic j, z′_j = z_j − θ_D·(−α_pj). The entering column's
+		// reduced cost becomes 0 (basic); the leaving variable — for
+		// which α_pj = 1, as the p-th basic — picks up exactly θ_D.
+		thetaD := h.quo(z[enter], negAlpha[enter])
+		for j := 0; j < s.ncols; j++ {
+			if inBasis[j] || j == enter || negAlpha[j].isZero() {
+				continue
+			}
+			z[j] = h.fms(z[j], thetaD, negAlpha[j])
+		}
+		z[enter] = hval{}
+		z[basis[leave]] = thetaD
+		// Primal update: θ_P = x_p/α_p,enter > 0 (both negative), then
+		// x′_B = x_B − θ_P·w off the pivot row and x′_p = θ_P.
+		thetaP := h.quo(xB[leave], w[leave])
+		for k := 0; k < m; k++ {
+			if k == leave || w[k].isZero() {
+				continue
+			}
+			xB[k] = h.fms(xB[k], thetaP, w[k])
+		}
+		xB[leave] = thetaP
+		inBasis[basis[leave]] = false
+		inBasis[enter] = true
+		basis[leave] = enter
+		if opts != nil && opts.Stats != nil {
+			opts.Stats.RevisedPivots++
+		}
+		if len(lu.etas) >= revisedRefactorEvery {
+			nlu, ok := s.factorizeSparse(basis, h)
+			if !ok {
+				return nil, nil, false, nil
+			}
+			lu = nlu
+		} else {
+			lu.pushEta(leave, w)
+		}
+	}
+}
+
+// solveRevised resumes exact phase-2 pivoting from a primal-feasible
+// basis via the revised simplex. Pivot rules mirror tableau.iterate —
+// Dantzig entering column (first wins ties) switching to Bland's rule
+// after stallLimit degenerate pivots, leaving row by minimum ratio
+// with ties toward the smaller basis index — and reduced costs are
+// the same exact rationals a dense tableau would carry, so the two
+// paths walk the same vertex sequence. The result is still gated: it
+// is returned only when the final basis passes the strict-uniqueness
+// dual certificate; a tied optimal face reports done=false and the
+// caller falls back to the full-tableau solve, whose vertex choice
+// defines the canonical answer.
+//
+// An Unbounded verdict is trustworthy: it is reached from an
+// exactly-feasible vertex by exact pivoting.
+func (s *standardForm) solveRevised(ctx context.Context, basis []int, xB []hval, lu *sparseLU, h *hstats, opts *SolveOpts) (sol *Solution, done bool, err error) {
+	const stallLimit = 12 // keep in lockstep with tableau.iterate
+	m := s.nrows
+	cols := s.columns()
+	cvals := make([]hval, s.ncols)
+	for j, c := range s.c {
+		cvals[j] = hvRat(c)
+	}
+	// Sparse hval column view for pricing and FTRAN.
+	hcols := make([][]hTerm, s.ncols)
+	colView := func(j int) []hTerm {
+		if hcols[j] == nil {
+			hc := make([]hTerm, len(cols[j]))
+			for n, e := range cols[j] {
+				hc[n] = hTerm{idx: int32(e.idx), v: hvRat(e.v)}
+			}
+			hcols[j] = hc
+		}
+		return hcols[j]
+	}
+	cB := make([]hval, m)
+	inBasis := make([]bool, s.ncols)
+	for k, j := range basis {
+		cB[k] = cvals[j]
+		inBasis[j] = true
+	}
+	stalled := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		y := lu.solveTranspose(cB)
+		useBland := stalled >= stallLimit
+		enter := -1
+		var bestZ hval
+		tied := false
+		for j := 0; j < s.ncols; j++ {
+			if inBasis[j] {
+				continue
+			}
+			z := cvals[j]
+			for _, e := range colView(j) {
+				ye := y[e.idx]
+				if ye.isZero() {
+					continue
+				}
+				z = h.fms(z, e.v, ye)
+			}
+			sgn := z.sign()
+			if sgn == 0 {
+				tied = true
+				continue
+			}
+			if sgn > 0 {
+				continue
+			}
+			if useBland {
+				enter = j
+				break // Bland: smallest eligible index
+			}
+			if enter < 0 || z.cmp(bestZ) < 0 {
+				enter = j
+				bestZ = z
+			}
+		}
+		if enter < 0 {
+			if tied {
+				// Optimal but possibly not unique: only the cold path's
+				// own vertex choice is guaranteed to match the cold path.
+				return nil, false, nil
+			}
+			colVal := rational.Vector(s.ncols)
+			for k, j := range basis {
+				colVal[j] = xB[k].rat()
+			}
+			return s.solution(s.extractFromCols(colVal)), true, nil
+		}
+		w := lu.ftran(colView(enter))
+		leave := -1
+		var bestRatio hval
+		for k := 0; k < m; k++ {
+			if w[k].sign() <= 0 {
+				continue
+			}
+			ratio := h.quo(xB[k], w[k])
+			if leave < 0 || ratio.cmp(bestRatio) < 0 ||
+				(ratio.cmp(bestRatio) == 0 && basis[k] < basis[leave]) {
+				leave = k
+				bestRatio = ratio
+			}
+		}
+		if leave < 0 {
+			return &Solution{Status: Unbounded}, true, nil
+		}
+		theta := bestRatio
+		degenerate := theta.isZero()
+		for k := 0; k < m; k++ {
+			if k == leave || w[k].isZero() || theta.isZero() {
+				continue
+			}
+			xB[k] = h.fms(xB[k], w[k], theta)
+		}
+		xB[leave] = theta
+		inBasis[basis[leave]] = false
+		inBasis[enter] = true
+		basis[leave] = enter
+		cB[leave] = cvals[enter]
+		if opts != nil && opts.Stats != nil {
+			opts.Stats.RevisedPivots++
+		}
+		if len(lu.etas) >= revisedRefactorEvery {
+			nlu, ok := s.factorizeSparse(basis, h)
+			if !ok {
+				return nil, false, nil // should not happen; dense path decides
+			}
+			lu = nlu
+			// Recompute the basic solution from scratch: exact values, so
+			// this is a representation refresh, not a numeric repair.
+			xB = lu.solve(s.b)
+		} else {
+			lu.pushEta(leave, w)
+		}
+		if degenerate {
+			stalled++
+		} else {
+			stalled = 0
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package lp
+
+import (
+	"math/big"
+	"testing"
+
+	"minimaxdp/internal/rational"
+)
+
+// TestHvalDemotion pins the hybrid scalar's representation invariant:
+// values that fit int64 live on the Small fast path, overflowing
+// results demote back to Small whenever they re-fit, and every
+// observable (rat, sign, cmp) agrees with the big.Rat view.
+func TestHvalDemotion(t *testing.T) {
+	small := hvRat(rational.New(22, 7))
+	if small.r != nil {
+		t.Error("22/7 should sit on the Small path")
+	}
+	huge := new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 90), big.NewInt(3))
+	bigv := hvRat(huge)
+	if bigv.r == nil {
+		t.Error("2^90/3 should sit on the big path")
+	}
+	if bigv.rat().Cmp(huge) != 0 {
+		t.Errorf("rat() = %v, want %v", bigv.rat(), huge)
+	}
+	var h hstats
+	// (2^90/3) − (2^90/3)·1 == 0: a big-path op whose result re-fits.
+	z := h.fms(bigv, bigv, hvRat(rational.One()))
+	if z.r != nil {
+		t.Error("zero result should demote to the Small path")
+	}
+	if !z.isZero() || z.sign() != 0 {
+		t.Errorf("fms(x, x, 1) = %v, want 0", z.rat())
+	}
+	if h.big == 0 {
+		t.Error("big-path operation not counted")
+	}
+	if small.cmp(bigv) >= 0 || bigv.cmp(small) <= 0 {
+		t.Error("cmp ordering across representations is wrong")
+	}
+}
+
+// TestHstatsKernelOracle drives fms and quo across the int64 overflow
+// boundary and cross-checks every result against big.Rat, asserting
+// both counters move.
+func TestHstatsKernelOracle(t *testing.T) {
+	mk := func(n, d int64) hval { return hvRat(rational.New(n, d)) }
+	big1 := hvRat(new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 70), big.NewInt(7)))
+	cases := []hval{
+		mk(0, 1), mk(1, 1), mk(-3, 7), mk(5, 2),
+		mk(1<<40, 3), mk(-(1 << 40), 9), big1,
+	}
+	var h hstats
+	ref := func(v hval) *big.Rat { return new(big.Rat).Set(v.rat()) }
+	for _, a := range cases {
+		for _, b := range cases {
+			for _, c := range cases {
+				got := h.fms(a, b, c)
+				want := new(big.Rat).Mul(ref(b), ref(c))
+				want.Sub(ref(a), want)
+				if got.rat().Cmp(want) != 0 {
+					t.Fatalf("fms(%v,%v,%v) = %v, want %v",
+						ref(a), ref(b), ref(c), got.rat(), want)
+				}
+			}
+			if b.isZero() {
+				continue
+			}
+			got := h.quo(a, b)
+			want := new(big.Rat).Quo(ref(a), ref(b))
+			if got.rat().Cmp(want) != 0 {
+				t.Fatalf("quo(%v,%v) = %v, want %v", ref(a), ref(b), got.rat(), want)
+			}
+		}
+	}
+	if h.small == 0 || h.big == 0 {
+		t.Fatalf("kernel grid missed a path: small=%d big=%d", h.small, h.big)
+	}
+}
+
+// luTestSetup builds the n=3 tailored LP's standard form and a
+// certified optimal basis for it via the float solver.
+func luTestSetup(t *testing.T) (*standardForm, []int) {
+	t.Helper()
+	s := newStandardForm(tailoredTestLP(3, rational.New(1, 4)))
+	basis, _, ok := s.floatCandidateBasis()
+	if !ok {
+		t.Fatal("float solver failed to produce a basis")
+	}
+	return s, basis
+}
+
+// residualB asserts B·xB = b for the given basis, multiplying the
+// original sparse columns directly — an oracle entirely independent
+// of the LU representation under test.
+func residualB(t *testing.T, s *standardForm, basis []int, xB []hval) {
+	t.Helper()
+	acc := rational.Vector(s.nrows)
+	tmp := new(big.Rat)
+	cols := s.columns()
+	for k, j := range basis {
+		xv := xB[k].rat()
+		for _, e := range cols[j] {
+			tmp.Mul(e.v, xv)
+			acc[e.idx].Add(acc[e.idx], tmp)
+		}
+	}
+	for i := range acc {
+		if acc[i].Cmp(s.b[i]) != 0 {
+			t.Fatalf("(B·xB)[%d] = %s, want %s", i, acc[i].RatString(), s.b[i].RatString())
+		}
+	}
+}
+
+// TestSparseLUSolveExact factorizes a serving-shaped basis and checks
+// both triangular solves against direct sparse multiplication:
+// B·solve(b) = b and Bᵀ·solveTranspose(cB) = cB.
+func TestSparseLUSolveExact(t *testing.T) {
+	s, basis := luTestSetup(t)
+	var h hstats
+	lu, ok := s.factorizeSparse(basis, &h)
+	if !ok {
+		t.Fatal("factorizeSparse reported the float basis singular")
+	}
+	xB := lu.solve(s.b)
+	residualB(t, s, basis, xB)
+
+	cB := make([]hval, s.nrows)
+	for k, j := range basis {
+		cB[k] = hvRat(s.c[j])
+	}
+	y := lu.solveTranspose(cB)
+	// Bᵀy = cB componentwise: column basis[k] of A dotted with y.
+	cols := s.columns()
+	tmp := new(big.Rat)
+	dot := new(big.Rat)
+	for k, j := range basis {
+		dot.SetInt64(0)
+		for _, e := range cols[j] {
+			tmp.Mul(e.v, y[e.idx].rat())
+			dot.Add(dot, tmp)
+		}
+		if dot.Cmp(cB[k].rat()) != 0 {
+			t.Fatalf("(Bᵀy)[%d] = %s, want %s", k, dot.RatString(), cB[k].rat().RatString())
+		}
+	}
+	if h.small == 0 {
+		t.Error("factorize+solves never used the Small fast path")
+	}
+}
+
+// TestSparseLUEtaUpdate replaces one basis column through the
+// product-form eta mechanism and checks the updated factorization
+// still solves B'·xB = b exactly, for both a column swap and a
+// refactorization cross-check.
+func TestSparseLUEtaUpdate(t *testing.T) {
+	s, basis := luTestSetup(t)
+	var h hstats
+	lu, ok := s.factorizeSparse(basis, &h)
+	if !ok {
+		t.Fatal("factorizeSparse failed")
+	}
+	inBasis := make([]bool, s.ncols)
+	for _, j := range basis {
+		inBasis[j] = true
+	}
+	cols := s.columns()
+	// Find a nonbasic column and a pivotable position for it.
+	enter, leave := -1, -1
+	var w []hval
+	for j := 0; j < s.ncols && enter < 0; j++ {
+		if inBasis[j] || len(cols[j]) == 0 {
+			continue
+		}
+		col := make([]hTerm, 0, len(cols[j]))
+		for _, e := range cols[j] {
+			col = append(col, hTerm{idx: int32(e.idx), v: hvRat(e.v)})
+		}
+		cand := lu.ftran(col)
+		for p := range cand {
+			if !cand[p].isZero() {
+				enter, leave, w = j, p, cand
+				break
+			}
+		}
+	}
+	if enter < 0 {
+		t.Fatal("no eta-updatable column found")
+	}
+	lu.pushEta(leave, w)
+	basis[leave] = enter
+	if len(lu.etas) != 1 {
+		t.Fatalf("len(etas) = %d, want 1", len(lu.etas))
+	}
+	xB := lu.solve(s.b)
+	residualB(t, s, basis, xB)
+	// A fresh factorization of the updated basis must agree entry for
+	// entry with the eta-updated solve.
+	lu2, ok := s.factorizeSparse(basis, &h)
+	if !ok {
+		t.Fatal("updated basis reported singular")
+	}
+	xB2 := lu2.solve(s.b)
+	for k := range xB {
+		if xB[k].cmp(xB2[k]) != 0 {
+			t.Fatalf("eta solve and refactorized solve disagree at %d: %s vs %s",
+				k, xB[k].rat().RatString(), xB2[k].rat().RatString())
+		}
+	}
+}
+
+// TestFactorizeSparseSingular hands the factorization a defective
+// basis (a repeated column) and requires a clean ok=false.
+func TestFactorizeSparseSingular(t *testing.T) {
+	s, basis := luTestSetup(t)
+	basis[1] = basis[0]
+	var h hstats
+	if _, ok := s.factorizeSparse(basis, &h); ok {
+		t.Fatal("factorizeSparse accepted a repeated-column basis")
+	}
+}
+
+// TestFindPos pins the binary search used for stale-list filtering.
+func TestFindPos(t *testing.T) {
+	idx := []int32{2, 3, 5, 9, 14}
+	for want, c := range map[int]int32{0: 2, 2: 5, 4: 14} {
+		if got := findPos(idx, c); got != want {
+			t.Errorf("findPos(%d) = %d, want %d", c, got, want)
+		}
+	}
+	for _, c := range []int32{1, 4, 15} {
+		if got := findPos(idx, c); got != -1 {
+			t.Errorf("findPos(%d) = %d, want -1", c, got)
+		}
+	}
+	if got := findPos(nil, 3); got != -1 {
+		t.Errorf("findPos(nil, 3) = %d, want -1", got)
+	}
+}

@@ -32,7 +32,6 @@ package lp
 
 import (
 	"context"
-	"math/big"
 
 	"minimaxdp/internal/rational"
 )
@@ -58,6 +57,10 @@ type SolveOpts struct {
 	// NoParallelPivot disables the multi-goroutine row-elimination
 	// kernel, keeping every pivot on the calling goroutine.
 	NoParallelPivot bool
+	// NoPresolve skips the exact presolve reductions (presolve.go),
+	// solving the problem as modelled. StrategyExact never presolves
+	// regardless, so this knob only affects the warm-start strategy.
+	NoPresolve bool
 	// Stats, when non-nil, is reset at the start of the solve and
 	// filled with counters describing what the solver actually did.
 	Stats *SolveStats
@@ -69,11 +72,22 @@ type SolveOpts struct {
 // StrategyExact solve sets none of them.
 type SolveStats struct {
 	FloatPivots    int // pivots of the float64 basis-locating solve
-	ExactPivots    int // exact big.Rat pivots (crossover resume or fallback)
+	ExactPivots    int // exact dense-tableau pivots (fallback path)
+	RevisedPivots  int // exact revised-simplex pivots (crossover resume + dual repair)
 	ParallelPivots int // exact pivots whose elimination ran parallel
 
+	// Hybrid-kernel counters for the sparse LU / revised path: how
+	// many exact rational operations ran on the int64 rational.Small
+	// fast path vs. falling back to big.Rat (see revised.go).
+	SmallOps       int64
+	SmallFallbacks int64
+
+	// Presolve reductions applied before the solve (presolve.go).
+	PresolveRows int // constraint rows eliminated
+	PresolveCols int // variables eliminated
+
 	WarmStartHit     bool // float basis certified optimal and unique; zero exact pivots
-	CrossoverResumed bool // basis feasible but not optimal; exact pivoting resumed
+	CrossoverResumed bool // exact pivoting resumed (primal resume or dual repair)
 	Fallback         bool // full two-phase exact solve ran (incl. tied-optimum demotions)
 }
 
@@ -91,31 +105,68 @@ func (s *standardForm) solveWarmStart(ctx context.Context, opts *SolveOpts) (sol
 	if !ok {
 		return nil, false, nil
 	}
-	lu, ok := s.factorizeBasis(basis)
+	var h hstats
+	defer func() { h.fold(opts.Stats) }()
+	lu, ok := s.factorizeSparse(basis, &h)
 	if !ok {
 		return nil, false, nil // singular basis: the float path lost the plot
 	}
 	xB := lu.solve(s.b)
+	repaired := false
+	hasNeg := false
 	for _, v := range xB {
-		if v.Sign() < 0 {
-			return nil, false, nil // primal infeasible: certificate failed
+		if v.sign() < 0 {
+			hasNeg = true
+			break
 		}
+	}
+	if hasNeg {
+		// The anti-degeneracy perturbation (floatsimplex.go) can steer
+		// the float solve to a basis optimal for the *perturbed*
+		// right-hand side but infeasible for the true one by a handful
+		// of basic variables. When that basis is strictly dual
+		// feasible — on the tailored family it always is, the
+		// perturbation only shifts which optimal-face vertex gets
+		// picked — it is exactly the starting state the dual simplex
+		// wants: repair primal feasibility by exact dual pivoting
+		// (solveDualRepair), preserving dual feasibility throughout,
+		// then fall through to the usual certification below. Any
+		// other shape of infeasibility still takes the dense fallback.
+		cB := make([]hval, s.nrows)
+		for k, j := range basis {
+			cB[k] = hvRat(s.c[j])
+		}
+		yh := lu.solveTranspose(cB)
+		if s.dualCertificate(basis, yh, &h) != dualStrict {
+			return nil, false, nil // not repairable: certificate failed
+		}
+		lu, xB, ok, err = s.solveDualRepair(ctx, basis, xB, lu, &h, opts)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		repaired = true
 	}
 	// The basis is an exactly-feasible vertex. Check dual optimality:
 	// solve Bᵀy = c_B, then price every nonbasic column.
-	cB := make([]*big.Rat, s.nrows)
+	cB := make([]hval, s.nrows)
 	for k, j := range basis {
-		cB[k] = s.c[j]
+		cB[k] = hvRat(s.c[j])
 	}
-	y := lu.solveTranspose(cB)
-	switch s.dualCertificate(basis, y) {
+	yh := lu.solveTranspose(cB)
+	switch s.dualCertificate(basis, yh, &h) {
 	case dualStrict:
 		if opts.Stats != nil {
-			opts.Stats.WarmStartHit = true
+			// A repaired basis ran exact pivots to get here, so it
+			// reports as a resume; a hit means zero exact pivots.
+			if repaired {
+				opts.Stats.CrossoverResumed = true
+			} else {
+				opts.Stats.WarmStartHit = true
+			}
 		}
 		colVal := rational.Vector(s.ncols)
 		for k, j := range basis {
-			colVal[j] = xB[k]
+			colVal[j] = xB[k].rat()
 		}
 		return s.solution(s.extractFromCols(colVal)), true, nil
 	case dualDegenerate:
@@ -123,33 +174,17 @@ func (s *standardForm) solveWarmStart(ctx context.Context, opts *SolveOpts) (sol
 		// vertex choice is guaranteed to match the cold path.
 		return nil, false, nil
 	}
-	// Feasible but not optimal: resume exact pivoting from this
-	// vertex, skipping phase 1 entirely.
-	t, ok := s.tableauFromBasis(basis, opts)
-	if !ok {
-		return nil, false, nil
-	}
-	status, err := s.phase2(ctx, t)
-	if err != nil {
-		return nil, false, err
-	}
-	if status == Unbounded {
-		// Exact verdict: reached from an exactly-feasible vertex by
-		// exact pivoting, so it is trustworthy (unlike a float claim).
-		if opts.Stats != nil {
-			opts.Stats.CrossoverResumed = true
-		}
-		return &Solution{Status: Unbounded}, true, nil
-	}
-	// The resumed optimum must pass the same uniqueness bar as a hit;
-	// a tied face falls back so the answer matches the cold path.
-	if !t.strictlyOptimal() {
-		return nil, false, nil
+	// Feasible but not optimal: resume exact revised-simplex pivoting
+	// from this vertex against the factorization, skipping phase 1
+	// entirely (revised.go).
+	sol, done, err = s.solveRevised(ctx, basis, xB, lu, &h, opts)
+	if err != nil || !done {
+		return nil, done, err
 	}
 	if opts.Stats != nil {
 		opts.Stats.CrossoverResumed = true
 	}
-	return s.solution(s.extract(t)), true, nil
+	return sol, true, nil
 }
 
 // dualVerdict classifies the reduced costs of the nonbasic columns.
@@ -162,28 +197,27 @@ const (
 )
 
 // dualCertificate prices every nonbasic column against the dual
-// vector y and classifies the basis.
-func (s *standardForm) dualCertificate(basis []int, y []*big.Rat) dualVerdict {
+// vector y and classifies the basis. Pricing runs on the hybrid
+// Small/big kernels: on the mechanism LPs both y and the matrix
+// entries fit int64 rationals, so the sweep is allocation-free.
+func (s *standardForm) dualCertificate(basis []int, y []hval, h *hstats) dualVerdict {
 	inBasis := make([]bool, s.ncols)
 	for _, j := range basis {
 		inBasis[j] = true
 	}
 	verdict := dualStrict
-	z := new(big.Rat)
-	tmp := new(big.Rat)
+	cols := s.columns()
 	for j := 0; j < s.ncols; j++ {
 		if inBasis[j] {
 			continue // z_j = 0 by construction of y
 		}
-		z.Set(s.c[j])
-		for r := 0; r < s.nrows; r++ {
-			if y[r].Sign() == 0 || s.a[r][j].Sign() == 0 {
-				continue
+		z := hvRat(s.c[j])
+		for _, e := range cols[j] {
+			if yv := y[e.idx]; !yv.isZero() {
+				z = h.fms(z, hvRat(e.v), yv)
 			}
-			tmp.Mul(y[r], s.a[r][j])
-			z.Sub(z, tmp)
 		}
-		switch z.Sign() {
+		switch z.sign() {
 		case -1:
 			return dualInfeasible
 		case 0:
@@ -194,15 +228,17 @@ func (s *standardForm) dualCertificate(basis []int, y []*big.Rat) dualVerdict {
 }
 
 // strictlyOptimal reports whether the (already optimal) tableau's
-// nonbasic reduced costs are all strictly positive — the uniqueness
-// certificate the warm path requires before trusting vertex identity
-// with the cold solver.
+// nonbasic structural reduced costs are all strictly positive — the
+// uniqueness certificate the presolve path requires before trusting
+// vertex identity with a solve of the unreduced problem. Artificial
+// columns are excluded: they are banned from entering, so their
+// reduced costs carry no information about alternative optima.
 func (t *tableau) strictlyOptimal() bool {
 	inBasis := make([]bool, t.ncols)
 	for _, bi := range t.basis {
 		inBasis[bi] = true
 	}
-	for j := 0; j < t.ncols; j++ {
+	for j := 0; j < t.art; j++ {
 		if inBasis[j] {
 			continue
 		}
@@ -213,172 +249,39 @@ func (t *tableau) strictlyOptimal() bool {
 	return true
 }
 
-// luFactors is an exact PB = LU factorization of the m×m basis-column
-// matrix: lu row k holds, packed in place, the unit-lower-triangular
-// multipliers (below the diagonal) and U (on and above it); lu row k
-// corresponds to original constraint row perm[k].
-type luFactors struct {
-	lu   [][]*big.Rat
-	perm []int
-	m    int
-}
-
-// factorizeBasis LU-factorizes the basis columns with row pivoting
-// (first nonzero — over exact rationals any nonzero pivot is valid).
-// ok=false reports a singular basis. Cost is ~m³/3 rational
-// multiplies, the dominant cost of a warm-start hit and roughly one
-// third of a single full-tableau refactorization.
-func (s *standardForm) factorizeBasis(basis []int) (*luFactors, bool) {
-	m := s.nrows
-	if len(basis) != m {
-		return nil, false
+// solveCertified solves p through the warm-start pipeline and
+// additionally reports whether an Optimal result is certified
+// *unique* (strict dual non-degeneracy). The warm paths only return
+// under that certificate; the dense fallback reads it off its final
+// tableau. The presolve driver requires uniqueness before mapping a
+// reduced solution back to the original problem, because only a
+// unique optimum is guaranteed to coincide with what a direct solve
+// of the original would have returned.
+func (p *Problem) solveCertified(ctx context.Context, opts *SolveOpts) (*Solution, bool, error) {
+	s := newStandardForm(p)
+	sol, done, err := s.solveWarmStart(ctx, opts)
+	if err != nil {
+		return nil, false, err
 	}
-	lu := make([][]*big.Rat, m)
-	for r := 0; r < m; r++ {
-		row := make([]*big.Rat, m)
-		for k, j := range basis {
-			row[k] = rational.Clone(s.a[r][j])
-		}
-		lu[r] = row
+	if done {
+		return sol, true, nil
 	}
-	perm := make([]int, m)
-	for i := range perm {
-		perm[i] = i
+	if opts.Stats != nil {
+		opts.Stats.Fallback = true
 	}
-	tmp := new(big.Rat)
-	for k := 0; k < m; k++ {
-		p := -1
-		for r := k; r < m; r++ {
-			if lu[r][k].Sign() != 0 {
-				p = r
-				break
-			}
-		}
-		if p < 0 {
-			return nil, false
-		}
-		lu[k], lu[p] = lu[p], lu[k]
-		perm[k], perm[p] = perm[p], perm[k]
-		piv := lu[k][k]
-		for r := k + 1; r < m; r++ {
-			if lu[r][k].Sign() == 0 {
-				continue
-			}
-			lu[r][k].Quo(lu[r][k], piv) // the L multiplier, stored in place
-			for c := k + 1; c < m; c++ {
-				if lu[k][c].Sign() == 0 {
-					continue
-				}
-				tmp.Mul(lu[r][k], lu[k][c])
-				lu[r][c].Sub(lu[r][c], tmp)
-			}
-		}
+	tab, status, err := s.phase1(ctx, opts)
+	if err != nil {
+		return nil, false, err
 	}
-	return &luFactors{lu: lu, perm: perm, m: m}, true
-}
-
-// solve returns x with B·x = b, b given in original row order.
-func (f *luFactors) solve(b []*big.Rat) []*big.Rat {
-	m := f.m
-	x := make([]*big.Rat, m)
-	tmp := new(big.Rat)
-	// Forward substitution: L·t = P·b (L unit lower triangular).
-	for k := 0; k < m; k++ {
-		x[k] = rational.Clone(b[f.perm[k]])
-		for c := 0; c < k; c++ {
-			if f.lu[k][c].Sign() == 0 || x[c].Sign() == 0 {
-				continue
-			}
-			tmp.Mul(f.lu[k][c], x[c])
-			x[k].Sub(x[k], tmp)
-		}
+	if status == Infeasible {
+		return &Solution{Status: Infeasible}, false, nil
 	}
-	// Back substitution: U·x = t.
-	for k := m - 1; k >= 0; k-- {
-		for c := k + 1; c < m; c++ {
-			if f.lu[k][c].Sign() == 0 || x[c].Sign() == 0 {
-				continue
-			}
-			tmp.Mul(f.lu[k][c], x[c])
-			x[k].Sub(x[k], tmp)
-		}
-		x[k].Quo(x[k], f.lu[k][k])
+	status, err = s.phase2(ctx, tab)
+	if err != nil {
+		return nil, false, err
 	}
-	return x
-}
-
-// solveTranspose returns y with Bᵀ·y = c, y in original row order.
-// With B = PᵀLU this is UᵀLᵀP·y = c: forward-substitute Uᵀ (lower
-// triangular with U's diagonal), back-substitute Lᵀ (unit upper),
-// then undo the permutation.
-func (f *luFactors) solveTranspose(c []*big.Rat) []*big.Rat {
-	m := f.m
-	u := make([]*big.Rat, m)
-	tmp := new(big.Rat)
-	for k := 0; k < m; k++ {
-		u[k] = rational.Clone(c[k])
-		for r := 0; r < k; r++ {
-			if f.lu[r][k].Sign() == 0 || u[r].Sign() == 0 {
-				continue
-			}
-			tmp.Mul(f.lu[r][k], u[r])
-			u[k].Sub(u[k], tmp)
-		}
-		u[k].Quo(u[k], f.lu[k][k])
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, false, nil
 	}
-	for k := m - 1; k >= 0; k-- {
-		for r := k + 1; r < m; r++ {
-			if f.lu[r][k].Sign() == 0 || u[r].Sign() == 0 {
-				continue
-			}
-			tmp.Mul(f.lu[r][k], u[r])
-			u[k].Sub(u[k], tmp)
-		}
-	}
-	y := make([]*big.Rat, m)
-	for k := 0; k < m; k++ {
-		y[f.perm[k]] = u[k]
-	}
-	return y
-}
-
-// tableauFromBasis constructs the exact simplex tableau whose basis
-// is the given (exactly primal-feasible) column set, by Gauss–Jordan
-// elimination on the basis columns: one refactorization instead of a
-// whole phase 1. ok=false reports a basis that cannot be completed (a
-// singular column set — should not happen after factorizeBasis
-// succeeded, but guarded anyway).
-func (s *standardForm) tableauFromBasis(basis []int, opts *SolveOpts) (*tableau, bool) {
-	t := &tableau{art: s.ncols, ncols: s.ncols}
-	t.initScratch(opts)
-	t.basis = make([]int, s.nrows)
-	t.rows = make([][]*big.Rat, s.nrows)
-	for r := 0; r < s.nrows; r++ {
-		row := make([]*big.Rat, t.ncols+1)
-		for j := 0; j < s.ncols; j++ {
-			row[j] = rational.Clone(s.a[r][j])
-		}
-		row[t.ncols] = rational.Clone(s.b[r])
-		t.rows[r] = row
-		t.basis[r] = -1
-	}
-	// The z-row is rebuilt by phase2 afterwards; keep it inert here so
-	// the Gauss–Jordan pivots below touch only the constraint rows.
-	t.z = rational.Vector(t.ncols)
-	t.obj = rational.Zero()
-	for _, j := range basis {
-		// Pick a pivot row for column j among rows not yet assigned.
-		pr := -1
-		for r := 0; r < s.nrows; r++ {
-			if t.basis[r] < 0 && t.rows[r][j].Sign() != 0 {
-				pr = r
-				break
-			}
-		}
-		if pr < 0 {
-			return nil, false
-		}
-		t.pivot(pr, j)
-	}
-	return t, true
+	return s.solution(s.extract(tab)), tab.strictlyOptimal(), nil
 }

@@ -167,6 +167,18 @@ func (s Small) Neg() (Small, bool) {
 	return MakeSmall(num, s.Den())
 }
 
+// FMS returns s − b·c, reporting failure on overflow: the fused
+// multiply-subtract at the heart of LU elimination and simplex basis
+// updates. It composes the checked Mul and Sub, so the raw arithmetic
+// stays inside the named kernels.
+func (s Small) FMS(b, c Small) (Small, bool) {
+	p, ok := b.Mul(c)
+	if !ok {
+		return Small{}, false
+	}
+	return s.Sub(p)
+}
+
 // Cmp compares s and t exactly (-1, 0, +1) without overflow: the
 // cross products are formed in 128 bits.
 func (s Small) Cmp(t Small) int {
@@ -213,6 +225,12 @@ func MulRat(s, t Small) *big.Rat { return new(big.Rat).Mul(s.Rat(), t.Rat()) }
 // QuoRat is the exact fallback for Quo. It panics if t == 0, matching
 // Div.
 func QuoRat(s, t Small) *big.Rat { return Div(s.Rat(), t.Rat()) }
+
+// FMSRat is the exact fallback for FMS.
+func FMSRat(s, b, c Small) *big.Rat {
+	p := new(big.Rat).Mul(b.Rat(), c.Rat())
+	return p.Sub(s.Rat(), p)
+}
 
 // ---- checked kernels ----
 //

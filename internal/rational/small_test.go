@@ -174,3 +174,47 @@ func TestCheckedKernels(t *testing.T) {
 		t.Errorf("gcd64(360, 84) = %d, want 12", g)
 	}
 }
+
+// TestSmallFMSOracle cross-checks the fused multiply-subtract — the
+// inner operation of LU elimination and revised-simplex updates —
+// against big.Rat over an overflow-straddling grid. Whenever the
+// checked kernel succeeds it must agree exactly with FMSRat, and the
+// grid must exercise both sides of the overflow boundary.
+func TestSmallFMSOracle(t *testing.T) {
+	vals := []int64{0, 1, -1, 3, -7, 360, 1 << 20, -(1 << 20), 1 << 40, math.MaxInt64 - 1}
+	dens := []int64{1, 2, 9, 97, 1 << 20, math.MaxInt64}
+	var smalls []Small
+	for _, n := range vals {
+		for _, d := range dens {
+			s, ok := MakeSmall(n, d)
+			if !ok {
+				t.Fatalf("MakeSmall(%d, %d) failed", n, d)
+			}
+			smalls = append(smalls, s)
+		}
+	}
+	okCount, failCount := 0, 0
+	for _, a := range smalls {
+		for _, b := range smalls {
+			for _, c := range smalls {
+				want := FMSRat(a, b, c)
+				got, ok := a.FMS(b, c)
+				if !ok {
+					failCount++
+					continue
+				}
+				okCount++
+				if got.Rat().Cmp(want) != 0 {
+					t.Fatalf("FMS(%v, %v, %v) = %v, want %v",
+						a.Rat(), b.Rat(), c.Rat(), got.Rat(), want)
+				}
+			}
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no FMS succeeded; grid is degenerate")
+	}
+	if failCount == 0 {
+		t.Fatal("no FMS overflowed; grid never exercises the fallback boundary")
+	}
+}

@@ -51,6 +51,7 @@ go test -run='^$' -fuzz='^FuzzPow$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzUnmarshalJSON$' -fuzztime="${FUZZTIME}" ./internal/mechanism
 go test -run='^$' -fuzz='^FuzzParseLevels$' -fuzztime="${FUZZTIME}" ./cmd/dpserver
 go test -run='^$' -fuzz='^FuzzWarmStartMatchesExact$' -fuzztime="${FUZZTIME}" ./internal/lp
+go test -run='^$' -fuzz='^FuzzPresolveMatchesDense$' -fuzztime="${FUZZTIME}" ./internal/lp
 go test -run='^$' -fuzz='^FuzzDyadicAlias$' -fuzztime="${FUZZTIME}" ./internal/sample
 
 echo "==> dpserver end-to-end smoke (store-backed run, tenant release, warm-boot restart)"
@@ -65,7 +66,7 @@ EOF
 # config and echo the real address once the listener is up.
 start_server() {
     local log="$1"
-    "${smokedir}/dpserver" -addr 127.0.0.1:0 -n 60 -max-tailored-n 8 \
+    "${smokedir}/dpserver" -addr 127.0.0.1:0 -n 60 -max-tailored-n 16 \
         -store-dir "${smokedir}/store" -tenants-config "${smokedir}/tenants.json" \
         >"${log}" 2>&1 &
     srv_pid=$!
@@ -104,6 +105,12 @@ curl -fsS "http://${base}/v1/tailored?loss=absolute&n=6&level=1" | grep -q minim
 # The tailored solve above must have gone through the float-guided
 # warm-start path: the engine metrics report at least one hit.
 curl -fsS "http://${base}/v1/metrics" | grep -q '"warm_start_hits":[1-9]'
+# Large-n cold solve: n=16 exercises the presolve + revised-simplex
+# pipeline's dual-repair path end to end (sub-second since the
+# revised-simplex rework; it used to be minutes).
+curl -fsS "http://${base}/v1/tailored?loss=absolute&n=16&level=1" | grep -q minimax_loss
+# Above the cap the request must be rejected, not queued.
+curl -sS "http://${base}/v1/tailored?loss=absolute&n=17&level=1" | grep -q "exceeds the LP cap"
 curl -fsS "http://${base}/v1/tenants" | grep -q '"smoke"'
 curl -fsS "http://${base}/v1/tenants/smoke/release?level=2" | grep -q '"result"'
 curl -fsS "http://${base}/v1/tenants/smoke/accounting" | grep -q '"spent_alpha":"1/3"'
