@@ -9,6 +9,7 @@ package engine
 
 import (
 	"context"
+	"os"
 	"testing"
 
 	"minimaxdp/internal/consumer"
@@ -57,6 +58,43 @@ func BenchmarkEngineTailoredUncachedN16(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := consumer.OptimalMechanism(c, 16, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTailoredUncachedN24 is the entry-growth wall the
+// three-tier rational ladder (Small → Wide → big.Rat), Markowitz
+// refactorization, and the float-side dual cleanup broke: before
+// them, this cold solve spent ~20s in big.Rat allocation (≈2.1M big
+// fallbacks); now it rides the machine-word tiers end to end.
+// BENCH_lp.json pins it so the large-n regime stays honest.
+func BenchmarkEngineTailoredUncachedN24(b *testing.B) {
+	a := rational.MustParse("1/2")
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := consumer.OptimalMechanism(c, 24, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTailoredUncachedN32 probes the next scale step.
+// Opt-in: minutes-scale before the Wide tier, so it stays out of the
+// default suites and the regression gate.
+//
+//	BENCH_N32=1 go test -run='^$' -bench=UncachedN32 -benchtime=1x \
+//	    -timeout=30m ./internal/engine
+func BenchmarkEngineTailoredUncachedN32(b *testing.B) {
+	if os.Getenv("BENCH_N32") == "" {
+		b.Skip("opt-in: set BENCH_N32=1 and raise -timeout")
+	}
+	a := rational.MustParse("1/2")
+	c := &consumer.Consumer{Loss: loss.Absolute{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := consumer.OptimalMechanism(c, 32, a); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -349,7 +349,10 @@ func (e *Engine) recordLP(s *store, key string, stats *lp.SolveStats) {
 	e.lp.revisedPivots.Add(uint64(stats.RevisedPivots))
 	e.lp.parallelPivots.Add(uint64(stats.ParallelPivots))
 	e.lp.smallOps.Add(uint64(stats.SmallOps))
-	e.lp.smallFallbacks.Add(uint64(stats.SmallFallbacks))
+	e.lp.wideOps.Add(uint64(stats.WideOps))
+	e.lp.bigFallbacks.Add(uint64(stats.BigFallbacks))
+	e.lp.refactorizations.Add(uint64(stats.Refactorizations))
+	e.lp.magnitudeRefacts.Add(uint64(stats.MagnitudeRefactors))
 	e.lp.presolveRows.Add(uint64(stats.PresolveRows))
 	e.lp.presolveCols.Add(uint64(stats.PresolveCols))
 	switch {

@@ -111,12 +111,20 @@ type LPSolveStats struct {
 	RevisedPivots    uint64 `json:"revised_pivots"`
 	ParallelPivots   uint64 `json:"parallel_pivots"`
 
-	// Hybrid-kernel split for the sparse LU / revised-simplex path:
-	// exact rational operations served by the int64 rational.Small
-	// fast path vs. demoted to big.Rat. SmallOps/(SmallOps+
-	// SmallFallbacks) is the fleet-wide fast-path hit rate.
-	SmallOps       uint64 `json:"small_ops"`
-	SmallFallbacks uint64 `json:"small_fallbacks"`
+	// Hybrid-kernel tier split for the sparse LU / revised-simplex
+	// path: exact rational operations served by the int64
+	// rational.Small fast path, by the 128-bit rational.Wide tier, and
+	// demoted all the way to big.Rat. (SmallOps+WideOps)/(SmallOps+
+	// WideOps+BigFallbacks) is the fleet-wide allocation-free hit rate.
+	SmallOps     uint64 `json:"small_ops"`
+	WideOps      uint64 `json:"wide_ops"`
+	BigFallbacks uint64 `json:"big_fallbacks"`
+
+	// Basis refactorizations during revised pivoting, with the subset
+	// forced by the eta-chain entry-magnitude trigger rather than the
+	// pivot-count backstop (lp/revised.go: needsRefactor).
+	Refactorizations   uint64 `json:"refactorizations"`
+	MagnitudeRefactors uint64 `json:"magnitude_refactors"`
 
 	// Presolve reductions applied before solves: constraint rows and
 	// variables eliminated exactly (lp/presolve.go).
@@ -135,25 +143,31 @@ type lpCounters struct {
 	revisedPivots    atomic.Uint64
 	parallelPivots   atomic.Uint64
 	smallOps         atomic.Uint64
-	smallFallbacks   atomic.Uint64
+	wideOps          atomic.Uint64
+	bigFallbacks     atomic.Uint64
+	refactorizations atomic.Uint64
+	magnitudeRefacts atomic.Uint64
 	presolveRows     atomic.Uint64
 	presolveCols     atomic.Uint64
 }
 
 func (c *lpCounters) snapshot() LPSolveStats {
 	return LPSolveStats{
-		Solves:           c.solves.Load(),
-		WarmStartHits:    c.warmStartHits.Load(),
-		CrossoverResumes: c.crossoverResumes.Load(),
-		Fallbacks:        c.fallbacks.Load(),
-		FloatPivots:      c.floatPivots.Load(),
-		ExactPivots:      c.exactPivots.Load(),
-		RevisedPivots:    c.revisedPivots.Load(),
-		ParallelPivots:   c.parallelPivots.Load(),
-		SmallOps:         c.smallOps.Load(),
-		SmallFallbacks:   c.smallFallbacks.Load(),
-		PresolveRows:     c.presolveRows.Load(),
-		PresolveCols:     c.presolveCols.Load(),
+		Solves:             c.solves.Load(),
+		WarmStartHits:      c.warmStartHits.Load(),
+		CrossoverResumes:   c.crossoverResumes.Load(),
+		Fallbacks:          c.fallbacks.Load(),
+		FloatPivots:        c.floatPivots.Load(),
+		ExactPivots:        c.exactPivots.Load(),
+		RevisedPivots:      c.revisedPivots.Load(),
+		ParallelPivots:     c.parallelPivots.Load(),
+		SmallOps:           c.smallOps.Load(),
+		WideOps:            c.wideOps.Load(),
+		BigFallbacks:       c.bigFallbacks.Load(),
+		Refactorizations:   c.refactorizations.Load(),
+		MagnitudeRefactors: c.magnitudeRefacts.Load(),
+		PresolveRows:       c.presolveRows.Load(),
+		PresolveCols:       c.presolveCols.Load(),
 	}
 }
 

@@ -82,21 +82,25 @@ func TestWarmStartColdPathGate(t *testing.T) {
 func TestRecordLPFoldsAllCounters(t *testing.T) {
 	e := New(Config{})
 	e.recordLP(e.tailored, "synthetic", &lp.SolveStats{
-		FloatPivots:    3,
-		ExactPivots:    5,
-		RevisedPivots:  7,
-		ParallelPivots: 2,
-		SmallOps:       11,
-		SmallFallbacks: 13,
-		PresolveRows:   17,
-		PresolveCols:   19,
-		Fallback:       true,
+		FloatPivots:        3,
+		ExactPivots:        5,
+		RevisedPivots:      7,
+		ParallelPivots:     2,
+		SmallOps:           11,
+		WideOps:            23,
+		BigFallbacks:       13,
+		Refactorizations:   29,
+		MagnitudeRefactors: 31,
+		PresolveRows:       17,
+		PresolveCols:       19,
+		Fallback:           true,
 	})
 	m := e.Metrics().LP
 	want := LPSolveStats{
 		Solves: 1, Fallbacks: 1,
 		FloatPivots: 3, ExactPivots: 5, RevisedPivots: 7, ParallelPivots: 2,
-		SmallOps: 11, SmallFallbacks: 13,
+		SmallOps: 11, WideOps: 23, BigFallbacks: 13,
+		Refactorizations: 29, MagnitudeRefactors: 31,
 		PresolveRows: 17, PresolveCols: 19,
 	}
 	if m != want {

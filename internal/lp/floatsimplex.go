@@ -3,6 +3,8 @@ package lp
 import (
 	"errors"
 	"math"
+	"runtime"
+	"sync"
 
 	"minimaxdp/internal/rational"
 )
@@ -62,6 +64,15 @@ type floatTab struct {
 	pivots int
 	nz     []int     // pooled pivot-row nonzero list, reused across pivots
 	nzv    []float64 // pivot-row values at nz, gathered for sequential reads
+	// delta reports that each row carries one extra trailing column (at
+	// index total+1) holding the image of the anti-degeneracy RHS
+	// perturbation under the pivots so far. B⁻¹b for the TRUE b is then
+	// row[total] − row[total+1], which is what the post-optimal dual
+	// cleanup (dualCleanup) prices — without it the candidate basis is
+	// optimal for the perturbed RHS but primal infeasible for the real
+	// one, and every infeasible position costs the crossover an exact
+	// dual-simplex pivot at big-rational prices.
+	delta bool
 }
 
 // newFloatTab builds the phase-1 float tableau, seeding the basis
@@ -81,10 +92,16 @@ func (s *standardForm) newFloatTab(perturb bool) *floatTab {
 		ncols: s.ncols,
 		basis: make([]int, s.nrows),
 		rows:  make([][]float64, s.nrows),
+		delta: perturb,
 	}
 	// One flat slab for all rows: fewer allocations and sequential
 	// row-to-row memory, which the elimination loops below stream over.
+	// Perturbed tableaus get one extra trailing column per row carrying
+	// the perturbation's image (floatTab.delta).
 	width := ft.total + 1
+	if perturb {
+		width++
+	}
 	slab := make([]float64, s.nrows*width)
 	artCol := s.ncols
 	for r := 0; r < s.nrows; r++ {
@@ -94,7 +111,9 @@ func (s *standardForm) newFloatTab(perturb bool) *floatTab {
 		}
 		row[ft.total] = rational.Float(s.b[r])
 		if perturb {
-			row[ft.total] += perturbScale * float64(r+1) / float64(s.nrows)
+			off := perturbScale * float64(r+1) / float64(s.nrows)
+			row[ft.total] += off
+			row[ft.total+1] = off
 		}
 		if basisFromSlack[r] >= 0 {
 			ft.basis[r] = basisFromSlack[r]
@@ -182,7 +201,12 @@ func (s *standardForm) floatSolve(perturb bool) (st Status, ft *floatTab, ok boo
 			for r := range ft.rows {
 				row := ft.rows[r]
 				row[s.ncols] = row[ft.total]
-				ft.rows[r] = row[:s.ncols+1]
+				if ft.delta {
+					row[s.ncols+1] = row[ft.total+1]
+					ft.rows[r] = row[:s.ncols+2]
+				} else {
+					ft.rows[r] = row[:s.ncols+1]
+				}
 			}
 			ft.total = s.ncols
 		}
@@ -222,7 +246,74 @@ func (s *standardForm) floatSolve(perturb bool) (st Status, ft *floatTab, ok boo
 	case floatUnbounded:
 		return Unbounded, ft, true
 	}
+	if perturb && !floatSkipDualCleanup {
+		// The basis is optimal for the PERTURBED right-hand side; walk
+		// it to one primal feasible for the true RHS with float dual
+		// pivots, so the exact crossover doesn't have to do the same
+		// walk at big-rational prices. Best-effort: on failure the
+		// basis is still a valid candidate — the exact dual repair
+		// simply has more to do.
+		ft.dualCleanup(banned, pivotCap)
+	}
 	return Optimal, ft, true
+}
+
+// floatSkipDualCleanup suppresses the float-side dual cleanup so the
+// candidate basis stays optimal for the perturbed RHS only. Tests flip
+// it to regenerate the long-eta-chain exact dual repairs the cleanup
+// exists to avoid (the refactorization-cadence regression tests);
+// production code never sets it.
+var floatSkipDualCleanup = false
+
+// dualCleanup runs dual-simplex pivots against the de-perturbed
+// right-hand side (row[total] − row[total+1], see floatTab.delta)
+// until it is nonnegative within tolerance: leaving row most negative,
+// entering column by the dual ratio test min z_j/(−a_rj) over
+// a_rj < 0, ties toward the smaller column index — the float mirror
+// of the exact solveDualRepair the crossover would otherwise run.
+// Returns false when a row cannot be repaired (left for the exact side
+// to adjudicate) or the pivot cap is hit.
+func (ft *floatTab) dualCleanup(banned []bool, maxPivots int) bool {
+	if !ft.delta {
+		return true
+	}
+	d := ft.total + 1
+	for ft.pivots < maxPivots {
+		leave := -1
+		worst := -floatEps
+		for r := range ft.rows {
+			row := ft.rows[r]
+			if tv := row[ft.total] - row[d]; tv < worst {
+				worst = tv
+				leave = r
+			}
+		}
+		if leave < 0 {
+			return true
+		}
+		lr := ft.rows[leave]
+		enter := -1
+		best := math.Inf(1)
+		for j := 0; j < ft.total; j++ {
+			if banned != nil && j < len(banned) && banned[j] {
+				continue
+			}
+			a := lr[j]
+			if a >= -floatEps {
+				continue
+			}
+			ratio := ft.z[j] / -a
+			if enter < 0 || ratio < best-floatEps {
+				enter = j
+				best = ratio
+			}
+		}
+		if enter < 0 {
+			return false
+		}
+		ft.pivot(leave, enter)
+	}
+	return false
 }
 
 // floatCandidateBasis runs the float simplex and returns its final
@@ -364,8 +455,62 @@ func (ft *floatTab) pivot(row, col int) {
 	}
 	ft.nz = nz
 	ft.nzv = nzv
+	ft.eliminate(row, col, 0, len(ft.rows))
+	if zf := ft.z[col]; zf != 0 {
+		for _, j := range nz {
+			if j < ft.total {
+				ft.z[j] -= zf * pr[j]
+			} else if j == ft.total {
+				ft.obj -= zf * pr[j]
+			}
+			// j == ft.total+1 is the perturbation-delta column: it has
+			// no reduced cost or objective contribution.
+		}
+	}
+	ft.basis[row] = col
+}
+
+// floatParallelWork is the pivot work (rows × pivot-row nonzeros)
+// below which the fan-out overhead of parallel elimination outweighs
+// the arithmetic it spreads. Measured on the tailored family: the
+// crossover sits near 2¹⁴ multiply-adds; the threshold is set above
+// it so small LPs never pay a goroutine spawn.
+const floatParallelWork = 1 << 15
+
+// eliminate applies the scaled pivot row to rows [lo, hi), switching
+// between the dense sweep and the gathered sparse walk per the pivot
+// row's fill. It fans the row range out across GOMAXPROCS workers
+// when the pivot is large enough to amortize the spawns; workers own
+// disjoint row chunks and only read pr/nz/nzv, so the result is
+// bitwise identical to the serial sweep regardless of scheduling.
+func (ft *floatTab) eliminate(row, col, lo, hi int) {
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && (hi-lo) > 1 &&
+		(hi-lo)*len(ft.nz) >= floatParallelWork {
+		chunk := (hi - lo + workers - 1) / workers
+		var wg sync.WaitGroup
+		for l := lo; l < hi; l += chunk {
+			h := l + chunk
+			if h > hi {
+				h = hi
+			}
+			wg.Add(1)
+			go func(l, h int) {
+				defer wg.Done()
+				ft.eliminateRange(row, col, l, h)
+			}(l, h)
+		}
+		wg.Wait()
+		return
+	}
+	ft.eliminateRange(row, col, lo, hi)
+}
+
+// eliminateRange is the serial worker behind eliminate.
+func (ft *floatTab) eliminateRange(row, col, lo, hi int) {
+	pr := ft.rows[row]
+	nz, nzv := ft.nz, ft.nzv
 	dense := 3*len(nz) >= 2*len(pr)
-	for r := range ft.rows {
+	for r := lo; r < hi; r++ {
 		if r == row {
 			continue
 		}
@@ -387,14 +532,4 @@ func (ft *floatTab) pivot(row, col int) {
 			}
 		}
 	}
-	if zf := ft.z[col]; zf != 0 {
-		for _, j := range nz {
-			if j < ft.total {
-				ft.z[j] -= zf * pr[j]
-			} else {
-				ft.obj -= zf * pr[j]
-			}
-		}
-	}
-	ft.basis[row] = col
 }

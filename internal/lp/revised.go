@@ -14,16 +14,18 @@
 //     BTRAN/FTRAN against the factorization plus product-form eta
 //     updates, instead of rebuilding and pivoting a dense tableau.
 //
-// Every scalar is an hval: a hybrid of rational.Small (an int64/int64
-// rational with overflow-*checked* kernels) and *big.Rat. Arithmetic
-// runs on the Small fast path while operands fit — on the paper's LPs
-// the basis entries are tiny, so effectively always — and falls back
-// to big.Rat exactly on overflow, re-entering the fast path as soon
-// as a result fits again. The fallback is exact, never approximate:
-// the hybrid changes the representation of a value, never the value.
-// All raw fixed-width arithmetic stays inside internal/rational's
-// checked kernels; the ratoverflow analyzer's scope covers this
-// package to keep it that way.
+// Every scalar is an hval (= rational.Hval): the three-tier ladder
+// Small → Wide → big.Rat of overflow-*checked* fixed-width rationals.
+// Arithmetic runs on the int64 Small tier while operands fit — on the
+// paper's LPs the basis entries start tiny — climbs to the two-word
+// Wide tier when eta-chain entry growth outruns int64 (the dominant
+// regime of the large-n dual-repair pivots), and only values past 128
+// bits pay big.Rat allocation, re-entering the fast tiers as soon as
+// a result fits again. The fallback is exact, never approximate: the
+// ladder changes the representation of a value, never the value. All
+// raw fixed-width arithmetic stays inside internal/rational's checked
+// kernels; the ratoverflow analyzer's scope covers this package to
+// keep it that way.
 //
 // Identity with the dense solver is certified, not assumed: the
 // revised path returns a Solution only when the final basis passes
@@ -39,102 +41,39 @@ import (
 	"minimaxdp/internal/rational"
 )
 
-// hval is a hybrid exact rational scalar. Invariant: r == nil means
-// the value is s (on the Small fast path); r != nil means the value
-// overflowed int64 and lives in r. hvals are immutable — operations
-// return fresh values and never mutate operands, so aliasing a shared
-// *big.Rat (e.g. a standardForm matrix entry) into r is safe.
-type hval struct {
-	s rational.Small
-	r *big.Rat
-}
+// hval is the hybrid exact rational scalar of the revised-simplex
+// kernels: rational.Hval, the three-tier Small → Wide → big.Rat
+// ladder (see internal/rational/hybrid.go — it moved there so the
+// matrix and mechanism hot loops share it). hvals are immutable;
+// aliasing a shared *big.Rat (e.g. a standardForm matrix entry) into
+// the big tier is safe.
+type hval = rational.Hval
 
-// hvRat wraps v, demoting to the Small fast path when it fits.
-func hvRat(v *big.Rat) hval {
-	if s, ok := rational.SmallFromRat(v); ok {
-		return hval{s: s}
-	}
-	return hval{r: v}
-}
+// hvRat wraps v on the narrowest tier it fits.
+func hvRat(v *big.Rat) hval { return rational.HvalFromRat(v) }
 
-// rat returns the exact value as a *big.Rat. The result aliases r
-// when the value is big and must not be mutated by the caller.
-func (a hval) rat() *big.Rat {
-	if a.r != nil {
-		//dpvet:ignore ratmutate documented borrow: rat is the hot exit of the hybrid kernels (every big-path fms/quo calls it); hvals are immutable by contract and every escaping consumer (extractFromCols, solution) clones on write
-		return a.r
-	}
-	return a.s.Rat()
-}
-
-func (a hval) isZero() bool {
-	if a.r != nil {
-		return a.r.Sign() == 0
-	}
-	return a.s.IsZero()
-}
-
-func (a hval) sign() int {
-	if a.r != nil {
-		return a.r.Sign()
-	}
-	return a.s.Sign()
-}
-
-// cmp compares two hvals exactly. Small-vs-Small uses the 128-bit
-// cross-product comparison and allocates nothing.
-func (a hval) cmp(b hval) int {
-	if a.r == nil && b.r == nil {
-		return a.s.Cmp(b.s)
-	}
-	return a.rat().Cmp(b.rat())
-}
-
-// hstats counts hybrid-kernel operations: small is the Small
-// fast-path hits, big the exact big.Rat fallbacks (including
-// operations with an operand already in big form). The ratio is the
-// fast-path hit rate exported through SolveStats.
+// hstats accumulates the per-solve tier counters; fold maps them into
+// SolveStats at solve exit.
 type hstats struct {
-	small, big int64
+	rational.HybridStats
 }
 
 func (h *hstats) fold(stats *SolveStats) {
 	if stats != nil {
 		//dpvet:ignore ratoverflow telemetry counter, not rational arithmetic; wraparound would skew stats, never results
-		stats.SmallOps += h.small
+		stats.SmallOps += int64(h.SmallOps)
 		//dpvet:ignore ratoverflow telemetry counter, as above
-		stats.SmallFallbacks += h.big
+		stats.WideOps += int64(h.WideOps)
+		//dpvet:ignore ratoverflow telemetry counter, as above
+		stats.BigFallbacks += int64(h.BigOps)
 	}
 }
 
 // fms returns a − b·c.
-func (h *hstats) fms(a, b, c hval) hval {
-	if a.r == nil && b.r == nil && c.r == nil {
-		if v, ok := a.s.FMS(b.s, c.s); ok {
-			h.small++
-			return hval{s: v}
-		}
-		h.big++
-		return hvRat(rational.FMSRat(a.s, b.s, c.s))
-	}
-	h.big++
-	p := new(big.Rat).Mul(b.rat(), c.rat())
-	return hvRat(p.Sub(a.rat(), p))
-}
+func (h *hstats) fms(a, b, c hval) hval { return h.FMS(a, b, c) }
 
 // quo returns a/b for b != 0.
-func (h *hstats) quo(a, b hval) hval {
-	if a.r == nil && b.r == nil {
-		if v, ok := a.s.Quo(b.s); ok {
-			h.small++
-			return hval{s: v}
-		}
-		h.big++
-		return hvRat(rational.QuoRat(a.s, b.s))
-	}
-	h.big++
-	return hvRat(new(big.Rat).Quo(a.rat(), b.rat()))
-}
+func (h *hstats) quo(a, b hval) hval { return h.Quo(a, b) }
 
 // --- sparse LU ------------------------------------------------------------
 
@@ -171,6 +110,12 @@ type sparseLU struct {
 	lVal    [][]hval
 
 	etas []eta
+	// etaBits integrates entry growth across the eta chain: the sum,
+	// over pushed etas, of the widest entry's bit length. FTRAN/BTRAN
+	// cost scales with both the number of etas and how wide their
+	// entries are, so the refactorization trigger watches this measure
+	// rather than a bare pivot count (needsRefactor).
+	etaBits int
 }
 
 // findPos binary-searches the sorted position list for c.
@@ -193,10 +138,14 @@ func findPos(idx []int32, c int32) int {
 // factorizeSparse LU-factorizes the basis columns in a
 // fill-minimizing elimination order: singleton columns are retired
 // first (they cost nothing — no other row holds the pivot column),
-// then a Markowitz-style scan picks the sparsest remaining column and
-// the sparsest row within it. Over exact rationals any nonzero pivot
-// is numerically valid, so the ordering is purely a sparsity choice.
-// ok=false reports a singular basis.
+// then Markowitz selection picks the (row, column) pair minimizing
+// the fill bound (rowcount−1)·(colcount−1) over a bounded candidate
+// list of sparsest columns. Over exact rationals any nonzero pivot is
+// numerically valid, so the ordering is purely a sparsity choice —
+// and sparsity is what bounds entry growth: every fill-in is a fresh
+// fms product, and fill compounds through later steps and the eta
+// chains built on top of the factors. ok=false reports a singular
+// basis.
 func (s *standardForm) factorizeSparse(basis []int, h *hstats) (*sparseLU, bool) {
 	m := s.nrows
 	if len(basis) != m {
@@ -207,7 +156,7 @@ func (s *standardForm) factorizeSparse(basis []int, h *hstats) (*sparseLU, bool)
 	// A counting pass sizes every per-row list exactly — the appends
 	// below never reallocate, which matters because factorization is
 	// on the per-solve hot path (and, with dual repair, re-runs every
-	// revisedRefactorEvery pivots).
+	// time needsRefactor fires).
 	rowNNZ := make([]int32, m)
 	for _, j := range basis {
 		for _, e := range cols[j] {
@@ -267,9 +216,16 @@ func (s *standardForm) factorizeSparse(basis []int, h *hstats) (*sparseLU, bool)
 	}
 
 	for step := 0; step < m; step++ {
-		// Pick the pivot column: a singleton if one is queued, else the
-		// sparsest alive column.
-		pc := int32(-1)
+		// Pick the pivot: a singleton column if one is queued (Markowitz
+		// score 0 — the elimination touches no other row), else the
+		// (row, column) pair minimizing the Markowitz fill bound
+		// (rowcount−1)·(colcount−1) over a bounded candidate list of
+		// the sparsest alive columns. Bounding the list keeps selection
+		// linear per step instead of scanning every (row, column) pair;
+		// the minimum essentially always lives among the sparsest
+		// columns, and a miss costs only a slightly worse ordering,
+		// never correctness.
+		pc, pr := int32(-1), int32(-1)
 		for len(singles) > 0 {
 			c := singles[len(singles)-1]
 			singles = singles[:len(singles)-1]
@@ -278,8 +234,18 @@ func (s *standardForm) factorizeSparse(basis []int, h *hstats) (*sparseLU, bool)
 				break
 			}
 		}
-		if pc < 0 {
-			bestCount := int32(0)
+		if pc >= 0 {
+			// The unique alive row holding the singleton column.
+			for _, ri := range colRows[pc] {
+				if rowAlive[ri] && findPos(rows[ri], pc) >= 0 {
+					pr = ri
+					break
+				}
+			}
+		} else {
+			const markowitzCandidates = 4
+			var cand [markowitzCandidates]int32
+			ncand := 0
 			for c := 0; c < m; c++ {
 				if !colAlive[c] {
 					continue
@@ -287,28 +253,48 @@ func (s *standardForm) factorizeSparse(basis []int, h *hstats) (*sparseLU, bool)
 				if colCount[c] == 0 {
 					return nil, false // structurally singular
 				}
-				if pc < 0 || colCount[c] < bestCount {
-					pc = int32(c)
-					bestCount = colCount[c]
+				// Insert c into the count-sorted candidate list (stable:
+				// ties keep the smaller column index first).
+				pos := ncand
+				for pos > 0 && colCount[cand[pos-1]] > colCount[c] {
+					pos--
+				}
+				if pos >= markowitzCandidates {
+					continue
+				}
+				if ncand < markowitzCandidates {
+					ncand++
+				}
+				for i := ncand - 1; i > pos; i-- {
+					cand[i] = cand[i-1]
+				}
+				cand[pos] = int32(c)
+			}
+			bestScore, bestLen := -1, 0
+			for k := 0; k < ncand && bestScore != 0; k++ {
+				c := cand[k]
+				cc := int(colCount[c]) - 1
+				for _, ri := range colRows[c] {
+					if !rowAlive[ri] || findPos(rows[ri], c) < 0 {
+						continue // stale membership
+					}
+					rl := len(rows[ri])
+					score := (rl - 1) * cc
+					better := bestScore < 0 || score < bestScore
+					if !better && score == bestScore {
+						// Deterministic tie-breaks: sparser row, then
+						// smaller column index, then smaller row index.
+						better = rl < bestLen ||
+							(rl == bestLen && (c < pc || (c == pc && ri < pr)))
+					}
+					if better {
+						pc, pr = c, ri
+						bestScore, bestLen = score, rl
+					}
 				}
 			}
-			if pc < 0 {
-				return nil, false
-			}
 		}
-		// Pick the sparsest alive row holding pc.
-		pr := int32(-1)
-		bestLen := 0
-		for _, ri := range colRows[pc] {
-			if !rowAlive[ri] || findPos(rows[ri], pc) < 0 {
-				continue
-			}
-			if pr < 0 || len(rows[ri]) < bestLen {
-				pr = ri
-				bestLen = len(rows[ri])
-			}
-		}
-		if pr < 0 {
+		if pc < 0 || pr < 0 {
 			return nil, false
 		}
 		pp := findPos(rows[pr], pc)
@@ -360,7 +346,7 @@ func (s *standardForm) factorizeSparse(basis []int, h *hstats) (*sparseLU, bool)
 					b++
 				default:
 					v := h.fms(rval[a], l, vals[pr][b])
-					if v.isZero() {
+					if v.IsZero() {
 						// Exact cancellation: the entry leaves the column.
 						colCount[ca]--
 						if colCount[ca] == 1 && colAlive[ca] {
@@ -417,7 +403,7 @@ func (f *sparseLU) applyFactor(t []hval) []hval {
 	// (final) value of the step's pivot row to rows eliminated later.
 	for k := 0; k < f.m; k++ {
 		tp := t[f.rowPerm[k]]
-		if tp.isZero() {
+		if tp.IsZero() {
 			continue
 		}
 		for n, i := range f.lRow[k] {
@@ -430,12 +416,12 @@ func (f *sparseLU) applyFactor(t []hval) []hval {
 		acc := t[f.rowPerm[k]]
 		for n, c := range f.uIdx[k] {
 			xc := x[c]
-			if xc.isZero() {
+			if xc.IsZero() {
 				continue
 			}
 			acc = h.fms(acc, f.uVal[k][n], xc)
 		}
-		if !acc.isZero() {
+		if !acc.IsZero() {
 			acc = h.quo(acc, f.diag[k])
 		}
 		x[f.colPerm[k]] = acc
@@ -451,7 +437,7 @@ func (f *sparseLU) applyEtas(x []hval) {
 	for i := range f.etas {
 		e := &f.etas[i]
 		xp := x[e.p]
-		if xp.isZero() {
+		if xp.IsZero() {
 			continue
 		}
 		xp = h.quo(xp, e.wp)
@@ -498,7 +484,7 @@ func (f *sparseLU) solveTranspose(c []hval) []hval {
 		e := &f.etas[i]
 		acc := d[e.p]
 		for _, w := range e.w {
-			if dv := d[w.idx]; !dv.isZero() {
+			if dv := d[w.idx]; !dv.IsZero() {
 				acc = h.fms(acc, w.v, dv)
 			}
 		}
@@ -510,12 +496,12 @@ func (f *sparseLU) solveTranspose(c []hval) []hval {
 		w[k] = d[f.colPerm[k]]
 	}
 	for j := 0; j < m; j++ {
-		if w[j].isZero() {
+		if w[j].IsZero() {
 			continue
 		}
 		w[j] = h.quo(w[j], f.diag[j])
 		wj := w[j]
-		if wj.isZero() {
+		if wj.IsZero() {
 			continue
 		}
 		for n, c := range f.uIdx[j] {
@@ -528,7 +514,7 @@ func (f *sparseLU) solveTranspose(c []hval) []hval {
 		acc := w[k]
 		for n, i := range f.lRow[k] {
 			vi := w[f.rowStep[i]]
-			if vi.isZero() {
+			if vi.IsZero() {
 				continue
 			}
 			acc = h.fms(acc, f.lVal[k][n], vi)
@@ -542,26 +528,67 @@ func (f *sparseLU) solveTranspose(c []hval) []hval {
 	return y
 }
 
-// pushEta records the basis change at position p with FTRAN image w.
+// pushEta records the basis change at position p with FTRAN image w,
+// charging the eta's widest entry against the refactorization bit
+// budget.
 func (f *sparseLU) pushEta(p int, w []hval) {
 	var nz []hTerm
+	maxBits := w[p].Bits()
 	for i, v := range w {
-		if i == p || v.isZero() {
+		if i == p || v.IsZero() {
 			continue
+		}
+		if b := v.Bits(); b > maxBits {
+			maxBits = b
 		}
 		nz = append(nz, hTerm{idx: int32(i), v: v})
 	}
 	f.etas = append(f.etas, eta{p: int32(p), w: nz, wp: w[p]})
+	f.etaBits += maxBits
 }
 
 // --- revised iteration ----------------------------------------------------
 
-// revisedRefactorEvery bounds the eta stack: past it the basis is
-// refactorized from scratch. Sparse refactorization is cheap (the
-// singleton-first ordering keeps fill near zero on the mechanism
-// LPs), while FTRAN/BTRAN cost grows with every eta, so the cap stays
-// low.
-const revisedRefactorEvery = 24
+// Refactorization trigger. Sparse refactorization is cheap (the
+// singleton-first Markowitz ordering keeps fill near zero on the
+// mechanism LPs) and — crucially — resets entry growth: the
+// refactorized basis entries are ratios of the *current* basis, far
+// narrower than the accumulated eta-chain products. FTRAN/BTRAN cost
+// grows with every eta and with entry width, so refactorization fires
+// on whichever bound is hit first:
+//
+//   - etaBitBudget: the integrated entry magnitude (sparseLU.etaBits)
+//     — the measured-growth trigger. On well-conditioned chains this
+//     never fires before the count backstop; on the entry-growth-heavy
+//     dual-repair chains of the large-n tailored LPs it fires after a
+//     handful of pivots, which is exactly when rebuilding wins.
+//   - revisedRefactorCap: a plain pivot-count backstop so bookkeeping
+//     cost stays bounded even when every entry is tiny.
+const (
+	etaBitBudget       = 192
+	revisedRefactorCap = 64
+)
+
+// needsRefactor reports whether the eta chain should be collapsed
+// into a fresh factorization, and whether the magnitude trigger (as
+// opposed to the count backstop) is what fired.
+func (f *sparseLU) needsRefactor() (refactor, magnitude bool) {
+	if f.etaBits >= etaBitBudget {
+		return true, true
+	}
+	return len(f.etas) >= revisedRefactorCap, false
+}
+
+// recordRefactor folds one refactorization into the solve stats.
+func recordRefactor(opts *SolveOpts, magnitude bool) {
+	if opts == nil || opts.Stats == nil {
+		return
+	}
+	opts.Stats.Refactorizations++
+	if magnitude {
+		opts.Stats.MagnitudeRefactors++
+	}
+}
 
 // dualRepairCap bounds dual-simplex repair pivots. Repair starts from
 // a strictly dual-feasible basis, so the first step is non-degenerate,
@@ -628,7 +655,7 @@ func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hv
 		}
 		zj := cvals[j]
 		for _, e := range colView(j) {
-			if yv := y[e.idx]; !yv.isZero() {
+			if yv := y[e.idx]; !yv.IsZero() {
 				zj = h.fms(zj, e.v, yv)
 			}
 		}
@@ -644,11 +671,11 @@ func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hv
 		// basis index (deterministic, like the primal ratio test).
 		leave := -1
 		for k := 0; k < m; k++ {
-			if xB[k].sign() >= 0 {
+			if xB[k].Sign() >= 0 {
 				continue
 			}
-			if leave < 0 || xB[k].cmp(xB[leave]) < 0 ||
-				(xB[k].cmp(xB[leave]) == 0 && basis[k] < basis[leave]) {
+			if leave < 0 || xB[k].Cmp(xB[leave]) < 0 ||
+				(xB[k].Cmp(xB[leave]) == 0 && basis[k] < basis[leave]) {
 				leave = k
 			}
 		}
@@ -675,12 +702,12 @@ func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hv
 			}
 			var na hval
 			for _, e := range colView(j) {
-				if bv := beta[e.idx]; !bv.isZero() {
+				if bv := beta[e.idx]; !bv.IsZero() {
 					na = h.fms(na, e.v, bv)
 				}
 			}
 			negAlpha[j] = na
-			if na.sign() <= 0 {
+			if na.Sign() <= 0 {
 				continue // only α_pj < 0 columns can absorb the deficit
 			}
 			if enter < 0 {
@@ -688,11 +715,10 @@ func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hv
 				continue
 			}
 			// z/na < bestNum/bestDen ⟺ z·bestDen < bestNum·na (positive
-			// denominators); cross-multiply via fms negation. First-wins
-			// keeps ties on the smaller column index.
-			lhs := h.fms(hval{}, z[j], bestDen) // −z·bestDen
-			rhs := h.fms(hval{}, bestNum, na)   // −bestNum·na
-			if lhs.cmp(rhs) > 0 {
+			// denominators): a fused product comparison, no quotient or
+			// normalization. First-wins keeps ties on the smaller column
+			// index.
+			if h.CmpMul(z[j], bestDen, bestNum, na) < 0 {
 				enter, bestNum, bestDen = j, z[j], na
 			}
 		}
@@ -702,7 +728,7 @@ func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hv
 			return nil, nil, false, nil
 		}
 		w := lu.ftran(colView(enter))
-		if w[leave].sign() >= 0 {
+		if w[leave].Sign() >= 0 {
 			// w[leave] is α_p,enter and must be negative; anything else
 			// means the factorization and the pricing row disagree.
 			return nil, nil, false, nil
@@ -713,7 +739,7 @@ func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hv
 		// which α_pj = 1, as the p-th basic — picks up exactly θ_D.
 		thetaD := h.quo(z[enter], negAlpha[enter])
 		for j := 0; j < s.ncols; j++ {
-			if inBasis[j] || j == enter || negAlpha[j].isZero() {
+			if inBasis[j] || j == enter || negAlpha[j].IsZero() {
 				continue
 			}
 			z[j] = h.fms(z[j], thetaD, negAlpha[j])
@@ -724,7 +750,7 @@ func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hv
 		// x′_B = x_B − θ_P·w off the pivot row and x′_p = θ_P.
 		thetaP := h.quo(xB[leave], w[leave])
 		for k := 0; k < m; k++ {
-			if k == leave || w[k].isZero() {
+			if k == leave || w[k].IsZero() {
 				continue
 			}
 			xB[k] = h.fms(xB[k], thetaP, w[k])
@@ -736,14 +762,14 @@ func (s *standardForm) solveDualRepair(ctx context.Context, basis []int, xB []hv
 		if opts != nil && opts.Stats != nil {
 			opts.Stats.RevisedPivots++
 		}
-		if len(lu.etas) >= revisedRefactorEvery {
+		lu.pushEta(leave, w)
+		if refac, mag := lu.needsRefactor(); refac {
 			nlu, ok := s.factorizeSparse(basis, h)
 			if !ok {
 				return nil, nil, false, nil
 			}
 			lu = nlu
-		} else {
-			lu.pushEta(leave, w)
+			recordRefactor(opts, mag)
 		}
 	}
 }
@@ -789,6 +815,23 @@ func (s *standardForm) solveRevised(ctx context.Context, basis []int, xB []hval,
 		inBasis[j] = true
 	}
 	stalled := 0
+	// Partial (candidate-list) pricing: each Dantzig iteration prices a
+	// rotating window of nonbasic columns, expanding window by window
+	// until some window holds an eligible column; only an iteration
+	// that wraps the full column range with no candidate declares
+	// optimality (and only such a full sweep is trusted for the
+	// tied-optimum check). The entering choice is the window-local
+	// Dantzig winner, so the vertex path may differ from the dense
+	// solver's — harmless, because the result is only returned under
+	// the strict-uniqueness dual certificate below, and a unique
+	// optimum leaves no room for the paths to land on different
+	// answers. Bland mode keeps a full smallest-index scan: its
+	// anti-cycling guarantee needs the global minimum eligible index.
+	priceWindow := s.ncols / 8
+	if priceWindow < 64 {
+		priceWindow = 64
+	}
+	priceStart := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
@@ -798,33 +841,68 @@ func (s *standardForm) solveRevised(ctx context.Context, basis []int, xB []hval,
 		enter := -1
 		var bestZ hval
 		tied := false
-		for j := 0; j < s.ncols; j++ {
-			if inBasis[j] {
-				continue
-			}
+		price := func(j int) hval {
 			z := cvals[j]
 			for _, e := range colView(j) {
 				ye := y[e.idx]
-				if ye.isZero() {
+				if ye.IsZero() {
 					continue
 				}
 				z = h.fms(z, e.v, ye)
 			}
-			sgn := z.sign()
-			if sgn == 0 {
-				tied = true
-				continue
+			return z
+		}
+		if useBland {
+			for j := 0; j < s.ncols; j++ {
+				if inBasis[j] {
+					continue
+				}
+				switch z := price(j); z.Sign() {
+				case 0:
+					tied = true
+				case -1:
+					enter = j
+				}
+				if enter >= 0 {
+					break // Bland: smallest eligible index
+				}
 			}
-			if sgn > 0 {
-				continue
-			}
-			if useBland {
-				enter = j
-				break // Bland: smallest eligible index
-			}
-			if enter < 0 || z.cmp(bestZ) < 0 {
-				enter = j
-				bestZ = z
+		} else {
+			scanned := 0
+			j := priceStart
+			for scanned < s.ncols {
+				windowEnd := scanned + priceWindow
+				if windowEnd > s.ncols {
+					windowEnd = s.ncols
+				}
+				for ; scanned < windowEnd; scanned++ {
+					jj := j
+					if j++; j >= s.ncols {
+						j = 0
+					}
+					if inBasis[jj] {
+						continue
+					}
+					z := price(jj)
+					sgn := z.Sign()
+					if sgn == 0 {
+						tied = true
+						continue
+					}
+					if sgn > 0 {
+						continue
+					}
+					if enter < 0 || z.Cmp(bestZ) < 0 {
+						enter = jj
+						bestZ = z
+					}
+				}
+				if enter >= 0 {
+					// Rotate: the next iteration starts where this window
+					// ended, so every column is priced regularly.
+					priceStart = j
+					break
+				}
 			}
 		}
 		if enter < 0 {
@@ -835,7 +913,7 @@ func (s *standardForm) solveRevised(ctx context.Context, basis []int, xB []hval,
 			}
 			colVal := rational.Vector(s.ncols)
 			for k, j := range basis {
-				colVal[j] = xB[k].rat()
+				colVal[j] = xB[k].Rat()
 			}
 			return s.solution(s.extractFromCols(colVal)), true, nil
 		}
@@ -843,12 +921,12 @@ func (s *standardForm) solveRevised(ctx context.Context, basis []int, xB []hval,
 		leave := -1
 		var bestRatio hval
 		for k := 0; k < m; k++ {
-			if w[k].sign() <= 0 {
+			if w[k].Sign() <= 0 {
 				continue
 			}
 			ratio := h.quo(xB[k], w[k])
-			if leave < 0 || ratio.cmp(bestRatio) < 0 ||
-				(ratio.cmp(bestRatio) == 0 && basis[k] < basis[leave]) {
+			if leave < 0 || ratio.Cmp(bestRatio) < 0 ||
+				(ratio.Cmp(bestRatio) == 0 && basis[k] < basis[leave]) {
 				leave = k
 				bestRatio = ratio
 			}
@@ -857,9 +935,9 @@ func (s *standardForm) solveRevised(ctx context.Context, basis []int, xB []hval,
 			return &Solution{Status: Unbounded}, true, nil
 		}
 		theta := bestRatio
-		degenerate := theta.isZero()
+		degenerate := theta.IsZero()
 		for k := 0; k < m; k++ {
-			if k == leave || w[k].isZero() || theta.isZero() {
+			if k == leave || w[k].IsZero() || theta.IsZero() {
 				continue
 			}
 			xB[k] = h.fms(xB[k], w[k], theta)
@@ -872,17 +950,19 @@ func (s *standardForm) solveRevised(ctx context.Context, basis []int, xB []hval,
 		if opts != nil && opts.Stats != nil {
 			opts.Stats.RevisedPivots++
 		}
-		if len(lu.etas) >= revisedRefactorEvery {
+		lu.pushEta(leave, w)
+		if refac, mag := lu.needsRefactor(); refac {
 			nlu, ok := s.factorizeSparse(basis, h)
 			if !ok {
 				return nil, false, nil // should not happen; dense path decides
 			}
 			lu = nlu
+			recordRefactor(opts, mag)
 			// Recompute the basic solution from scratch: exact values, so
-			// this is a representation refresh, not a numeric repair.
+			// this is a representation refresh, not a numeric repair —
+			// and it sheds the wide representations the eta chain
+			// accumulated, which is half the point of refactorizing.
 			xB = lu.solve(s.b)
-		} else {
-			lu.pushEta(leave, w)
 		}
 		if degenerate {
 			stalled++

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -8,74 +9,90 @@ import (
 )
 
 // TestHvalDemotion pins the hybrid scalar's representation invariant:
-// values that fit int64 live on the Small fast path, overflowing
-// results demote back to Small whenever they re-fit, and every
-// observable (rat, sign, cmp) agrees with the big.Rat view.
+// values that fit int64 live on the Small tier, values past int64 but
+// within 128 bits on the Wide tier, only wider ones on big.Rat, and
+// results demote back down whenever they re-fit. Every observable
+// (Rat, Sign, Cmp) agrees with the big.Rat view regardless of tier.
 func TestHvalDemotion(t *testing.T) {
 	small := hvRat(rational.New(22, 7))
-	if small.r != nil {
-		t.Error("22/7 should sit on the Small path")
+	if small.Tier() != rational.TierSmall {
+		t.Error("22/7 should sit on the Small tier")
 	}
-	huge := new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 90), big.NewInt(3))
-	bigv := hvRat(huge)
-	if bigv.r == nil {
-		t.Error("2^90/3 should sit on the big path")
+	wideR := new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 90), big.NewInt(3))
+	widev := hvRat(wideR)
+	if widev.Tier() != rational.TierWide {
+		t.Error("2^90/3 should sit on the Wide tier")
 	}
-	if bigv.rat().Cmp(huge) != 0 {
-		t.Errorf("rat() = %v, want %v", bigv.rat(), huge)
+	if widev.Rat().Cmp(wideR) != 0 {
+		t.Errorf("Rat() = %v, want %v", widev.Rat(), wideR)
+	}
+	hugeR := new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 200), big.NewInt(3))
+	bigv := hvRat(hugeR)
+	if bigv.Tier() != rational.TierBig {
+		t.Error("2^200/3 should sit on the big tier")
 	}
 	var h hstats
-	// (2^90/3) − (2^90/3)·1 == 0: a big-path op whose result re-fits.
-	z := h.fms(bigv, bigv, hvRat(rational.One()))
-	if z.r != nil {
-		t.Error("zero result should demote to the Small path")
+	// (2^90/3) − (2^90/3)·1 == 0: a Wide-tier op whose result re-fits.
+	z := h.fms(widev, widev, hvRat(rational.One()))
+	if z.Tier() != rational.TierSmall {
+		t.Error("zero result should demote to the Small tier")
 	}
-	if !z.isZero() || z.sign() != 0 {
-		t.Errorf("fms(x, x, 1) = %v, want 0", z.rat())
+	if !z.IsZero() || z.Sign() != 0 {
+		t.Errorf("fms(x, x, 1) = %v, want 0", z.Rat())
 	}
-	if h.big == 0 {
+	if h.WideOps == 0 {
+		t.Error("Wide-tier operation not counted")
+	}
+	// A big-tier op whose result re-fits 128 bits must land on Wide.
+	z2 := h.fms(bigv, bigv, hvRat(rational.One()))
+	if !z2.IsZero() {
+		t.Errorf("fms(big, big, 1) = %v, want 0", z2.Rat())
+	}
+	if h.BigOps == 0 {
 		t.Error("big-path operation not counted")
 	}
-	if small.cmp(bigv) >= 0 || bigv.cmp(small) <= 0 {
-		t.Error("cmp ordering across representations is wrong")
+	if small.Cmp(widev) >= 0 || widev.Cmp(small) <= 0 || widev.Cmp(bigv) >= 0 {
+		t.Error("Cmp ordering across representations is wrong")
 	}
 }
 
-// TestHstatsKernelOracle drives fms and quo across the int64 overflow
-// boundary and cross-checks every result against big.Rat, asserting
-// both counters move.
+// TestHstatsKernelOracle drives fms and quo across both overflow
+// boundaries (int64 → Wide and Wide → big.Rat) and cross-checks every
+// result against big.Rat, asserting all three tier counters move.
 func TestHstatsKernelOracle(t *testing.T) {
 	mk := func(n, d int64) hval { return hvRat(rational.New(n, d)) }
-	big1 := hvRat(new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 70), big.NewInt(7)))
+	wide1 := hvRat(new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 70), big.NewInt(7)))
+	big1 := hvRat(new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 140), big.NewInt(11)))
 	cases := []hval{
 		mk(0, 1), mk(1, 1), mk(-3, 7), mk(5, 2),
-		mk(1<<40, 3), mk(-(1 << 40), 9), big1,
+		mk(1<<40, 3), mk(-(1 << 40), 9), wide1, big1,
 	}
 	var h hstats
-	ref := func(v hval) *big.Rat { return new(big.Rat).Set(v.rat()) }
+	ref := func(v hval) *big.Rat { return new(big.Rat).Set(v.Rat()) }
 	for _, a := range cases {
 		for _, b := range cases {
 			for _, c := range cases {
 				got := h.fms(a, b, c)
 				want := new(big.Rat).Mul(ref(b), ref(c))
 				want.Sub(ref(a), want)
-				if got.rat().Cmp(want) != 0 {
+				if got.Rat().Cmp(want) != 0 {
 					t.Fatalf("fms(%v,%v,%v) = %v, want %v",
-						ref(a), ref(b), ref(c), got.rat(), want)
+						ref(a), ref(b), ref(c), got.Rat(), want)
 				}
 			}
-			if b.isZero() {
+			if b.IsZero() {
 				continue
 			}
 			got := h.quo(a, b)
 			want := new(big.Rat).Quo(ref(a), ref(b))
-			if got.rat().Cmp(want) != 0 {
-				t.Fatalf("quo(%v,%v) = %v, want %v", ref(a), ref(b), got.rat(), want)
+			if got.Rat().Cmp(want) != 0 {
+				t.Fatalf("quo(%v,%v) = %v, want %v", ref(a), ref(b), got.Rat(), want)
 			}
 		}
 	}
-	if h.small == 0 || h.big == 0 {
-		t.Fatalf("kernel grid missed a path: small=%d big=%d", h.small, h.big)
+	if h.SmallOps == 0 || h.WideOps == 0 || h.BigOps == 0 {
+		t.Fatalf("kernel grid missed a tier: small=%d wide=%d big=%d",
+			h.SmallOps, h.WideOps, h.BigOps)
 	}
 }
 
@@ -100,7 +117,7 @@ func residualB(t *testing.T, s *standardForm, basis []int, xB []hval) {
 	tmp := new(big.Rat)
 	cols := s.columns()
 	for k, j := range basis {
-		xv := xB[k].rat()
+		xv := xB[k].Rat()
 		for _, e := range cols[j] {
 			tmp.Mul(e.v, xv)
 			acc[e.idx].Add(acc[e.idx], tmp)
@@ -138,14 +155,14 @@ func TestSparseLUSolveExact(t *testing.T) {
 	for k, j := range basis {
 		dot.SetInt64(0)
 		for _, e := range cols[j] {
-			tmp.Mul(e.v, y[e.idx].rat())
+			tmp.Mul(e.v, y[e.idx].Rat())
 			dot.Add(dot, tmp)
 		}
-		if dot.Cmp(cB[k].rat()) != 0 {
-			t.Fatalf("(Bᵀy)[%d] = %s, want %s", k, dot.RatString(), cB[k].rat().RatString())
+		if dot.Cmp(cB[k].Rat()) != 0 {
+			t.Fatalf("(Bᵀy)[%d] = %s, want %s", k, dot.RatString(), cB[k].Rat().RatString())
 		}
 	}
-	if h.small == 0 {
+	if h.SmallOps == 0 {
 		t.Error("factorize+solves never used the Small fast path")
 	}
 }
@@ -179,7 +196,7 @@ func TestSparseLUEtaUpdate(t *testing.T) {
 		}
 		cand := lu.ftran(col)
 		for p := range cand {
-			if !cand[p].isZero() {
+			if !cand[p].IsZero() {
 				enter, leave, w = j, p, cand
 				break
 			}
@@ -203,9 +220,9 @@ func TestSparseLUEtaUpdate(t *testing.T) {
 	}
 	xB2 := lu2.solve(s.b)
 	for k := range xB {
-		if xB[k].cmp(xB2[k]) != 0 {
+		if xB[k].Cmp(xB2[k]) != 0 {
 			t.Fatalf("eta solve and refactorized solve disagree at %d: %s vs %s",
-				k, xB[k].rat().RatString(), xB2[k].rat().RatString())
+				k, xB[k].Rat().RatString(), xB2[k].Rat().RatString())
 		}
 	}
 }
@@ -236,5 +253,74 @@ func TestFindPos(t *testing.T) {
 	}
 	if got := findPos(nil, 3); got != -1 {
 		t.Errorf("findPos(nil, 3) = %d, want -1", got)
+	}
+}
+
+// TestDualRepairMagnitudeRefactor is the refactorization-cadence
+// regression test: a long exact dual-repair walk on the degenerate
+// n=20 tailored LP must collapse its eta chain on the entry-MAGNITUDE
+// trigger (sparseLU.etaBits crossing etaBitBudget), not merely the
+// pivot-count backstop. Before magnitude-triggered refactorization,
+// exactly this walk was where FTRAN/BTRAN entries outgrew every fast
+// tier and big.Rat allocation dominated the n ≥ 20 solves.
+//
+// The float dual cleanup (floatsimplex.go) now hands the exact side a
+// primal-feasible basis on this family, so the test disables it to
+// regenerate the dirty perturbed-optimal basis the repair exists for.
+func TestDualRepairMagnitudeRefactor(t *testing.T) {
+	defer func(old bool) { floatSkipDualCleanup = old }(floatSkipDualCleanup)
+	floatSkipDualCleanup = true
+
+	s := newStandardForm(tailoredTestLP(20, rational.New(1, 2)))
+	basis, _, ok := s.floatCandidateBasis()
+	if !ok {
+		t.Fatal("float candidate basis unavailable")
+	}
+	var h hstats
+	lu, ok := s.factorizeSparse(basis, &h)
+	if !ok {
+		t.Fatal("candidate basis singular")
+	}
+	xB := lu.solve(s.b)
+	hasNeg := false
+	for _, v := range xB {
+		if v.Sign() < 0 {
+			hasNeg = true
+			break
+		}
+	}
+	if !hasNeg {
+		t.Fatal("perturbed candidate basis already primal feasible; the dirty-basis premise no longer holds")
+	}
+	cB := make([]hval, s.nrows)
+	for k, j := range basis {
+		cB[k] = hvRat(s.c[j])
+	}
+	if s.dualCertificate(basis, lu.solveTranspose(cB), &h) != dualStrict {
+		t.Fatal("candidate basis not strictly dual feasible; dual repair premise broken")
+	}
+
+	var stats SolveStats
+	opts := &SolveOpts{Stats: &stats}
+	lu, xB, ok, err := s.solveDualRepair(context.Background(), basis, xB, lu, &h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("dual repair gave up on a strictly-dual-feasible basis")
+	}
+	_ = lu
+	for k, v := range xB {
+		if v.Sign() < 0 {
+			t.Fatalf("repaired basis still primal infeasible at row %d", k)
+		}
+	}
+	if stats.MagnitudeRefactors < 1 {
+		t.Errorf("MagnitudeRefactors = %d, want ≥ 1: the eta-chain magnitude trigger never fired (Refactorizations = %d, RevisedPivots = %d)",
+			stats.MagnitudeRefactors, stats.Refactorizations, stats.RevisedPivots)
+	}
+	if stats.Refactorizations < stats.MagnitudeRefactors {
+		t.Errorf("Refactorizations = %d < MagnitudeRefactors = %d; counters inconsistent",
+			stats.Refactorizations, stats.MagnitudeRefactors)
 	}
 }

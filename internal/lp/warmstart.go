@@ -76,11 +76,21 @@ type SolveStats struct {
 	RevisedPivots  int // exact revised-simplex pivots (crossover resume + dual repair)
 	ParallelPivots int // exact pivots whose elimination ran parallel
 
-	// Hybrid-kernel counters for the sparse LU / revised path: how
-	// many exact rational operations ran on the int64 rational.Small
-	// fast path vs. falling back to big.Rat (see revised.go).
-	SmallOps       int64
-	SmallFallbacks int64
+	// Hybrid-kernel tier counters for the sparse LU / revised path:
+	// how many exact rational operations ran on the int64
+	// rational.Small fast path, how many on the 128-bit rational.Wide
+	// tier, and how many fell all the way back to big.Rat (see
+	// revised.go and internal/rational/hybrid.go).
+	SmallOps     int64
+	WideOps      int64
+	BigFallbacks int64
+
+	// Basis refactorizations during revised pivoting (primal resume +
+	// dual repair). MagnitudeRefactors counts the subset forced by the
+	// eta-chain entry-magnitude trigger rather than the pivot-count
+	// backstop (see sparseLU.needsRefactor).
+	Refactorizations   int
+	MagnitudeRefactors int
 
 	// Presolve reductions applied before the solve (presolve.go).
 	PresolveRows int // constraint rows eliminated
@@ -115,7 +125,7 @@ func (s *standardForm) solveWarmStart(ctx context.Context, opts *SolveOpts) (sol
 	repaired := false
 	hasNeg := false
 	for _, v := range xB {
-		if v.sign() < 0 {
+		if v.Sign() < 0 {
 			hasNeg = true
 			break
 		}
@@ -166,7 +176,7 @@ func (s *standardForm) solveWarmStart(ctx context.Context, opts *SolveOpts) (sol
 		}
 		colVal := rational.Vector(s.ncols)
 		for k, j := range basis {
-			colVal[j] = xB[k].rat()
+			colVal[j] = xB[k].Rat()
 		}
 		return s.solution(s.extractFromCols(colVal)), true, nil
 	case dualDegenerate:
@@ -213,11 +223,11 @@ func (s *standardForm) dualCertificate(basis []int, y []hval, h *hstats) dualVer
 		}
 		z := hvRat(s.c[j])
 		for _, e := range cols[j] {
-			if yv := y[e.idx]; !yv.isZero() {
+			if yv := y[e.idx]; !yv.IsZero() {
 				z = h.fms(z, hvRat(e.v), yv)
 			}
 		}
-		switch z.sign() {
+		switch z.Sign() {
 		case -1:
 			return dualInfeasible
 		case 0:

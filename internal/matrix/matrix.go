@@ -167,32 +167,64 @@ func (m *Matrix) Equal(o *Matrix) bool {
 
 // Mul returns the product m·o.
 func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	out, _, err := m.MulStats(o)
+	return out, err
+}
+
+// MulStats returns the product m·o together with the hybrid tier
+// counters of this call. The dot products run on the rational.Hval
+// ladder (Small → Wide → big.Rat), so mostly-tiny operands — the
+// common case for mechanism transition products — stay in machine
+// words; the returned stats report the per-call hit rate of each
+// tier.
+func (m *Matrix) MulStats(o *Matrix) (*Matrix, rational.HybridStats, error) {
+	var h rational.HybridStats
 	if m.cols != o.rows {
-		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
+		return nil, h, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols)
 	}
-	out := New(m.rows, o.cols)
-	tmp := rational.Zero()
+	// Lift both operands onto the ladder once; big-tier entries are
+	// aliased, never copied, and Hval ops never mutate operands.
+	left := make([]rational.Hval, len(m.a))
+	for i, v := range m.a {
+		left[i] = rational.HvalFromRat(v)
+	}
+	right := make([]rational.Hval, len(o.a))
+	for i, v := range o.a {
+		right[i] = rational.HvalFromRat(v)
+	}
+	acc := make([]rational.Hval, m.rows*o.cols)
+	var zero rational.Hval
 	// ikj loop order with a zero-skip on the left factor: products with
 	// sparse left operands (e.g. the tridiagonal closed-form inverse of
 	// the geometric mechanism) cost O(nnz·cols) instead of O(n³).
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
-			aik := m.a[i*m.cols+k]
-			if aik.Sign() == 0 {
+			aik := left[i*m.cols+k]
+			if aik.IsZero() {
 				continue
 			}
-			orow := o.a[k*o.cols:]
+			// acc += aik·b is one fused FMS with the negated left
+			// factor: a single normalization per update instead of a
+			// multiply followed by an add.
+			neg := h.SubH(zero, aik)
+			orow := right[k*o.cols:]
 			for j := 0; j < o.cols; j++ {
-				if orow[j].Sign() == 0 {
+				if orow[j].IsZero() {
 					continue
 				}
-				tmp.Mul(aik, orow[j])
-				acc := out.a[i*out.cols+j]
-				acc.Add(acc, tmp)
+				idx := i*o.cols + j
+				acc[idx] = h.FMS(acc[idx], neg, orow[j])
 			}
 		}
 	}
-	return out, nil
+	out := New(m.rows, o.cols)
+	for idx, v := range acc {
+		if v.IsZero() {
+			continue
+		}
+		out.a[idx] = rational.Clone(v.Rat())
+	}
+	return out, h, nil
 }
 
 // MulVec returns the product m·v for a column vector v.
@@ -357,54 +389,73 @@ func (m *Matrix) Solve(b []*big.Rat) ([]*big.Rat, error) {
 // keeps intermediate values as exact integers of the common
 // denominator and is much faster than cofactor expansion for n ≳ 5.
 func (m *Matrix) Det() (*big.Rat, error) {
+	det, _, err := m.DetStats()
+	return det, err
+}
+
+// DetStats returns det(m) together with the hybrid tier counters of
+// this call. The elimination runs on the rational.Hval ladder
+// (Small → Wide → big.Rat): pivots, row factors, and the fused
+// update w[r][j] −= factor·w[col][j] stay in machine words while
+// entries fit, and the stats report the per-call hit rate of each
+// tier.
+func (m *Matrix) DetStats() (*big.Rat, rational.HybridStats, error) {
+	var h rational.HybridStats
 	if m.rows != m.cols {
-		return nil, fmt.Errorf("matrix: determinant of non-square %dx%d", m.rows, m.cols)
+		return nil, h, fmt.Errorf("matrix: determinant of non-square %dx%d", m.rows, m.cols)
 	}
 	n := m.rows
 	if n == 1 {
-		return rational.Clone(m.At(0, 0)), nil
+		return rational.Clone(m.At(0, 0)), h, nil
 	}
-	// Work on a copy; plain fraction elimination over big.Rat is exact
-	// and simple. Track sign from row swaps.
-	w := make([][]*big.Rat, n)
+	// Work on a lifted copy; fraction elimination over Hval is exact
+	// and the ladder is a representation detail. Track sign from row
+	// swaps.
+	w := make([][]rational.Hval, n)
 	for i := 0; i < n; i++ {
-		w[i] = m.Row(i)
+		w[i] = make([]rational.Hval, n)
+		for j := 0; j < n; j++ {
+			w[i][j] = rational.HvalFromRat(m.a[i*n+j])
+		}
 	}
 	sign := 1
-	det := rational.One()
+	det := rational.HvalFromRat(rational.One())
 	for col := 0; col < n; col++ {
 		pivot := -1
 		for r := col; r < n; r++ {
-			if w[r][col].Sign() != 0 {
+			if !w[r][col].IsZero() {
 				pivot = r
 				break
 			}
 		}
 		if pivot < 0 {
-			return rational.Zero(), nil
+			return rational.Zero(), h, nil
 		}
 		if pivot != col {
 			w[col], w[pivot] = w[pivot], w[col]
 			sign = -sign
 		}
-		det.Mul(det, w[col][col])
-		inv := new(big.Rat).Inv(w[col][col])
+		det = h.Mul(det, w[col][col])
 		for r := col + 1; r < n; r++ {
-			if w[r][col].Sign() == 0 {
+			if w[r][col].IsZero() {
 				continue
 			}
-			factor := new(big.Rat).Mul(w[r][col], inv)
-			tmp := rational.Zero()
-			for j := col; j < n; j++ {
-				tmp.Mul(factor, w[col][j])
-				w[r][j].Sub(w[r][j], tmp)
+			factor := h.Quo(w[r][col], w[col][col])
+			// Column col of row r is never read again, so start the
+			// fused updates at col+1.
+			for j := col + 1; j < n; j++ {
+				if w[col][j].IsZero() {
+					continue
+				}
+				w[r][j] = h.FMS(w[r][j], factor, w[col][j])
 			}
 		}
 	}
+	out := rational.Clone(det.Rat())
 	if sign < 0 {
-		det.Neg(det)
+		out.Neg(out)
 	}
-	return det, nil
+	return out, h, nil
 }
 
 // DetCofactor returns det(m) by recursive cofactor expansion along the

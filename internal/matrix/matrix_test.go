@@ -460,3 +460,90 @@ func TestQuickInverseRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMulStatsCountersAndEquivalence pins the hybrid threading of the
+// product: small operands stay on the fast tiers (SmallOps > 0, no
+// big fallbacks) and the result is identical to entrywise dot
+// products over big.Rat.
+func TestMulStatsCountersAndEquivalence(t *testing.T) {
+	a := mustM(t, [][]string{{"1/2", "1/3"}, {"2/5", "7"}})
+	b := mustM(t, [][]string{{"3", "1/7"}, {"1/11", "4/9"}})
+	got, stats, err := a.MulStats(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: naive big.Rat dot products.
+	want := New(2, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			acc := rational.Zero()
+			for k := 0; k < 2; k++ {
+				acc.Add(acc, rational.Mul(a.At(i, k), b.At(k, j)))
+			}
+			want.Set(i, j, acc)
+		}
+	}
+	if !got.Equal(want) {
+		t.Fatalf("MulStats product mismatch:\n%v\nwant\n%v", got, want)
+	}
+	if stats.SmallOps == 0 {
+		t.Errorf("stats.SmallOps = 0; hybrid fast tier never engaged")
+	}
+	if stats.BigOps != 0 {
+		t.Errorf("stats.BigOps = %d on tiny operands; ladder promoted too eagerly", stats.BigOps)
+	}
+}
+
+// TestMulStatsEscalatesTiers drives the product across both overflow
+// boundaries: entries past int64 engage the Wide tier and entries
+// past 128 bits pay the big fallback, with the value always exact.
+func TestMulStatsEscalatesTiers(t *testing.T) {
+	huge := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 100))  // 2^100: Wide-sized
+	giant := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 200)) // 2^200: big-only
+	a := New(2, 2)
+	a.Set(0, 0, huge)
+	a.Set(0, 1, rational.One())
+	a.Set(1, 0, giant)
+	a.Set(1, 1, rational.One())
+	b := New(2, 2)
+	b.Set(0, 0, rational.One())
+	b.Set(1, 1, rational.One())
+	got, stats, err := a.MulStats(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0).Cmp(huge) != 0 || got.At(1, 0).Cmp(giant) != 0 {
+		t.Fatalf("tiered product lost exactness:\n%v", got)
+	}
+	if stats.WideOps == 0 {
+		t.Errorf("stats.WideOps = 0; 2^100 entries should ride the Wide tier")
+	}
+	if stats.BigOps == 0 {
+		t.Errorf("stats.BigOps = 0; 2^200 entries cannot fit 128 bits")
+	}
+}
+
+// TestDetStatsCountersAndEquivalence pins the hybrid threading of the
+// determinant elimination against the cofactor oracle.
+func TestDetStatsCountersAndEquivalence(t *testing.T) {
+	m := mustM(t, [][]string{
+		{"2/3", "1/5", "0", "1"},
+		{"1", "3/7", "1/2", "0"},
+		{"0", "1/9", "4", "2/11"},
+		{"5", "0", "1/13", "3"},
+	})
+	got, stats, err := m.DetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.DetCofactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("DetStats = %s, cofactor oracle = %s", got.RatString(), want.RatString())
+	}
+	if stats.SmallOps == 0 {
+		t.Errorf("stats.SmallOps = 0; hybrid fast tier never engaged")
+	}
+}

@@ -155,14 +155,25 @@ func (mc *Mechanism) BestAlpha() *big.Rat {
 // (n+1)×(n+1) matrix of reinterpretation probabilities, Definition 3)
 // and returns the induced mechanism x = y·T.
 func (mc *Mechanism) PostProcess(t *matrix.Matrix) (*Mechanism, error) {
+	out, _, err := mc.PostProcessStats(t)
+	return out, err
+}
+
+// PostProcessStats is PostProcess exposing the hybrid tier counters
+// of the transition product y·T: probability entries are mostly tiny
+// rationals, so the product runs on the Small/Wide fast tiers and the
+// stats report the per-call hit rate.
+func (mc *Mechanism) PostProcessStats(t *matrix.Matrix) (*Mechanism, rational.HybridStats, error) {
+	var h rational.HybridStats
 	if !t.IsStochastic() {
-		return nil, fmt.Errorf("mechanism: post-processing matrix: %w", ErrNotStochastic)
+		return nil, h, fmt.Errorf("mechanism: post-processing matrix: %w", ErrNotStochastic)
 	}
-	prod, err := mc.m.Mul(t)
+	prod, h, err := mc.m.MulStats(t)
 	if err != nil {
-		return nil, err
+		return nil, h, err
 	}
-	return New(prod)
+	out, err := New(prod)
+	return out, h, err
 }
 
 // cdfScratch holds the two pooled big.Int operands of the exact
@@ -386,22 +397,34 @@ func RandomizedResponse(n int, p *big.Rat) (*Mechanism, error) {
 // Construction is O(dim²) rational operations (dominated by writing
 // the output); the matrix itself has only O(dim) nonzero entries.
 func GeometricInverse(n int, alpha *big.Rat) (*matrix.Matrix, error) {
+	out, _, err := GeometricInverseStats(n, alpha)
+	return out, err
+}
+
+// GeometricInverseStats is GeometricInverse exposing the hybrid tier
+// counters of the construction: every band coefficient and per-entry
+// product runs on the rational.Hval ladder, so moderate α
+// denominators stay in machine words and the stats report the
+// per-call hit rate.
+func GeometricInverseStats(n int, alpha *big.Rat) (*matrix.Matrix, rational.HybridStats, error) {
+	var h rational.HybridStats
 	if n < 1 {
-		return nil, fmt.Errorf("mechanism: n must be ≥ 1, got %d", n)
+		return nil, h, fmt.Errorf("mechanism: n must be ≥ 1, got %d", n)
 	}
 	if alpha.Sign() <= 0 || alpha.Cmp(rational.One()) >= 0 {
-		return nil, fmt.Errorf("mechanism: geometric needs α ∈ (0,1), got %s", alpha.RatString())
+		return nil, h, fmt.Errorf("mechanism: geometric needs α ∈ (0,1), got %s", alpha.RatString())
 	}
-	one := rational.One()
-	alphaSq := rational.Mul(alpha, alpha)
-	oneMinusSq := rational.Sub(one, alphaSq)
-	inv := rational.Div(one, oneMinusSq)
-	diagCorner := rational.Clone(inv)                                 // 1/(1−α²)
-	diagInner := rational.Div(rational.Add(one, alphaSq), oneMinusSq) // (1+α²)/(1−α²)
-	off := rational.Neg(rational.Div(alpha, oneMinusSq))              // −α/(1−α²)
-	onePlus := rational.Add(one, alpha)
-	dInvBoundary := rational.Clone(onePlus)                         // (1+α)
-	dInvInterior := rational.Div(onePlus, rational.Sub(one, alpha)) // (1+α)/(1−α)
+	var zero rational.Hval
+	one := rational.HvalFromRat(rational.One())
+	al := rational.HvalFromRat(alpha)
+	alphaSq := h.Mul(al, al)
+	oneMinusSq := h.SubH(one, alphaSq)
+	diagCorner := h.Quo(one, oneMinusSq)                 // 1/(1−α²)
+	diagInner := h.Quo(h.AddH(one, alphaSq), oneMinusSq) // (1+α²)/(1−α²)
+	off := h.Quo(h.SubH(zero, al), oneMinusSq)           // −α/(1−α²)
+	onePlus := h.AddH(one, al)                           // (1+α)
+	dInvBoundary := onePlus                              // (1+α)
+	dInvInterior := h.Quo(onePlus, h.SubH(one, al))      // (1+α)/(1−α)
 
 	out := matrix.New(n+1, n+1)
 	for i := 0; i <= n; i++ {
@@ -415,13 +438,13 @@ func GeometricInverse(n int, alpha *big.Rat) (*matrix.Matrix, error) {
 		if i == 0 || i == n {
 			diag = diagCorner
 		}
-		out.Set(i, i, rational.Mul(scale, diag))
+		out.Set(i, i, h.Mul(scale, diag).Rat())
 		if i > 0 {
-			out.Set(i, i-1, rational.Mul(scale, off))
+			out.Set(i, i-1, h.Mul(scale, off).Rat())
 		}
 		if i < n {
-			out.Set(i, i+1, rational.Mul(scale, off))
+			out.Set(i, i+1, h.Mul(scale, off).Rat())
 		}
 	}
-	return out, nil
+	return out, h, nil
 }

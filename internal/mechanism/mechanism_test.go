@@ -509,3 +509,63 @@ func TestGeometricInverseLargeRoundTrip(t *testing.T) {
 		t.Error("G·G⁻¹ != I at n=40")
 	}
 }
+
+// TestPostProcessStatsHybridEngages pins the hybrid threading of the
+// transition product: geometric probability entries are small
+// rationals, so the product must run on the fast tiers and match the
+// plain PostProcess result exactly.
+func TestPostProcessStatsHybridEngages(t *testing.T) {
+	g := mustGeometric(t, 3, "1/4")
+	tMat := matrix.MustFromStrings([][]string{
+		{"9/11", "2/11", "0", "0"},
+		{"0", "1", "0", "0"},
+		{"0", "0", "1", "0"},
+		{"0", "0", "2/11", "9/11"},
+	})
+	want, err := g.PostProcess(tMat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := g.PostProcessStats(tMat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("PostProcessStats disagrees with PostProcess")
+	}
+	if stats.SmallOps == 0 {
+		t.Errorf("stats.SmallOps = 0; transition product never hit the fast tier")
+	}
+	if stats.BigOps != 0 {
+		t.Errorf("stats.BigOps = %d on Table 1 entries; ladder promoted too eagerly", stats.BigOps)
+	}
+}
+
+// TestGeometricInverseStatsHybridEngages pins the hybrid threading of
+// the closed-form inverse construction and its agreement with the
+// Gauss–Jordan oracle.
+func TestGeometricInverseStatsHybridEngages(t *testing.T) {
+	n := 6
+	alpha := r("2/3")
+	inv, stats, err := GeometricInverseStats(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Geometric(n, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := g.Matrix().Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equal(oracle) {
+		t.Fatal("GeometricInverseStats disagrees with Gauss–Jordan inverse")
+	}
+	if stats.SmallOps == 0 {
+		t.Errorf("stats.SmallOps = 0; band coefficients never hit the fast tier")
+	}
+	if stats.BigOps != 0 {
+		t.Errorf("stats.BigOps = %d for α=2/3; ladder promoted too eagerly", stats.BigOps)
+	}
+}

@@ -1,0 +1,538 @@
+package rational
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// Wide is the 128-bit tier of the fixed-width rational ladder: a
+// sign-and-magnitude rational with two-word (128-bit) numerator and
+// denominator, always in lowest terms. It sits between Small (one
+// int64 word per component) and big.Rat: kernels that outgrow int64
+// promote here and keep running allocation-free on machine words —
+// the dual-repair FTRAN/BTRAN entries of the large-n mechanism LPs
+// live almost entirely in this band — and only a value that outgrows
+// 128 bits pays the big.Rat fallback.
+//
+// The same discipline as Small applies: Wide values are built only by
+// the checked constructors (makeWide, wideFromParts), every
+// arithmetic method reports overflow instead of wrapping, and all raw
+// fixed-width arithmetic is confined to the named 128-bit kernels at
+// the bottom of this file (shl128, shr128, div128by64, div128),
+// everything else being composed from math/bits intrinsics. The
+// dpvet ratoverflow analyzer polices both rules.
+type Wide struct {
+	neg      bool   // sign; false for zero
+	nhi, nlo uint64 // |numerator|, 128-bit little-endian pair
+	dhi, dlo uint64 // denominator > 0; the zero value reads as 0/1
+}
+
+// wideFromParts wraps already-reduced components (den > 0,
+// gcd(num, den) == 1) without re-normalizing. It is a checked
+// constructor in the ratoverflow sense: the only other writer of
+// non-empty Wide literals is makeWide, which reduces.
+func wideFromParts(neg bool, nhi, nlo, dhi, dlo uint64) Wide {
+	if nhi == 0 && nlo == 0 {
+		// Canonical zero is the zero value (den() reads the 0 pair as 1),
+		// so a Wide zero never carries a stray denominator or sign.
+		return Wide{}
+	}
+	return Wide{neg: neg, nhi: nhi, nlo: nlo, dhi: dhi, dlo: dlo}
+}
+
+// makeWide returns ±(nhi·2⁶⁴+nlo)/(dhi·2⁶⁴+dlo) reduced to lowest
+// terms, reporting failure when the denominator is zero. Unlike
+// MakeSmall there is no representational edge to reject: magnitudes
+// are unsigned, so every 128-bit pair is valid.
+func makeWide(neg bool, nhi, nlo, dhi, dlo uint64) (Wide, bool) {
+	if dhi == 0 && dlo == 0 {
+		return Wide{}, false
+	}
+	if nhi == 0 && nlo == 0 {
+		return Wide{}, true
+	}
+	ghi, glo := gcd128(nhi, nlo, dhi, dlo)
+	if ghi != 0 || glo != 1 {
+		nhi, nlo = div128(nhi, nlo, ghi, glo)
+		dhi, dlo = div128(dhi, dlo, ghi, glo)
+	}
+	return wideFromParts(neg, nhi, nlo, dhi, dlo), true
+}
+
+// WideFromSmall widens s exactly; a Small always fits.
+func WideFromSmall(s Small) Wide {
+	num, den := s.Num(), s.Den()
+	neg := num < 0
+	var nlo uint64
+	if neg {
+		// |num| as uint64; correct even at math.MinInt64.
+		nlo = negAbs64(num)
+	} else {
+		nlo = uint64(num)
+	}
+	return wideFromParts(neg, 0, nlo, 0, uint64(den))
+}
+
+// WideFromRat converts r to a Wide, reporting failure when either
+// component exceeds 128 bits. r is already in lowest terms (big.Rat
+// normalizes), so no reduction runs.
+func WideFromRat(r *big.Rat) (Wide, bool) {
+	nhi, nlo, ok := u128FromBig(r.Num())
+	if !ok {
+		return Wide{}, false
+	}
+	dhi, dlo, ok := u128FromBig(r.Denom())
+	if !ok {
+		return Wide{}, false
+	}
+	return wideFromParts(r.Sign() < 0, nhi, nlo, dhi, dlo), true
+}
+
+// Rat returns the exact big.Rat value of w — the fallback every
+// 128-bit overflow path lands on.
+func (w Wide) Rat() *big.Rat {
+	num := bigFromU128(w.nhi, w.nlo)
+	if w.neg {
+		num.Neg(num)
+	}
+	dhi, dlo := w.den()
+	return new(big.Rat).SetFrac(num, bigFromU128(dhi, dlo))
+}
+
+// Small narrows w to the int64 tier, reporting failure when either
+// component needs more than one word.
+func (w Wide) Small() (Small, bool) {
+	dhi, dlo := w.den()
+	if w.nhi != 0 || dhi != 0 || w.nlo > math.MaxInt64 || dlo > math.MaxInt64 {
+		return Small{}, false
+	}
+	num := int64(w.nlo)
+	if w.neg {
+		// Cannot fail: the guard above capped the magnitude at MaxInt64.
+		num, _ = negChecked(num)
+	}
+	return MakeSmall(num, int64(dlo))
+}
+
+// den returns the denominator pair, mapping the zero value's 0 to 1.
+func (w Wide) den() (hi, lo uint64) {
+	if w.dhi == 0 && w.dlo == 0 {
+		return 0, 1
+	}
+	return w.dhi, w.dlo
+}
+
+// Sign returns -1, 0, or +1.
+func (w Wide) Sign() int {
+	if w.nhi == 0 && w.nlo == 0 {
+		return 0
+	}
+	if w.neg {
+		return -1
+	}
+	return 1
+}
+
+// IsZero reports whether w == 0.
+func (w Wide) IsZero() bool { return w.nhi == 0 && w.nlo == 0 }
+
+// Bits returns the bit length of the wider component — the ladder's
+// entry-growth measure (≤ 128 by construction).
+func (w Wide) Bits() int {
+	nb := bitLen128(w.nhi, w.nlo)
+	dhi, dlo := w.den()
+	if db := bitLen128(dhi, dlo); db > nb {
+		return db
+	}
+	return nb
+}
+
+// Neg returns −w. Sign-and-magnitude has no MinInt64 edge, so unlike
+// Small.Neg this cannot fail.
+func (w Wide) Neg() Wide {
+	return wideFromParts(!w.neg, w.nhi, w.nlo, w.dhi, w.dlo)
+}
+
+// Add returns w+t, reporting failure on 128-bit overflow.
+func (w Wide) Add(t Wide) (Wide, bool) {
+	adhi, adlo := w.den()
+	bdhi, bdlo := t.den()
+	// Reduce by g = gcd(den_a, den_b) first: num = na·(db/g) ± nb·(da/g)
+	// over den = da·(db/g), the form that keeps the cross products as
+	// small as the inputs allow.
+	ghi, glo := gcd128(adhi, adlo, bdhi, bdlo)
+	rdhi, rdlo := bdhi, bdlo // db/g
+	sdhi, sdlo := adhi, adlo // da/g
+	if ghi != 0 || glo != 1 {
+		rdhi, rdlo = div128(rdhi, rdlo, ghi, glo)
+		sdhi, sdlo = div128(sdhi, sdlo, ghi, glo)
+	}
+	t1hi, t1lo, ok := mul128(w.nhi, w.nlo, rdhi, rdlo)
+	if !ok {
+		return Wide{}, false
+	}
+	t2hi, t2lo, ok := mul128(t.nhi, t.nlo, sdhi, sdlo)
+	if !ok {
+		return Wide{}, false
+	}
+	denhi, denlo, ok := mul128(adhi, adlo, rdhi, rdlo)
+	if !ok {
+		return Wide{}, false
+	}
+	var neg bool
+	var nhi, nlo uint64
+	if w.neg == t.neg {
+		nhi, nlo, ok = add128(t1hi, t1lo, t2hi, t2lo)
+		if !ok {
+			return Wide{}, false
+		}
+		neg = w.neg
+	} else if cmp128(t1hi, t1lo, t2hi, t2lo) >= 0 {
+		nhi, nlo = sub128(t1hi, t1lo, t2hi, t2lo)
+		neg = w.neg
+	} else {
+		nhi, nlo = sub128(t2hi, t2lo, t1hi, t1lo)
+		neg = t.neg
+	}
+	return makeWide(neg, nhi, nlo, denhi, denlo)
+}
+
+// Sub returns w−t, reporting failure on 128-bit overflow.
+func (w Wide) Sub(t Wide) (Wide, bool) { return w.Add(t.Neg()) }
+
+// Mul returns w·t, reporting failure on 128-bit overflow. Operands
+// are cross-reduced first, so the products are as small as the lowest
+// terms of the result allow — overflow here means the *result* needs
+// more than 128 bits, not an avoidable intermediate.
+func (w Wide) Mul(t Wide) (Wide, bool) {
+	if w.IsZero() || t.IsZero() {
+		return Wide{}, true
+	}
+	anhi, anlo := w.nhi, w.nlo
+	adhi, adlo := w.den()
+	bnhi, bnlo := t.nhi, t.nlo
+	bdhi, bdlo := t.den()
+	if ghi, glo := gcd128(anhi, anlo, bdhi, bdlo); ghi != 0 || glo != 1 {
+		anhi, anlo = div128(anhi, anlo, ghi, glo)
+		bdhi, bdlo = div128(bdhi, bdlo, ghi, glo)
+	}
+	if ghi, glo := gcd128(bnhi, bnlo, adhi, adlo); ghi != 0 || glo != 1 {
+		bnhi, bnlo = div128(bnhi, bnlo, ghi, glo)
+		adhi, adlo = div128(adhi, adlo, ghi, glo)
+	}
+	nhi, nlo, ok := mul128(anhi, anlo, bnhi, bnlo)
+	if !ok {
+		return Wide{}, false
+	}
+	dhi, dlo, ok := mul128(adhi, adlo, bdhi, bdlo)
+	if !ok {
+		return Wide{}, false
+	}
+	// Inputs were in lowest terms and cross-reduced, so the product is
+	// already reduced.
+	return wideFromParts(w.neg != t.neg, nhi, nlo, dhi, dlo), true
+}
+
+// Quo returns w/t, reporting failure on overflow or t == 0.
+func (w Wide) Quo(t Wide) (Wide, bool) {
+	if t.IsZero() {
+		return Wide{}, false
+	}
+	tdhi, tdlo := t.den()
+	inv := wideFromParts(t.neg, tdhi, tdlo, t.nhi, t.nlo)
+	return w.Mul(inv)
+}
+
+// FMS returns w − b·c, reporting failure on overflow: the fused
+// multiply-subtract of the LU and simplex update kernels, composed
+// from the checked Mul and Sub.
+func (w Wide) FMS(b, c Wide) (Wide, bool) {
+	p, ok := b.Mul(c)
+	if !ok {
+		return Wide{}, false
+	}
+	return w.Sub(p)
+}
+
+// Cmp compares w and t exactly (-1, 0, +1) without overflow: the
+// cross products are formed in 256 bits.
+func (w Wide) Cmp(t Wide) int {
+	ws, ts := w.Sign(), t.Sign()
+	switch {
+	case ws < ts:
+		return -1
+	case ws > ts:
+		return 1
+	case ws == 0:
+		return 0
+	}
+	tdhi, tdlo := t.den()
+	wdhi, wdlo := w.den()
+	l3, l2, l1, l0 := mulFull128(w.nhi, w.nlo, tdhi, tdlo)
+	r3, r2, r1, r0 := mulFull128(t.nhi, t.nlo, wdhi, wdlo)
+	cmp := cmp256(l3, l2, l1, l0, r3, r2, r1, r0)
+	if ws < 0 {
+		cmp = -cmp
+	}
+	return cmp
+}
+
+// ---- exact fallbacks -----------------------------------------------------
+
+// AddRatW is the exact fallback for Wide.Add: it never fails.
+func AddRatW(w, t Wide) *big.Rat { return new(big.Rat).Add(w.Rat(), t.Rat()) }
+
+// SubRatW is the exact fallback for Wide.Sub.
+func SubRatW(w, t Wide) *big.Rat { return new(big.Rat).Sub(w.Rat(), t.Rat()) }
+
+// MulRatW is the exact fallback for Wide.Mul.
+func MulRatW(w, t Wide) *big.Rat { return new(big.Rat).Mul(w.Rat(), t.Rat()) }
+
+// QuoRatW is the exact fallback for Wide.Quo. It panics if t == 0,
+// matching Div.
+func QuoRatW(w, t Wide) *big.Rat { return Div(w.Rat(), t.Rat()) }
+
+// FMSRatW is the exact fallback for Wide.FMS.
+func FMSRatW(w, b, c Wide) *big.Rat {
+	p := new(big.Rat).Mul(b.Rat(), c.Rat())
+	return p.Sub(w.Rat(), p)
+}
+
+// ---- big.Int bridges -----------------------------------------------------
+
+// u128FromBig extracts |x| as a 128-bit pair, reporting failure when
+// x needs more bits. x must be non-negative or have a magnitude that
+// fits; callers pass big.Rat components whose sign is read separately.
+func u128FromBig(x *big.Int) (hi, lo uint64, ok bool) {
+	if x.BitLen() > 128 {
+		return 0, 0, false
+	}
+	var abs big.Int
+	abs.Abs(x)
+	var word big.Int
+	lo = word.And(&abs, u64Mask).Uint64()
+	hi = word.Rsh(&abs, 64).Uint64()
+	return hi, lo, true
+}
+
+var u64Mask = new(big.Int).SetUint64(math.MaxUint64)
+
+// bigFromU128 builds the big.Int value hi·2⁶⁴+lo.
+func bigFromU128(hi, lo uint64) *big.Int {
+	x := new(big.Int).SetUint64(hi)
+	x.Lsh(x, 64)
+	return x.Or(x, new(big.Int).SetUint64(lo))
+}
+
+// setU128 sets x to hi·2⁶⁴+lo in place, allocating only what the
+// magnitude itself needs.
+func setU128(x *big.Int, hi, lo uint64) *big.Int {
+	if hi == 0 {
+		return x.SetUint64(lo)
+	}
+	x.SetUint64(hi)
+	x.Lsh(x, 64)
+	var low big.Int
+	return x.Or(x, low.SetUint64(lo))
+}
+
+// ---- 128-bit checked kernels ---------------------------------------------
+//
+// Composed from math/bits intrinsics wherever possible; the four
+// functions that need raw fixed-width operators (shl128, shr128,
+// div128by64, div128) are named in the ratoverflow kernel allowlist.
+// Magnitudes are unsigned little-endian (hi, lo) pairs throughout.
+
+// negAbs64 returns |a| as uint64 for a < 0, correct at math.MinInt64
+// where -a overflows int64 but the magnitude 2⁶³ fits uint64.
+func negAbs64(a int64) uint64 {
+	u := uint64(a)
+	return -u
+}
+
+// add128 returns a+b, reporting overflow past 128 bits.
+func add128(ahi, alo, bhi, blo uint64) (hi, lo uint64, ok bool) {
+	var carry uint64
+	lo, carry = bits.Add64(alo, blo, 0)
+	hi, carry = bits.Add64(ahi, bhi, carry)
+	return hi, lo, carry == 0
+}
+
+// sub128 returns a−b for a ≥ b (callers compare first).
+func sub128(ahi, alo, bhi, blo uint64) (hi, lo uint64) {
+	var borrow uint64
+	lo, borrow = bits.Sub64(alo, blo, 0)
+	hi, _ = bits.Sub64(ahi, bhi, borrow)
+	return hi, lo
+}
+
+// cmp128 compares a and b (-1, 0, +1).
+func cmp128(ahi, alo, bhi, blo uint64) int {
+	switch {
+	case ahi < bhi:
+		return -1
+	case ahi > bhi:
+		return 1
+	case alo < blo:
+		return -1
+	case alo > blo:
+		return 1
+	}
+	return 0
+}
+
+// mul128 returns a·b, reporting overflow past 128 bits.
+func mul128(ahi, alo, bhi, blo uint64) (hi, lo uint64, ok bool) {
+	if ahi != 0 && bhi != 0 {
+		return 0, 0, false
+	}
+	hi, lo = bits.Mul64(alo, blo)
+	c1hi, c1lo := bits.Mul64(ahi, blo)
+	c2hi, c2lo := bits.Mul64(bhi, alo)
+	if c1hi != 0 || c2hi != 0 {
+		return 0, 0, false
+	}
+	var carry uint64
+	hi, carry = bits.Add64(hi, c1lo, 0)
+	if carry != 0 {
+		return 0, 0, false
+	}
+	hi, carry = bits.Add64(hi, c2lo, 0)
+	if carry != 0 {
+		return 0, 0, false
+	}
+	return hi, lo, true
+}
+
+// mulFull128 returns the full 256-bit product a·b as four words,
+// most significant first. Never overflows; Cmp's cross products run
+// through it.
+func mulFull128(ahi, alo, bhi, blo uint64) (p3, p2, p1, p0 uint64) {
+	h00, p0 := bits.Mul64(alo, blo) // lo·lo
+	h01, l01 := bits.Mul64(alo, bhi)
+	h10, l10 := bits.Mul64(ahi, blo)
+	h11, l11 := bits.Mul64(ahi, bhi)
+	var c1, c2, c3, c4 uint64
+	p1, c1 = bits.Add64(h00, l01, 0)
+	p2, c2 = bits.Add64(h01, h10, c1)
+	p1, c3 = bits.Add64(p1, l10, 0)
+	p2, c4 = bits.Add64(p2, l11, c3)
+	// The product is < 2²⁵⁶, so folding the two middle-word carries
+	// into h11 cannot itself carry.
+	p3, _ = bits.Add64(h11, c2, 0)
+	p3, _ = bits.Add64(p3, c4, 0)
+	return p3, p2, p1, p0
+}
+
+// cmp256 compares two 256-bit values given most-significant first.
+func cmp256(a3, a2, a1, a0, b3, b2, b1, b0 uint64) int {
+	for _, p := range [4][2]uint64{{a3, b3}, {a2, b2}, {a1, b1}, {a0, b0}} {
+		switch {
+		case p[0] < p[1]:
+			return -1
+		case p[0] > p[1]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// bitLen128 returns the bit length of (hi, lo).
+func bitLen128(hi, lo uint64) int {
+	if hi != 0 {
+		return 64 + bits.Len64(hi)
+	}
+	return bits.Len64(lo)
+}
+
+// tz128 returns the number of trailing zero bits of (hi, lo) != 0.
+func tz128(hi, lo uint64) uint {
+	if lo != 0 {
+		return uint(bits.TrailingZeros64(lo))
+	}
+	return uint(64 + bits.TrailingZeros64(hi))
+}
+
+// shl128 returns (hi, lo) << s for s < 128. Go defines shifts ≥ the
+// operand width as 0, so the two-branch form is total.
+func shl128(hi, lo uint64, s uint) (uint64, uint64) {
+	if s >= 64 {
+		return lo << (s - 64), 0
+	}
+	return hi<<s | lo>>(64-s), lo << s
+}
+
+// shr128 returns (hi, lo) >> s for s < 128.
+func shr128(hi, lo uint64, s uint) (uint64, uint64) {
+	if s >= 64 {
+		return 0, hi >> (s - 64)
+	}
+	return hi >> s, lo>>s | hi<<(64-s)
+}
+
+// gcd128 returns gcd(a, b) for a, b not both zero, by the binary
+// (Stein) algorithm: shifts and subtractions only, no division.
+func gcd128(ahi, alo, bhi, blo uint64) (hi, lo uint64) {
+	if ahi == 0 && alo == 0 {
+		return bhi, blo
+	}
+	if bhi == 0 && blo == 0 {
+		return ahi, alo
+	}
+	za := tz128(ahi, alo)
+	zb := tz128(bhi, blo)
+	k := za
+	if zb < k {
+		k = zb
+	}
+	ahi, alo = shr128(ahi, alo, za)
+	bhi, blo = shr128(bhi, blo, zb)
+	for {
+		if cmp128(ahi, alo, bhi, blo) < 0 {
+			ahi, bhi = bhi, ahi
+			alo, blo = blo, alo
+		}
+		ahi, alo = sub128(ahi, alo, bhi, blo)
+		if ahi == 0 && alo == 0 {
+			return shl128(bhi, blo, k)
+		}
+		ahi, alo = shr128(ahi, alo, tz128(ahi, alo))
+	}
+}
+
+// div128by64 returns (hi, lo) / d for d != 0 fitting one word; the
+// quotient may need both words. Exact-division callers discard the
+// remainder.
+func div128by64(hi, lo, d uint64) (qhi, qlo uint64) {
+	qhi = hi / d
+	rem := hi % d
+	qlo, _ = bits.Div64(rem, lo, d)
+	return qhi, qlo
+}
+
+// div128 returns u / v for v != 0 (floor; callers divide exactly by a
+// gcd). The two-word-divisor branch is shift-subtract restoring
+// division — at most 64 iterations, reached only when the gcd itself
+// exceeds one word, which the reduction workloads almost never do.
+func div128(uhi, ulo, vhi, vlo uint64) (qhi, qlo uint64) {
+	if vhi == 0 {
+		return div128by64(uhi, ulo, vlo)
+	}
+	if cmp128(uhi, ulo, vhi, vlo) < 0 {
+		return 0, 0
+	}
+	shift := uint(bitLen128(uhi, ulo) - bitLen128(vhi, vlo))
+	vhi, vlo = shl128(vhi, vlo, shift)
+	var q uint64
+	for i := int(shift); i >= 0; i-- {
+		q <<= 1
+		if cmp128(uhi, ulo, vhi, vlo) >= 0 {
+			uhi, ulo = sub128(uhi, ulo, vhi, vlo)
+			q |= 1
+		}
+		vhi, vlo = shr128(vhi, vlo, 1)
+	}
+	// v ≥ 2⁶⁴ forces the quotient into one word.
+	return 0, q
+}

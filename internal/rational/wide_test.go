@@ -1,0 +1,273 @@
+package rational
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// ratFromPairs builds (n1/d1)·(n2/d2) exactly: products of two int64
+// fractions cover the full 128-bit Wide range (|num|, den up to 2¹²⁶).
+func ratFromPairs(t testing.TB, n1, d1, n2, d2 int64) *big.Rat {
+	t.Helper()
+	if d1 == 0 || d2 == 0 {
+		t.Skip("zero denominator seed")
+	}
+	a := new(big.Rat).SetFrac(big.NewInt(n1), big.NewInt(d1))
+	return a.Mul(a, new(big.Rat).SetFrac(big.NewInt(n2), big.NewInt(d2)))
+}
+
+// requireCanonical asserts w is in the representation every
+// constructor promises: lowest terms, canonical zero, den > 0 —
+// checked by round-tripping through big.Rat (which normalizes) and
+// requiring exact struct equality.
+func requireCanonical(t *testing.T, w Wide) {
+	t.Helper()
+	back, ok := WideFromRat(w.Rat())
+	if !ok {
+		t.Fatalf("Wide %v does not round-trip through big.Rat", w.Rat())
+	}
+	if back != w {
+		t.Fatalf("non-canonical Wide: have %+v, canonical %+v (value %v)", w, back, w.Rat())
+	}
+}
+
+func TestWideFromSmallEdges(t *testing.T) {
+	cases := []struct{ num, den int64 }{
+		{0, 1}, {1, 1}, {-1, 1}, {math.MaxInt64, 1}, {-math.MaxInt64, 1},
+		{1, math.MaxInt64}, {-3, math.MaxInt64}, {math.MaxInt64 - 1, math.MaxInt64},
+	}
+	for _, c := range cases {
+		s, ok := MakeSmall(c.num, c.den)
+		if !ok {
+			t.Fatalf("MakeSmall(%d, %d) failed", c.num, c.den)
+		}
+		w := WideFromSmall(s)
+		requireCanonical(t, w)
+		if w.Rat().Cmp(s.Rat()) != 0 {
+			t.Fatalf("WideFromSmall(%d/%d) = %v", c.num, c.den, w.Rat())
+		}
+		back, ok := w.Small()
+		if !ok || back != s {
+			t.Fatalf("Small round-trip of %d/%d: %+v ok=%v", c.num, c.den, back, ok)
+		}
+	}
+}
+
+func TestWideMinInt64Magnitude(t *testing.T) {
+	// math.MinInt64 is rejected by MakeSmall but its magnitude 2⁶³ is a
+	// first-class Wide value; the Small() narrowing must refuse it.
+	r := new(big.Rat).SetInt64(math.MinInt64)
+	w, ok := WideFromRat(r)
+	if !ok {
+		t.Fatal("WideFromRat(MinInt64) failed")
+	}
+	requireCanonical(t, w)
+	if w.Rat().Cmp(r) != 0 {
+		t.Fatalf("got %v", w.Rat())
+	}
+	if s, ok := w.Small(); ok {
+		t.Fatalf("Small() accepted 2⁶³ magnitude: %+v", s)
+	}
+	if got := w.Neg().Rat(); got.Sign() <= 0 || got.Num().BitLen() != 64 {
+		t.Fatalf("Neg(MinInt64) = %v", got)
+	}
+}
+
+func TestWideFromRatBounds(t *testing.T) {
+	// 2¹²⁸−1 fits; 2¹²⁸ does not.
+	max128 := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1))
+	w, ok := WideFromRat(new(big.Rat).SetInt(max128))
+	if !ok {
+		t.Fatal("2^128-1 rejected")
+	}
+	requireCanonical(t, w)
+	if w.Bits() != 128 {
+		t.Fatalf("Bits() = %d, want 128", w.Bits())
+	}
+	over := new(big.Rat).SetInt(new(big.Int).Add(max128, big.NewInt(1)))
+	if _, ok := WideFromRat(over); ok {
+		t.Fatal("2^128 accepted")
+	}
+	// Denominator bound too.
+	if _, ok := WideFromRat(new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Add(max128, big.NewInt(1)))); ok {
+		t.Fatal("1/2^128 accepted")
+	}
+}
+
+func TestWideForcedOverflowFallsBack(t *testing.T) {
+	// (2¹²⁸−1)·(2¹²⁸−1) cannot fit: Mul must report failure and the
+	// exact fallback must agree with big.Rat.
+	max128 := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1))
+	r := new(big.Rat).SetInt(max128)
+	w, _ := WideFromRat(r)
+	if _, ok := w.Mul(w); ok {
+		t.Fatal("overflowing Mul reported success")
+	}
+	want := new(big.Rat).Mul(r, r)
+	if got := MulRatW(w, w); got.Cmp(want) != 0 {
+		t.Fatalf("MulRatW = %v, want %v", got, want)
+	}
+	if _, ok := w.Add(w); ok {
+		t.Fatal("overflowing Add reported success")
+	}
+	if got, want := AddRatW(w, w), new(big.Rat).Add(r, r); got.Cmp(want) != 0 {
+		t.Fatalf("AddRatW = %v, want %v", got, want)
+	}
+}
+
+func TestWideQuoByZero(t *testing.T) {
+	one, _ := WideFromRat(new(big.Rat).SetInt64(1))
+	if _, ok := one.Quo(Wide{}); ok {
+		t.Fatal("Quo by zero reported success")
+	}
+}
+
+// TestWideKernelsAgainstBigInt drives the raw 128-bit kernels (gcd128,
+// div128, div128by64, shifts, mulFull128 via Cmp) against big.Int
+// oracles on seeded random words, including two-word divisors — the
+// div128 branch ordinary reduction traffic almost never reaches.
+func TestWideKernelsAgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	word := func() uint64 {
+		// Mix magnitudes: full words, small words, and power-of-two-ish
+		// values so gcds and shifts hit both branches.
+		switch rng.Intn(4) {
+		case 0:
+			return rng.Uint64()
+		case 1:
+			return uint64(rng.Intn(16))
+		case 2:
+			return 1 << uint(rng.Intn(64))
+		default:
+			return rng.Uint64() >> uint(rng.Intn(60))
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		ahi, alo := word(), word()
+		bhi, blo := word(), word()
+		a, b := bigFromU128(ahi, alo), bigFromU128(bhi, blo)
+		if a.Sign() != 0 || b.Sign() != 0 {
+			ghi, glo := gcd128(ahi, alo, bhi, blo)
+			if want := new(big.Int).GCD(nil, nil, a, b); bigFromU128(ghi, glo).Cmp(want) != 0 {
+				t.Fatalf("gcd128(%v, %v) = %v, want %v", a, b, bigFromU128(ghi, glo), want)
+			}
+		}
+		if b.Sign() != 0 {
+			qhi, qlo := div128(ahi, alo, bhi, blo)
+			if want := new(big.Int).Quo(a, b); bigFromU128(qhi, qlo).Cmp(want) != 0 {
+				t.Fatalf("div128(%v, %v) = %v, want %v", a, b, bigFromU128(qhi, qlo), want)
+			}
+		}
+		if blo != 0 {
+			qhi, qlo := div128by64(ahi, alo, blo)
+			if want := new(big.Int).Quo(a, new(big.Int).SetUint64(blo)); bigFromU128(qhi, qlo).Cmp(want) != 0 {
+				t.Fatalf("div128by64(%v, %d) wrong", a, blo)
+			}
+		}
+		s := uint(rng.Intn(128))
+		shHi, shLo := shr128(ahi, alo, s)
+		if want := new(big.Int).Rsh(a, s); bigFromU128(shHi, shLo).Cmp(want) != 0 {
+			t.Fatalf("shr128(%v, %d) wrong", a, s)
+		}
+		slHi, slLo := shl128(ahi, alo, s)
+		wantL := new(big.Int).Lsh(a, s)
+		wantL.And(wantL, new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1)))
+		if bigFromU128(slHi, slLo).Cmp(wantL) != 0 {
+			t.Fatalf("shl128(%v, %d) wrong", a, s)
+		}
+		p3, p2, p1, p0 := mulFull128(ahi, alo, bhi, blo)
+		prod := new(big.Int).Mul(a, b)
+		hiPart := new(big.Int).Lsh(bigFromU128(p3, p2), 128)
+		if hiPart.Or(hiPart, bigFromU128(p1, p0)); hiPart.Cmp(prod) != 0 {
+			t.Fatalf("mulFull128(%v, %v) = %v, want %v", a, b, hiPart, prod)
+		}
+	}
+}
+
+// checkWideOp is the shared oracle: the checked op must either return
+// the exact big.Rat result or report overflow, in which case the
+// named fallback must return it. Overflow may be conservative (a
+// pre-reduction intermediate can exceed 128 bits even when the
+// reduced result fits) but success is never wrong.
+func checkWideOp(t *testing.T, name string, got Wide, ok bool, fallback func() *big.Rat, want *big.Rat) {
+	t.Helper()
+	if ok {
+		requireCanonical(t, got)
+		if got.Rat().Cmp(want) != 0 {
+			t.Fatalf("%s = %v, want %v", name, got.Rat(), want)
+		}
+		return
+	}
+	if fb := fallback(); fb.Cmp(want) != 0 {
+		t.Fatalf("%s fallback = %v, want %v", name, fb, want)
+	}
+}
+
+func FuzzWideMatchesBigRat(f *testing.F) {
+	seeds := [][8]int64{
+		{1, 1, 1, 1, 2, 3, 5, 7},
+		{0, 1, 1, 1, 0, 5, 1, 1},
+		{math.MinInt64, 1, 1, 1, math.MaxInt64, 1, 1, 1},
+		{math.MaxInt64, math.MaxInt64 - 1, math.MaxInt64 - 2, 3, -math.MaxInt64, 7, math.MaxInt64, 11},
+		{math.MinInt64, math.MaxInt64, math.MinInt64, math.MaxInt64, 1, math.MinInt64, 1, 3},
+		{1 << 62, 1, 4, 1, 1 << 62, 1, -8, 1},
+		{-1, math.MinInt64, 1, math.MaxInt64, 6700417, 641, 274177, 67280421310721},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7])
+	}
+	f.Fuzz(func(t *testing.T, an1, ad1, an2, ad2, bn1, bd1, bn2, bd2 int64) {
+		ar := ratFromPairs(t, an1, ad1, an2, ad2)
+		br := ratFromPairs(t, bn1, bd1, bn2, bd2)
+		aw, ok := WideFromRat(ar)
+		if !ok {
+			t.Fatalf("product of int64 fractions must fit 128 bits: %v", ar)
+		}
+		bw, ok := WideFromRat(br)
+		if !ok {
+			t.Fatalf("product of int64 fractions must fit 128 bits: %v", br)
+		}
+		requireCanonical(t, aw)
+		requireCanonical(t, bw)
+
+		if got, want := aw.Sign(), ar.Sign(); got != want {
+			t.Fatalf("Sign = %d, want %d", got, want)
+		}
+		if got, want := aw.Cmp(bw), ar.Cmp(br); got != want {
+			t.Fatalf("Cmp = %d, want %d", got, want)
+		}
+		neg := aw.Neg()
+		requireCanonical(t, neg)
+		if want := new(big.Rat).Neg(ar); neg.Rat().Cmp(want) != 0 {
+			t.Fatalf("Neg = %v, want %v", neg.Rat(), want)
+		}
+
+		sum, ok := aw.Add(bw)
+		checkWideOp(t, "Add", sum, ok, func() *big.Rat { return AddRatW(aw, bw) }, new(big.Rat).Add(ar, br))
+		diff, ok := aw.Sub(bw)
+		checkWideOp(t, "Sub", diff, ok, func() *big.Rat { return SubRatW(aw, bw) }, new(big.Rat).Sub(ar, br))
+		prod, ok := aw.Mul(bw)
+		checkWideOp(t, "Mul", prod, ok, func() *big.Rat { return MulRatW(aw, bw) }, new(big.Rat).Mul(ar, br))
+		if br.Sign() != 0 {
+			quo, ok := aw.Quo(bw)
+			checkWideOp(t, "Quo", quo, ok, func() *big.Rat { return QuoRatW(aw, bw) }, new(big.Rat).Quo(ar, br))
+		} else if _, ok := aw.Quo(bw); ok {
+			t.Fatal("Quo by zero reported success")
+		}
+		fmsWant := new(big.Rat).Mul(bw.Rat(), bw.Rat())
+		fmsWant.Sub(ar, fmsWant)
+		fms, ok := aw.FMS(bw, bw)
+		checkWideOp(t, "FMS", fms, ok, func() *big.Rat { return FMSRatW(aw, bw, bw) }, fmsWant)
+
+		// Narrowing: Small() must agree with SmallFromRat exactly.
+		if s, ok := aw.Small(); ok {
+			if s.Rat().Cmp(ar) != 0 {
+				t.Fatalf("Small() = %v, want %v", s.Rat(), ar)
+			}
+		} else if _, fits := SmallFromRat(ar); fits {
+			t.Fatalf("Small() rejected %v, which SmallFromRat accepts", ar)
+		}
+	})
+}

@@ -48,6 +48,7 @@ echo "==> bench regression gate (fresh run vs committed BENCH_lp.json / BENCH_sa
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzPow$' -fuzztime="${FUZZTIME}" ./internal/rational
+go test -run='^$' -fuzz='^FuzzWideMatchesBigRat$' -fuzztime="${FUZZTIME}" ./internal/rational
 go test -run='^$' -fuzz='^FuzzUnmarshalJSON$' -fuzztime="${FUZZTIME}" ./internal/mechanism
 go test -run='^$' -fuzz='^FuzzParseLevels$' -fuzztime="${FUZZTIME}" ./cmd/dpserver
 go test -run='^$' -fuzz='^FuzzWarmStartMatchesExact$' -fuzztime="${FUZZTIME}" ./internal/lp
@@ -109,6 +110,12 @@ curl -fsS "http://${base}/v1/metrics" | grep -q '"warm_start_hits":[1-9]'
 # pipeline's dual-repair path end to end (sub-second since the
 # revised-simplex rework; it used to be minutes).
 curl -fsS "http://${base}/v1/tailored?loss=absolute&n=16&level=1" | grep -q minimax_loss
+# The revised path must report its hybrid tier counters: the n=16
+# solve runs enough exact ops that the int64 fast tier is non-empty,
+# and the Wide/big counters must at least be surfaced.
+curl -fsS "http://${base}/v1/metrics" | grep -q '"small_ops":[1-9]'
+curl -fsS "http://${base}/v1/metrics" | grep -q '"wide_ops":[0-9]'
+curl -fsS "http://${base}/v1/metrics" | grep -q '"big_fallbacks":[0-9]'
 # Above the cap the request must be rejected, not queued.
 curl -sS "http://${base}/v1/tailored?loss=absolute&n=17&level=1" | grep -q "exceeds the LP cap"
 curl -fsS "http://${base}/v1/tenants" | grep -q '"smoke"'
